@@ -1,0 +1,104 @@
+// Command repro regenerates every table and figure of "Capturing Data
+// Uncertainty in High-Volume Stream Processing" (Diao et al., CIDR 2009)
+// on the synthetic substrates described in DESIGN.md.
+//
+// Usage:
+//
+//	repro table1 | table2 | figure3a | figure3b | scalability | all
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	cmd := "all"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	switch cmd {
+	case "table1":
+		printTable1()
+	case "table2":
+		printTable2()
+	case "figure3a":
+		printFigure3(true)
+	case "figure3b":
+		printFigure3(false)
+	case "scalability":
+		printScalability()
+	case "adaptive":
+		printAdaptive()
+	case "all":
+		printTable1()
+		fmt.Println()
+		printTable2()
+		fmt.Println()
+		printFigure3(true)
+		fmt.Println()
+		printFigure3(false)
+		fmt.Println()
+		printScalability()
+		fmt.Println()
+		printAdaptive()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\nusage: repro table1|table2|figure3a|figure3b|scalability|adaptive|all\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func printTable1() {
+	fmt.Println("Table 1: Tornado detection using averaged moment data (4 sector scans, 38 s of raw data)")
+	fmt.Println("Avg Size | Moment MB | Detect Time | Reported Tornados | False Negatives | 4Mbps Tx (s)")
+	rows := experiments.RunTable1(experiments.DefaultTable1Config())
+	for _, r := range rows {
+		fmt.Printf("%8d | %9.2f | %11v | %17.2f | %15.2f | %11.2f\n",
+			r.AvgSize, r.MomentMB, r.DetectTime.Round(100_000), r.Reported, r.FalseNegatives, r.TransmitSec)
+	}
+}
+
+func printTable2() {
+	fmt.Println("Table 2: Sum over a tuple stream, tumbling windows of 100 tuples")
+	fmt.Println("Algorithm               | Throughput (tuples/s) | Variance Distance [0,1]")
+	rows := experiments.RunTable2(experiments.DefaultTable2Config())
+	for _, r := range rows {
+		fmt.Printf("%-23s | %21.0f | %.4f\n", r.Algorithm, r.ThroughputTPS, r.VarianceDistance)
+	}
+}
+
+func printFigure3(accuracy bool) {
+	if accuracy {
+		fmt.Println("Figure 3(a): Inference error in XY plane (ft) vs number of objects")
+	} else {
+		fmt.Println("Figure 3(b): CPU time per event (ms) vs number of objects")
+	}
+	cfg := experiments.DefaultFigure3Config()
+	cfg.Repeats = 3
+	pts := experiments.RunFigure3(cfg)
+	fmt.Println(" Objects | Particles |  Error (ft) | Time/event (ms)")
+	for _, p := range pts {
+		fmt.Printf("%8d | %9d | %11.3f | %15.4f\n", p.Objects, p.Particles, p.ErrFt, p.MsPerEvent)
+	}
+}
+
+func printScalability() {
+	fmt.Println("Scalability ablation (§4.1): joint baseline vs optimized factorized filter")
+	fmt.Println("Variant                          | Objects | Readings/sec")
+	rows := experiments.RunScalability(experiments.DefaultScalabilityConfig())
+	for _, r := range rows {
+		fmt.Printf("%-32s | %7d | %12.3f\n", r.Variant, r.Objects, r.EventsPerSec)
+	}
+}
+
+func printAdaptive() {
+	fmt.Println("Adaptive averaging (extension; §2.2's dynamic-averaging motivation)")
+	fmt.Println("Policy             | Moment MB | Reported Tornados | False Negatives | 4Mbps Tx (s)")
+	rows := experiments.RunAdaptive(4, 42)
+	for _, r := range rows {
+		fmt.Printf("%-18s | %9.2f | %17.2f | %15.2f | %11.2f\n",
+			r.Policy, r.MomentMB, r.Reported, r.FalseNeg, r.TxSec)
+	}
+}

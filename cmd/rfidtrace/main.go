@@ -1,0 +1,81 @@
+// Command rfidtrace generates a raw mobile-RFID scan trace as JSON lines on
+// stdout: one event per line with the reader pose and observed tag IDs,
+// followed by a final ground-truth record. Useful for feeding external
+// tools or inspecting what the T operator consumes.
+//
+// Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/rfid"
+)
+
+type eventJSON struct {
+	T       int64   `json:"t_ms"`
+	ReaderX float64 `json:"reader_x"`
+	ReaderY float64 `json:"reader_y"`
+	Heading float64 `json:"heading_rad"`
+	Objects []int64 `json:"objects"`
+	Shelves []int64 `json:"shelves"`
+}
+
+type truthJSON struct {
+	Truth map[int64][2]float64 `json:"truth_final_xy"`
+}
+
+func main() {
+	objects := flag.Int("objects", 500, "number of tagged objects")
+	events := flag.Int("events", 2000, "number of scan events")
+	seed := flag.Int64("seed", 1, "random seed")
+	move := flag.Bool("move", false, "enable object movement between shelves")
+	flag.Parse()
+
+	moveProb := -1.0
+	moveEvery := 0
+	if *move {
+		moveProb = 0.002
+		moveEvery = 50
+	}
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{
+		NumObjects: *objects,
+		Seed:       *seed,
+		MoveProb:   moveProb,
+	})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{
+		Events:        *events,
+		Seed:          *seed + 1,
+		MovementEvery: moveEvery,
+	})
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	for _, ev := range trace.Events {
+		if err := enc.Encode(eventJSON{
+			T:       int64(ev.T),
+			ReaderX: ev.Reader.X,
+			ReaderY: ev.Reader.Y,
+			Heading: ev.Heading,
+			Objects: ev.ObservedObjects,
+			Shelves: ev.ObservedShelves,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "rfidtrace:", err)
+			os.Exit(1)
+		}
+	}
+	truth := truthJSON{Truth: make(map[int64][2]float64, len(w.Objects))}
+	for _, o := range w.Objects {
+		p, _ := trace.TruthAt(o.ID, len(trace.Events)-1)
+		truth.Truth[o.ID] = [2]float64{p.X, p.Y}
+	}
+	if err := enc.Encode(truth); err != nil {
+		fmt.Fprintln(os.Stderr, "rfidtrace:", err)
+		os.Exit(1)
+	}
+}

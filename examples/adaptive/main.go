@@ -1,0 +1,60 @@
+// Adaptive speed-accuracy control (§4.2): the feedback controller sizes the
+// particle budget against an application accuracy requirement, measured
+// online with reference objects (shelf tags at known positions). It doubles
+// the budget until the requirement is met, then walks it back down to the
+// smallest count that still passes.
+//
+// Run: go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/pfilter"
+	"repro/internal/rfid"
+)
+
+func main() {
+	const targetErrFt = 4.5
+
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 400, Seed: 31, MoveProb: -1})
+	sensing := rfid.SensingConfig{PMax: 0.6}
+	reader := rfid.Reader{Sensing: sensing}
+	trace := rfid.GenerateTrace(w, reader, rfid.TraceConfig{Events: 2000, Seed: 32})
+
+	ids := make([]int64, len(w.Objects))
+	for i, o := range w.Objects {
+		ids[i] = o.ID
+	}
+
+	// measure runs the whole trace with a fixed particle budget and
+	// returns the end-of-trace mean XY error — the quantity the online
+	// reference-object estimator tracks.
+	measure := func(particles int) float64 {
+		tx := rfid.NewTransformer(w, sensing, rfid.TransformerConfig{
+			Particles: particles, UseIndex: true, NegativeEvidence: true, Seed: 33,
+		})
+		for _, ev := range trace.Events {
+			tx.Process(ev)
+		}
+		return rfid.XYError(trace, tx.Filter(), ids, len(trace.Events)-1)
+	}
+
+	ctrl := pfilter.NewController(targetErrFt, 8, 512)
+	fmt.Printf("accuracy requirement: %.1f ft mean XY error\n\n", targetErrFt)
+	fmt.Println("round | particles | measured error | phase")
+	round := 0
+	for !ctrl.Settled() && round < 20 {
+		n := ctrl.Particles()
+		err := measure(n)
+		phase := "doubling"
+		if err <= targetErrFt {
+			phase = "refining"
+		}
+		fmt.Printf("%5d | %9d | %11.2f ft | %s\n", round, n, err, phase)
+		ctrl.Observe(err)
+		round++
+	}
+	fmt.Printf("\nsettled at %d particles per object\n", ctrl.Particles())
+	fmt.Printf("final check: %.2f ft (target %.1f)\n", measure(ctrl.Particles()), targetErrFt)
+}

@@ -1,0 +1,59 @@
+// Quickstart: uncertain tuples in, full result distributions out.
+//
+// Builds a small stream of tuples whose attribute is a continuous random
+// variable (a Gaussian mixture per tuple), sums a window with three of the
+// paper's aggregation strategies, and prints the resulting distribution,
+// its confidence region, and the probability the sum exceeds a threshold —
+// the end-to-end shape of §5.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A window of 25 sensor readings, each uncertain: bimodal mixtures
+	// model readings whose source may have moved (§4.3).
+	g := rng.New(1)
+	var window []*core.UTuple
+	for i := 0; i < 25; i++ {
+		mu := 10 + g.Normal(0, 2)
+		d := dist.NewGaussianMixture(
+			[]float64{0.7, 0.3},
+			[]float64{mu, mu + 4},
+			[]float64{1, 1.5},
+		)
+		window = append(window, core.NewUTuple(0, []string{"load"}, []dist.Dist{d}))
+	}
+
+	fmt.Println("sum of 25 uncertain tuples, three strategies:")
+	for _, strat := range []core.Strategy{core.CFInvert, core.CFApprox, core.HistogramSampling} {
+		result := core.SumTuples(window, "load", strat, core.AggOptions{Seed: 2})
+		sum := result.Attr("load")
+		ci := dist.ConfidenceInterval(sum, 0.95)
+		fmt.Printf("  %-22s mean=%7.2f  sd=%5.2f  95%% CI=[%.1f, %.1f]  P(sum>300)=%.3f\n",
+			strat, sum.Mean(), dist.Std(sum), ci.Lo, ci.Hi, dist.ProbAbove(sum, 300))
+	}
+
+	// Uncertain selection: keep tuples whose load is probably high; the
+	// survivor carries its truncated conditional distribution and an
+	// existence probability.
+	fmt.Println("\nuncertain selection (load > 12):")
+	u := window[0]
+	if sel := core.SelectGreater(u, "load", 12, 0.01); sel != nil {
+		fmt.Printf("  before: %v\n", u.Attr("load"))
+		fmt.Printf("  after:  mean=%.2f  P(exists)=%.3f\n", sel.Attr("load").Mean(), sel.Exist)
+	}
+
+	// Delivery modes (§3): applications choose how much of the
+	// distribution they want.
+	result := core.SumTuples(window, "load", core.CFInvert, core.AggOptions{})
+	full := core.Deliver(result.Attr("load"), core.DeliverConfidence, 0.9)
+	fmt.Printf("\ndelivered 90%% confidence region: [%.1f, %.1f]\n", full.Region.Lo, full.Region.Hi)
+}

@@ -1,0 +1,87 @@
+// Radar pipeline (§2.2): raw pulses → temporally averaged moment data with
+// MA-CLT uncertainty → tornado detection, plus a two-radar merge with
+// dual-Doppler wind reconstruction and delta-method wind-speed uncertainty.
+//
+// The run shows the Table 1 effect end to end: the same raw data averaged
+// at 40 vs 500 pulses detects vs misses the embedded vortex — and the
+// attached uncertainty tells the control loop which cells would repay
+// finer-grained processing.
+//
+// Run: go run ./examples/radarpipeline
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detect"
+	"repro/internal/radar"
+)
+
+func main() {
+	// One vortex 14 km out; two radars for the merge stage.
+	vortex := radar.Vortex{
+		X: 14000 * math.Cos(math.Pi/3), Y: 14000 * math.Sin(math.Pi/3),
+		CoreRadius: 120, Vmax: 50, VX: 8, VY: 3,
+	}
+	atmos := &radar.Atmosphere{WindU: 8, WindV: 2, Vortices: []radar.Vortex{vortex}}
+	siteA := radar.Site{Name: "KA", SectorStartDeg: 40, SectorWidthDeg: 45}
+	noise := radar.NoiseConfig{Seed: 3}
+
+	fmt.Printf("raw data rate per radar: %.0f Mb/s (%d gates × %d pulses/scan)\n",
+		float64(siteA.RawBytesPerScan())*8/1e6/3.5, 832, radar.Site{SectorWidthDeg: 45}.PulsesPerScan())
+
+	for _, avgN := range []int{40, 500} {
+		scan := radar.GenerateMomentScan(atmos, siteA, noise, 0, radar.AveragerConfig{
+			AvgN:            avgN,
+			WithUncertainty: true,
+		})
+		res := detect.Detect(scan, detect.Config{})
+		matched, fn, _ := detect.Score(res.Detections, atmos.Vortices, 0, 1500)
+		// Mean attached velocity uncertainty (the paper's missing signal:
+		// how much information the averaging destroyed).
+		var sigma float64
+		var cells int
+		for _, row := range scan.Cells {
+			for _, c := range row {
+				sigma += c.VDist.Sigma
+				cells++
+			}
+		}
+		fmt.Printf("\naveraging %4d pulses: %5.2f MB moment data, %d az groups, cell width %.2f°\n",
+			avgN, float64(scan.Bytes())/1e6, scan.AzGroups(), scan.CellWidthDeg())
+		fmt.Printf("  detections=%d matched=%d missed=%d  detect time=%v\n",
+			len(res.Detections), matched, fn, res.Elapsed.Round(100_000))
+		fmt.Printf("  mean velocity σ per cell: %.2f m/s (MA-aware CLT, §4.4)\n", sigma/float64(cells))
+		fmt.Printf("  4 Mbps transmission: %.2f s\n",
+			radar.TransmissionSeconds(scan.Bytes(), 4))
+	}
+
+	// Multi-radar merge (§2.2 "merged data"): a second radar east of the
+	// first gives dual-Doppler coverage; the merged cells carry full wind
+	// vectors with covariance, and the wind-speed distribution comes from
+	// the multivariate delta method (§5.2).
+	siteB := radar.Site{Name: "KB", X: 20000, SectorStartDeg: 95, SectorWidthDeg: 45}
+	mA := radar.GenerateMomentScan(atmos, siteA, noise, 0, radar.AveragerConfig{AvgN: 100, WithUncertainty: true})
+	mB := radar.GenerateMomentScan(atmos, siteB, noise, 0, radar.AveragerConfig{AvgN: 100, WithUncertainty: true})
+	cells := radar.MergeScans([]*radar.MomentScan{mA, mB}, radar.MergeConfig{CellSizeM: 1000})
+	var fused, total int
+	var bestSpeed float64
+	var best radar.MergedCell
+	for _, c := range cells {
+		total++
+		if !c.HasWind {
+			continue
+		}
+		fused++
+		if sp, ok := c.WindSpeedDist(); ok && sp.Mu > bestSpeed {
+			bestSpeed = sp.Mu
+			best = c
+		}
+	}
+	fmt.Printf("\nmerged product: %d Cartesian cells, %d with dual-Doppler wind\n", total, fused)
+	if sp, ok := best.WindSpeedDist(); ok {
+		fmt.Printf("strongest wind cell (%.0f, %.0f): speed %.1f ± %.1f m/s (alt offset %.0f m)\n",
+			best.X, best.Y, sp.Mu, sp.Sigma, best.AltOffsetM)
+	}
+}

@@ -1,0 +1,146 @@
+// Package core is the paper's primary contribution: relational processing of
+// tuple streams under uncertainty (§3, §5). Tuples carry full probability
+// distributions per uncertain attribute (continuous random variables —
+// §1's "first-class citizen" treatment), an existence probability accrued by
+// probabilistic selections and joins, and lineage linking each intermediate
+// tuple to the base tuples that produced it.
+//
+// The operators:
+//
+//   - Selection over uncertain attributes (SelectGreater etc.) truncates the
+//     attribute distribution and scales tuple existence by the predicate
+//     probability.
+//   - Aggregation (Sum / SumTuples / Avg / Max / Min / Count) derives the
+//     full result distribution with a pluggable strategy: exact
+//     characteristic-function inversion (single integral, §5.1), CF
+//     approximation (cumulant-matched Gaussian — Table 2's winner), the
+//     histogram-sampling baseline of Ge & Zdonik [25], plain Monte Carlo,
+//     the n−1-integral pairwise convolution of Cheng et al. [9], the Central
+//     Limit Theorem, and an MA-aware CLT for correlated (time-series)
+//     inputs.
+//   - Join (EqualProb / LocEqualProb / JoinProb) computes match
+//     probabilities between uncertain attributes — Q2's loc_equals.
+//   - Uncertain GROUP BY (GroupSum) spreads each tuple over candidate
+//     groups by membership probability and sums Bernoulli-gated
+//     contributions exactly through their closed-form CFs — Q1's shape.
+//   - The multivariate delta method (Delta) approximates distributions of
+//     smooth functions of uncertain inputs (§5.2 "complex functions").
+//   - The lineage-aware final operator (FinalSum) splits a window into
+//     independent and correlated groups via lineage overlap and uses the
+//     fast path only where it is sound (§5.2 "lineage").
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/stream"
+)
+
+// UTuple is an uncertain tuple: named attribute distributions plus the
+// uncertainty bookkeeping the architecture of §3 calls for.
+type UTuple struct {
+	TS    stream.Time
+	ID    uint64
+	names []string
+	attrs []dist.Dist
+	Exist float64     // P(tuple exists); 1.0 until a probabilistic op reduces it
+	Lin   lineage.Set // base tuples this tuple derives from
+}
+
+// NewUTuple builds a base tuple with existence 1 and its own ID as lineage.
+func NewUTuple(ts stream.Time, names []string, attrs []dist.Dist) *UTuple {
+	if len(names) != len(attrs) {
+		panic("core: names/attrs length mismatch")
+	}
+	id := stream.NextTupleID()
+	return &UTuple{
+		TS:    ts,
+		ID:    id,
+		names: append([]string(nil), names...),
+		attrs: append([]dist.Dist(nil), attrs...),
+		Exist: 1,
+		Lin:   lineage.NewSet(id),
+	}
+}
+
+// Derive builds a tuple produced by an operator from the given parents: it
+// gets a fresh ID, the union of parent lineage, and the product of parent
+// existence probabilities (§3: output tuples carry lineage so the final
+// operator can reconstruct correlations).
+func Derive(ts stream.Time, names []string, attrs []dist.Dist, parents ...*UTuple) *UTuple {
+	u := NewUTuple(ts, names, attrs)
+	lin := lineage.NewSet()
+	exist := 1.0
+	for _, p := range parents {
+		lin = lin.Union(p.Lin)
+		exist *= p.Exist
+	}
+	if len(parents) > 0 {
+		u.Lin = lin
+		u.Exist = exist
+	}
+	return u
+}
+
+// Names returns the attribute names.
+func (u *UTuple) Names() []string { return u.names }
+
+// Attr returns the named attribute distribution.
+func (u *UTuple) Attr(name string) dist.Dist {
+	for i, n := range u.names {
+		if n == name {
+			return u.attrs[i]
+		}
+	}
+	panic(fmt.Sprintf("core: unknown attribute %q (have %v)", name, u.names))
+}
+
+// HasAttr reports whether the tuple carries the attribute.
+func (u *UTuple) HasAttr(name string) bool {
+	for _, n := range u.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// SetAttr replaces or adds an attribute distribution (operators use this on
+// their own derived tuples, never on inputs).
+func (u *UTuple) SetAttr(name string, d dist.Dist) {
+	for i, n := range u.names {
+		if n == name {
+			u.attrs[i] = d
+			return
+		}
+	}
+	u.names = append(u.names, name)
+	u.attrs = append(u.attrs, d)
+}
+
+// Clone returns a copy (attribute distributions are immutable by convention
+// and shared).
+func (u *UTuple) Clone() *UTuple {
+	return &UTuple{
+		TS:    u.TS,
+		ID:    u.ID,
+		names: append([]string(nil), u.names...),
+		attrs: append([]dist.Dist(nil), u.attrs...),
+		Exist: u.Exist,
+		Lin:   u.Lin,
+	}
+}
+
+// Mean is shorthand for Attr(name).Mean().
+func (u *UTuple) Mean(name string) float64 { return u.Attr(name).Mean() }
+
+// String renders the tuple.
+func (u *UTuple) String() string {
+	s := fmt.Sprintf("U@%d{p=%.3g", u.TS, u.Exist)
+	for i, n := range u.names {
+		s += fmt.Sprintf(", %s=%v", n, u.attrs[i])
+	}
+	return s + "}"
+}

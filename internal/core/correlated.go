@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// CondChain models the temporally correlated T-operator outputs of §3: each
+// tuple carries the conditional distribution p(Xₙ | Xₙ₋₁) instead of a
+// marginal, "so a subsequent operator can construct their joint
+// distribution, when needed, by multiplying these conditional
+// distributions." The implementation is a linear-Gaussian chain (an AR(1)
+// state): Xₙ = A·Xₙ₋₁ + B + ε, ε ~ N(0, S²), rooted at X₀ ~ Root.
+type CondChain struct {
+	Root dist.Normal
+	// Links hold the conditional parameters of each step.
+	Links []CondLink
+}
+
+// CondLink is one conditional p(Xₙ | Xₙ₋₁) = N(A·xₙ₋₁ + B, S²).
+type CondLink struct {
+	A, B, S float64
+}
+
+// Len returns the number of variables in the chain (links + root).
+func (c *CondChain) Len() int { return len(c.Links) + 1 }
+
+// Marginal returns the exact marginal distribution of Xₙ, propagating mean
+// and variance through the linear-Gaussian links.
+func (c *CondChain) Marginal(n int) dist.Normal {
+	mu, v := c.Root.Mu, c.Root.Variance()
+	for i := 0; i < n && i < len(c.Links); i++ {
+		l := c.Links[i]
+		mu = l.A*mu + l.B
+		v = l.A*l.A*v + l.S*l.S
+	}
+	return dist.NewNormal(mu, math.Sqrt(math.Max(v, 1e-300)))
+}
+
+// JointSample draws one realization of the entire chain.
+func (c *CondChain) JointSample(g *rng.RNG) []float64 {
+	out := make([]float64, c.Len())
+	out[0] = c.Root.Sample(g)
+	for i, l := range c.Links {
+		out[i+1] = l.A*out[i] + l.B + g.Normal(0, l.S)
+	}
+	return out
+}
+
+// SumDist returns the exact distribution of ΣXᵢ over the chain: jointly
+// Gaussian variables sum to a Gaussian whose variance includes all pairwise
+// covariances — the quantity an independence-assuming aggregate gets wrong
+// (positively correlated chains have a strictly larger sum variance).
+func (c *CondChain) SumDist() dist.Normal {
+	n := c.Len()
+	// mean[i], and cov via recursions: Cov(X_{i+1}, X_j) = A_i Cov(X_i, X_j).
+	mus := make([]float64, n)
+	vars := make([]float64, n)
+	mus[0] = c.Root.Mu
+	vars[0] = c.Root.Variance()
+	// cov[i][j] for i<=j, computed row-wise.
+	cov := make([][]float64, n)
+	for i := range cov {
+		cov[i] = make([]float64, n)
+	}
+	cov[0][0] = vars[0]
+	for i := 0; i < n-1; i++ {
+		l := c.Links[i]
+		mus[i+1] = l.A*mus[i] + l.B
+		cov[i+1][i+1] = l.A*l.A*cov[i][i] + l.S*l.S
+		for j := 0; j <= i; j++ {
+			cov[i+1][j] = l.A * cov[i][j]
+			cov[j][i+1] = cov[i+1][j]
+		}
+	}
+	var mean, variance float64
+	for i := 0; i < n; i++ {
+		mean += mus[i]
+		for j := 0; j < n; j++ {
+			variance += cov[i][j]
+		}
+	}
+	return dist.NewNormal(mean, math.Sqrt(math.Max(variance, 1e-300)))
+}
+
+// SumAssumingIndependent returns the (incorrect for A≠0) sum distribution
+// obtained by treating the marginals as independent — the comparator tests
+// and the ablation bench use it to quantify what ignoring temporal
+// correlation costs.
+func (c *CondChain) SumAssumingIndependent() dist.Normal {
+	var mean, variance float64
+	for i := 0; i < c.Len(); i++ {
+		m := c.Marginal(i)
+		mean += m.Mu
+		variance += m.Variance()
+	}
+	return dist.NewNormal(mean, math.Sqrt(math.Max(variance, 1e-300)))
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Delta approximates the distribution of g(X₁..X_d) for independent
+// uncertain inputs via the multivariate delta method (§5.2 "complex
+// functions"): linearize g at the mean vector,
+//
+//	g(X) ≈ N( g(μ), ∇g(μ)ᵀ diag(σ²) ∇g(μ) ).
+//
+// grad may be nil, in which case a central-difference gradient is used.
+// The approximation is good when g is smooth at the scale of the input
+// spreads — the paper's route for treating a pipeline of operators as one
+// differentiable function of independent base inputs.
+func Delta(g func([]float64) float64, grad func([]float64) []float64, inputs []dist.Dist) dist.Normal {
+	d := len(inputs)
+	mu := make([]float64, d)
+	for i, in := range inputs {
+		mu[i] = in.Mean()
+	}
+	var gr []float64
+	if grad != nil {
+		gr = grad(mu)
+	} else {
+		gr = numGrad(g, mu)
+	}
+	var variance float64
+	for i, in := range inputs {
+		variance += gr[i] * gr[i] * in.Variance()
+	}
+	if variance <= 0 {
+		variance = 1e-18
+	}
+	return dist.NewNormal(g(mu), math.Sqrt(variance))
+}
+
+// numGrad computes a central-difference gradient with per-coordinate steps
+// scaled to the coordinate magnitude.
+func numGrad(g func([]float64) float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	buf := append([]float64(nil), x...)
+	for i := range x {
+		h := 1e-6 * (math.Abs(x[i]) + 1)
+		buf[i] = x[i] + h
+		fp := g(buf)
+		buf[i] = x[i] - h
+		fm := g(buf)
+		buf[i] = x[i]
+		out[i] = (fp - fm) / (2 * h)
+	}
+	return out
+}

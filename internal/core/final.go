@@ -1,0 +1,181 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/rng"
+)
+
+// FinalSumOptions tunes the lineage-aware final aggregation.
+type FinalSumOptions struct {
+	// Strategy for the independent fast path (default CFInvert).
+	Strategy Strategy
+	// Agg options for the fast path.
+	Agg AggOptions
+	// JointSamples is the Monte Carlo budget for correlated groups
+	// (default 2000).
+	JointSamples int
+	// Seed drives the joint sampler.
+	Seed int64
+}
+
+func (o FinalSumOptions) withDefaults() FinalSumOptions {
+	if o.JointSamples <= 0 {
+		o.JointSamples = 2000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// FinalSum is the last-operator computation of §3/§5.2: summing a window of
+// intermediate tuples whose lineage may overlap. Lineage partitions the
+// window into correlation groups (lineage.CorrelationGroups); groups of
+// independent tuples take the fast CF path, while each correlated group is
+// resolved by joint Monte Carlo over the *archived base tuples* (each base
+// tuple sampled once per draw and reused by every intermediate tuple that
+// references it — the shared-computation optimization). The group results,
+// independent of each other by construction, are then combined exactly.
+//
+// Intermediate tuples are assumed to be sums of their base tuples (the shape
+// joins + aggregates produce in Q1/Q2-style plans); bases missing from the
+// archive fall back to the tuple's own marginal, treated independently.
+func FinalSum(tuples []*UTuple, attr string, archive *lineage.Archive[dist.Dist], opts FinalSumOptions) dist.Dist {
+	opts = opts.withDefaults()
+	if len(tuples) == 0 {
+		return dist.PointMass{V: 0}
+	}
+	sets := make([]lineage.Set, len(tuples))
+	for i, u := range tuples {
+		sets[i] = u.Lin
+	}
+	groups := lineage.CorrelationGroups(sets)
+
+	g := rng.New(opts.Seed)
+	var parts []dist.Dist
+	for _, idxs := range groups {
+		if len(idxs) == 1 {
+			u := tuples[idxs[0]]
+			d := u.Attr(attr)
+			if u.Exist < 1 {
+				d = BernoulliGate(d, u.Exist)
+			}
+			parts = append(parts, d)
+			continue
+		}
+		parts = append(parts, jointGroupSum(tuples, idxs, attr, archive, opts, g))
+	}
+	return Sum(parts, opts.Strategy, opts.Agg)
+}
+
+// jointGroupSum resolves one correlated group by Monte Carlo over shared
+// base tuples.
+func jointGroupSum(tuples []*UTuple, idxs []int, attr string, archive *lineage.Archive[dist.Dist], opts FinalSumOptions, g *rng.RNG) dist.Dist {
+	// Collect the base ids each member references, and which are archived.
+	type member struct {
+		u        *UTuple
+		baseIDs  []uint64
+		resolved bool
+	}
+	members := make([]member, 0, len(idxs))
+	baseSet := map[uint64]dist.Dist{}
+	for _, i := range idxs {
+		u := tuples[i]
+		m := member{u: u}
+		if archive != nil {
+			ok := true
+			for _, id := range u.Lin.IDs() {
+				d, has := archive.Get(id)
+				if !has {
+					ok = false
+					break
+				}
+				baseSet[id] = d
+			}
+			if ok {
+				m.baseIDs = u.Lin.IDs()
+				m.resolved = true
+			}
+		}
+		members = append(members, m)
+	}
+
+	samples := make([]float64, opts.JointSamples)
+	baseDraw := make(map[uint64]float64, len(baseSet))
+	for s := range samples {
+		// One draw per base tuple per iteration, shared across members.
+		for id, d := range baseSet {
+			baseDraw[id] = d.Sample(g)
+		}
+		var total float64
+		for _, m := range members {
+			var v float64
+			if m.resolved {
+				for _, id := range m.baseIDs {
+					v += baseDraw[id]
+				}
+			} else {
+				v = m.u.Attr(attr).Sample(g)
+			}
+			if m.u.Exist < 1 && g.Float64() >= m.u.Exist {
+				v = 0
+			}
+			total += v
+		}
+		samples[s] = total
+	}
+	bins := opts.Agg.withDefaults().OutBins
+	return histFromSamples(samples, bins)
+}
+
+// DeliverMode selects the final result representation (§3: output tuples can
+// carry full distributions, confidence regions, or summary statistics).
+type DeliverMode int
+
+// Delivery modes.
+const (
+	DeliverFull DeliverMode = iota
+	DeliverConfidence
+	DeliverMeanVar
+	DeliverBounds
+)
+
+// Delivered is the application-facing result form.
+type Delivered struct {
+	Mode DeliverMode
+	// Full is set for DeliverFull.
+	Full dist.Dist
+	// Region is set for DeliverConfidence.
+	Region dist.Interval
+	Level  float64
+	// Mean/Variance for DeliverMeanVar; Lo/Hi for DeliverBounds.
+	Mean, Variance float64
+	Lo, Hi         float64
+}
+
+// Deliver converts a result distribution to the requested form.
+func Deliver(d dist.Dist, mode DeliverMode, level float64) Delivered {
+	switch mode {
+	case DeliverConfidence:
+		if level <= 0 || level >= 1 {
+			level = 0.95
+		}
+		return Delivered{Mode: mode, Region: dist.ConfidenceInterval(d, level), Level: level}
+	case DeliverMeanVar:
+		return Delivered{Mode: mode, Mean: d.Mean(), Variance: d.Variance()}
+	case DeliverBounds:
+		lo, hi := d.Support()
+		if math.IsInf(lo, -1) {
+			lo = d.Quantile(1e-6)
+		}
+		if math.IsInf(hi, 1) {
+			hi = d.Quantile(1 - 1e-6)
+		}
+		return Delivered{Mode: mode, Lo: lo, Hi: hi}
+	default:
+		return Delivered{Mode: DeliverFull, Full: d}
+	}
+}

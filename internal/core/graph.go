@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/stream"
+)
+
+// The adapters below run uncertain tuples through the box-arrow engine of
+// internal/stream (Figure 2's architecture): each stream.Tuple carries one
+// *UTuple in a single field, so the generic engine (windows, joins, graph
+// wiring, channel execution) moves uncertain tuples without knowing about
+// distributions, and the uncertainty-aware logic lives in these operator
+// shims.
+
+// utupleSchema is the single-field schema carrying uncertain tuples.
+var utupleSchema = stream.NewSchema("u")
+
+// Wrap lifts an uncertain tuple into a stream tuple.
+func Wrap(u *UTuple) *stream.Tuple {
+	t := stream.NewTuple(utupleSchema, u.TS, u)
+	t.ID = u.ID
+	return t
+}
+
+// Unwrap extracts the uncertain tuple (panics on foreign tuples — wiring
+// errors should fail loudly during pipeline construction, not corrupt
+// results silently).
+func Unwrap(t *stream.Tuple) *UTuple {
+	u, ok := t.Get("u").(*UTuple)
+	if !ok {
+		panic("core: stream tuple does not carry a UTuple")
+	}
+	return u
+}
+
+// NewSelectOp builds a stream operator applying an uncertain selection
+// (e.g. a closure over SelectGreater) to each tuple; nil results are
+// dropped.
+func NewSelectOp(name string, sel func(*UTuple) *UTuple) stream.Operator {
+	return stream.NewSelect(name, func(t *stream.Tuple) *stream.Tuple {
+		out := sel(Unwrap(t))
+		if out == nil {
+			return nil
+		}
+		return Wrap(out)
+	})
+}
+
+// NewSumOp builds a windowed aggregation box: tumbling windows per spec,
+// summing the named uncertain attribute with the given strategy. Each
+// window emits one derived tuple carrying the full result distribution.
+func NewSumOp(name string, spec stream.WindowSpec, attr string, strat Strategy, opts AggOptions) stream.Operator {
+	return stream.NewWindow(name, spec, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+		if len(window) == 0 {
+			return
+		}
+		us := make([]*UTuple, len(window))
+		for i, t := range window {
+			us[i] = Unwrap(t)
+		}
+		result := SumTuples(us, attr, strat, opts)
+		result.TS = end
+		emit(Wrap(result))
+	})
+}
+
+// NewGroupSumOp builds the probabilistic GROUP BY box (Q1's shape) on the
+// stream engine: windows per spec, membership-weighted group sums, one
+// output tuple per group with the group name attached as an attribute tag.
+func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Membership, strat Strategy, opts AggOptions) stream.Operator {
+	return stream.NewWindow(name, spec, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+		if len(window) == 0 {
+			return
+		}
+		us := make([]*UTuple, len(window))
+		for i, t := range window {
+			us[i] = Unwrap(t)
+		}
+		for _, res := range GroupSum(us, attr, member, strat, opts) {
+			out := res.Tuple
+			out.TS = end
+			wrapped := Wrap(out)
+			// The group key rides in a parallel schema extension so sinks
+			// can read it without casting.
+			grouped := wrapped.WithFields(groupedSchema, out, res.Group)
+			emit(grouped)
+		}
+	})
+}
+
+// groupedSchema extends the carrier schema with the group key.
+var groupedSchema = stream.NewSchema("u", "group")
+
+// GroupOf reads the group key from a NewGroupSumOp output tuple.
+func GroupOf(t *stream.Tuple) string { return t.Str("group") }
+
+// NewJoinOp builds a probabilistic co-location join box over the stream
+// engine's symmetric window join: tuples from port 0 (left) and port 1
+// (right) match when their JoinProb clears minProb.
+func NewJoinOp(name string, rangeMS stream.Time, locAttrs []string, tol, minProb float64) stream.Operator {
+	return stream.NewJoin(name, rangeMS,
+		func(l, r *stream.Tuple) bool { return true }, // probability decided in the emitter
+		func(l, r *stream.Tuple) *stream.Tuple {
+			out := JoinProb(Unwrap(l), Unwrap(r), locAttrs, tol, minProb)
+			if out == nil {
+				return nil
+			}
+			return Wrap(out)
+		})
+}

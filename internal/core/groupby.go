@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// Membership assigns a tuple to candidate groups with probabilities — the
+// uncertain GROUP BY of Q1, where an object's square-foot area is a function
+// of its *uncertain* location, so the object belongs to each nearby cell
+// with some probability.
+type Membership func(u *UTuple) []GroupMass
+
+// GroupMass is one candidate group and the probability of membership.
+type GroupMass struct {
+	Group string
+	P     float64
+}
+
+// GroupResult is one group's aggregate with its full result distribution.
+type GroupResult struct {
+	Group string
+	TS    stream.Time
+	// Dist is the distribution of the group aggregate (e.g. total weight).
+	Dist dist.Dist
+	// Tuple is the derived uncertain tuple (lineage = contributing inputs).
+	Tuple *UTuple
+}
+
+// GroupSum computes, per group, the distribution of the sum of the named
+// attribute over the tuples probabilistically assigned to it. Each tuple's
+// contribution to a group is Bernoulli-gated by its membership probability
+// (times tuple existence); the gated contributions have closed-form CFs
+// ((1−p) + p·φ(t)), so every aggregation Strategy applies unchanged. Groups
+// are returned in name order.
+//
+// This is Q1's inner shape: Group By area, Sum(weight), where area comes
+// from the uncertain (x, y, z) location.
+func GroupSum(tuples []*UTuple, attr string, member Membership, strat Strategy, opts AggOptions) []GroupResult {
+	type contrib struct {
+		d dist.Dist
+		u *UTuple
+	}
+	groups := make(map[string][]contrib)
+	for _, u := range tuples {
+		for _, gm := range member(u) {
+			p := gm.P * u.Exist
+			if p <= 0 {
+				continue
+			}
+			groups[gm.Group] = append(groups[gm.Group], contrib{
+				d: BernoulliGate(u.Attr(attr), p),
+				u: u,
+			})
+		}
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	out := make([]GroupResult, 0, len(names))
+	for _, g := range names {
+		cs := groups[g]
+		ds := make([]dist.Dist, len(cs))
+		parents := make([]*UTuple, len(cs))
+		var ts stream.Time
+		for i, c := range cs {
+			ds[i] = c.d
+			parents[i] = c.u
+			if c.u.TS > ts {
+				ts = c.u.TS
+			}
+		}
+		sum := Sum(ds, strat, opts)
+		tup := Derive(ts, []string{attr}, []dist.Dist{sum}, parents...)
+		tup.Exist = 1
+		tup.SetAttr("group", dist.PointMass{V: 0}) // marker; group name in result
+		out = append(out, GroupResult{Group: g, TS: ts, Dist: sum, Tuple: tup})
+	}
+	return out
+}
+
+// Having filters group results by P(aggregate > threshold) >= minProb,
+// annotating each surviving result with that probability. This is Q1's
+// "Having sum(R2.weight) > 200 pounds" with a confidence semantics: the
+// alert reports how certain the violation is instead of silently guessing.
+type HavingResult struct {
+	GroupResult
+	// PAbove is P(aggregate > threshold).
+	PAbove float64
+}
+
+// HavingGreater applies the Having clause.
+func HavingGreater(results []GroupResult, threshold, minProb float64) []HavingResult {
+	var out []HavingResult
+	for _, r := range results {
+		p := 1 - r.Dist.CDF(threshold)
+		if p >= minProb {
+			out = append(out, HavingResult{GroupResult: r, PAbove: p})
+		}
+	}
+	return out
+}

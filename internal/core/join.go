@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/mathx"
+)
+
+// EqualProb computes P(|X − Y| <= tol) for independent uncertain attributes
+// — the probabilistic semantics of Q2's loc_equals predicate over continuous
+// random variables, where exact equality has probability zero and a spatial
+// tolerance defines co-location:
+//
+//	P = ∫ f_X(x) · (F_Y(x+tol) − F_Y(x−tol)) dx.
+//
+// The integral is evaluated by adaptive quadrature over X's effective
+// support — a single integral, in the spirit of §5.1.
+func EqualProb(x, y dist.Dist, tol float64) float64 {
+	if tol <= 0 {
+		return 0
+	}
+	// Point masses (certain attributes) have exact closed forms and defeat
+	// quadrature with their step CDFs — handle both orientations first.
+	if px, ok := x.(dist.PointMass); ok {
+		if py, ok2 := y.(dist.PointMass); ok2 {
+			if math.Abs(px.V-py.V) <= tol {
+				return 1
+			}
+			return 0
+		}
+		return y.CDF(px.V+tol) - y.CDF(px.V-tol)
+	}
+	if py, ok := y.(dist.PointMass); ok {
+		return x.CDF(py.V+tol) - x.CDF(py.V-tol)
+	}
+	lo, hi := x.Support()
+	if math.IsInf(lo, -1) {
+		lo = x.Quantile(1e-9)
+	}
+	if math.IsInf(hi, 1) {
+		hi = x.Quantile(1 - 1e-9)
+	}
+	p := mathx.Integrate(func(v float64) float64 {
+		return x.PDF(v) * (y.CDF(v+tol) - y.CDF(v-tol))
+	}, lo, hi, mathx.QuadOptions{AbsTol: 1e-8, RelTol: 1e-6})
+	return mathx.Clamp(p, 0, 1)
+}
+
+// LocEqualProb is the 2/3-D co-location probability for axis-independent
+// locations: the product of per-axis EqualProb values.
+func LocEqualProb(xs, ys []dist.Dist, tol float64) float64 {
+	if len(xs) != len(ys) {
+		panic("core: LocEqualProb dimension mismatch")
+	}
+	p := 1.0
+	for i := range xs {
+		p *= EqualProb(xs[i], ys[i], tol)
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// JoinProb joins two uncertain tuples on spatial co-location of the named
+// location attributes: the result tuple carries both sides' attributes
+// (right-side names prefixed when clashing), existence = P(l) · P(r) ·
+// P(co-located), and merged lineage. Returns nil when the match probability
+// falls below minProb.
+func JoinProb(l, r *UTuple, locAttrs []string, tol, minProb float64) *UTuple {
+	xs := make([]dist.Dist, len(locAttrs))
+	ys := make([]dist.Dist, len(locAttrs))
+	for i, a := range locAttrs {
+		xs[i] = l.Attr(a)
+		ys[i] = r.Attr(a)
+	}
+	match := LocEqualProb(xs, ys, tol)
+	exist := l.Exist * r.Exist * match
+	if exist < minProb {
+		return nil
+	}
+	names := append([]string(nil), l.Names()...)
+	attrs := make([]dist.Dist, len(names))
+	for i, n := range names {
+		attrs[i] = l.Attr(n)
+	}
+	ts := l.TS
+	if r.TS > ts {
+		ts = r.TS
+	}
+	out := Derive(ts, names, attrs, l, r)
+	for _, n := range r.Names() {
+		name := n
+		if out.HasAttr(name) {
+			name = "r_" + name
+		}
+		out.SetAttr(name, r.Attr(n))
+	}
+	out.Exist = exist
+	return out
+}

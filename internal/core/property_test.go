@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func TestSelectionInvariants(t *testing.T) {
+	// For any Gaussian attribute and threshold: existence in [0,1],
+	// truncated support above threshold, and P(exists) equals the
+	// original tail mass.
+	f := func(mu, sigmaRaw, thrRaw float64) bool {
+		if math.IsNaN(mu) || math.IsInf(mu, 0) {
+			return true
+		}
+		mu = math.Mod(mu, 50)
+		sigma := 0.1 + math.Abs(math.Mod(sigmaRaw, 10))
+		thr := mu + math.Mod(thrRaw, 3*sigma)
+		d := dist.NewNormal(mu, sigma)
+		u := NewUTuple(0, []string{"v"}, []dist.Dist{d})
+		sel := SelectGreater(u, "v", thr, 0)
+		if sel == nil {
+			return 1-d.CDF(thr) < 1e-12
+		}
+		if sel.Exist < 0 || sel.Exist > 1 {
+			return false
+		}
+		if math.Abs(sel.Exist-(1-d.CDF(thr))) > 1e-9 {
+			return false
+		}
+		lo, _ := sel.Attr("v").Support()
+		return lo >= thr-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectionLawOfTotalProbability(t *testing.T) {
+	// SelectGreater + SelectLess partition the mass: existences sum to 1
+	// and the mixture of the two conditionals reconstructs the original.
+	d := dist.NewNormal(10, 3)
+	u := NewUTuple(0, []string{"v"}, []dist.Dist{d})
+	hi := SelectGreater(u, "v", 10.7, 0)
+	lo := SelectLess(u, "v", 10.7, 0)
+	if math.Abs(hi.Exist+lo.Exist-1) > 1e-9 {
+		t.Fatalf("existences sum to %g", hi.Exist+lo.Exist)
+	}
+	recon := dist.NewMixture(
+		[]float64{lo.Exist, hi.Exist},
+		[]dist.Dist{lo.Attr("v"), hi.Attr("v")},
+	)
+	if vd := dist.VarianceDistance(recon, d, 4096); vd > 1e-3 {
+		t.Errorf("reconstruction distance = %g", vd)
+	}
+}
+
+func TestBernoulliGateCFConsistency(t *testing.T) {
+	// The gated distribution's CF must equal (1-p) + p·φ(t) exactly.
+	f := func(p float64, tv float64) bool {
+		if math.IsNaN(p) || math.IsNaN(tv) {
+			return true
+		}
+		p = math.Abs(math.Mod(p, 1))
+		tv = math.Mod(tv, 20)
+		d := dist.NewNormal(3, 2)
+		gated := BernoulliGate(d, p)
+		want := complex(1-p, 0) + complex(p, 0)*d.CF(tv)
+		got := gated.CF(tv)
+		return math.Abs(real(got-want)) < 1e-9 && math.Abs(imag(got-want)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumStrategiesMeanVarianceAgree(t *testing.T) {
+	// All strategies must agree on the first two moments (they disagree
+	// only in distributional shape).
+	g := rng.New(20)
+	ds := make([]dist.Dist, 30)
+	for i := range ds {
+		ds[i] = dist.NewGaussianMixture(
+			[]float64{0.5, 0.5},
+			[]float64{g.Uniform(-5, 5), g.Uniform(-5, 5)},
+			[]float64{0.5 + g.Float64(), 0.5 + g.Float64()},
+		)
+	}
+	var wantMu, wantVar float64
+	for _, d := range ds {
+		wantMu += d.Mean()
+		wantVar += d.Variance()
+	}
+	for _, strat := range []Strategy{CFInvert, CFApprox, CLT} {
+		got := Sum(ds, strat, AggOptions{})
+		if math.Abs(got.Mean()-wantMu) > 0.02*(1+math.Abs(wantMu)) {
+			t.Errorf("%v mean %g want %g", strat, got.Mean(), wantMu)
+		}
+		if math.Abs(got.Variance()-wantVar) > 0.03*wantVar {
+			t.Errorf("%v var %g want %g", strat, got.Variance(), wantVar)
+		}
+	}
+	// Sampling strategies: looser tolerance.
+	for _, strat := range []Strategy{HistogramSampling, MonteCarlo} {
+		got := Sum(ds, strat, AggOptions{Seed: 21, Samples: 4000})
+		if math.Abs(got.Mean()-wantMu) > 0.05*(1+math.Abs(wantMu)) {
+			t.Errorf("%v mean %g want %g", strat, got.Mean(), wantMu)
+		}
+	}
+}
+
+func TestGroupSumMassConservation(t *testing.T) {
+	// Membership probabilities per tuple sum to <= 1; the expected total
+	// across groups must equal sum_i P_i(all groups) * E[w_i].
+	g := rng.New(22)
+	var tuples []*UTuple
+	wantTotal := 0.0
+	for i := 0; i < 10; i++ {
+		w := 5 + 10*g.Float64()
+		tuples = append(tuples, NewUTuple(0, []string{"x", "weight"}, []dist.Dist{
+			dist.NewNormal(g.Uniform(0, 10), 1),
+			dist.PointMass{V: w},
+		}))
+		wantTotal += w // memberships below always sum to 1
+	}
+	member := func(u *UTuple) []GroupMass {
+		x := u.Attr("x")
+		p := x.CDF(5)
+		return []GroupMass{{Group: "lo", P: p}, {Group: "hi", P: 1 - p}}
+	}
+	var got float64
+	for _, r := range GroupSum(tuples, "weight", member, CFApprox, AggOptions{}) {
+		got += r.Dist.Mean()
+	}
+	if math.Abs(got-wantTotal) > 1e-6 {
+		t.Errorf("expected total %g, groups sum to %g", wantTotal, got)
+	}
+}
+
+func TestEqualProbSymmetry(t *testing.T) {
+	f := func(mu1, mu2 float64) bool {
+		if math.IsNaN(mu1) || math.IsNaN(mu2) {
+			return true
+		}
+		mu1 = math.Mod(mu1, 10)
+		mu2 = math.Mod(mu2, 10)
+		x := dist.NewNormal(mu1, 1)
+		y := dist.NewNormal(mu2, 2)
+		a := EqualProb(x, y, 1)
+		b := EqualProb(y, x, 1)
+		return math.Abs(a-b) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCondChainZeroCorrelationMatchesIndependence(t *testing.T) {
+	// With A=0 the chain variables are independent; exact and naive sums
+	// must coincide.
+	chain := &CondChain{Root: dist.NewNormal(1, 1)}
+	for i := 0; i < 5; i++ {
+		chain.Links = append(chain.Links, CondLink{A: 0, B: 2, S: 1})
+	}
+	exact := chain.SumDist()
+	naive := chain.SumAssumingIndependent()
+	if math.Abs(exact.Mu-naive.Mu) > 1e-9 || math.Abs(exact.Variance()-naive.Variance()) > 1e-9 {
+		t.Errorf("A=0: exact %v vs naive %v", exact, naive)
+	}
+}
+
+func TestNegativeCorrelationShrinksSumVariance(t *testing.T) {
+	chain := &CondChain{Root: dist.NewNormal(0, 1)}
+	for i := 0; i < 5; i++ {
+		chain.Links = append(chain.Links, CondLink{A: -0.8, B: 0, S: 0.6})
+	}
+	if chain.SumDist().Variance() >= chain.SumAssumingIndependent().Variance() {
+		t.Error("negative correlation must shrink the sum variance")
+	}
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/rfid"
+	"repro/internal/stream"
+)
+
+// LocationUTuple lifts an RFID T-operator output into an uncertain tuple
+// with attributes x, y, z and the registered (certain) weight — the inner
+// Select-From of Q1, which "simply adds two attributes to each tuple".
+func LocationUTuple(lt rfid.LocationTuple, w *rfid.Warehouse) *UTuple {
+	u := NewUTuple(lt.T,
+		[]string{"x", "y", "z", "weight"},
+		[]dist.Dist{lt.X, lt.Y, lt.Z, dist.PointMass{V: w.Weight(lt.TagID)}})
+	u.SetAttr("tag", dist.PointMass{V: float64(lt.TagID)})
+	return u
+}
+
+// Q1Config parameterizes the fire-code query of §2.1.
+type Q1Config struct {
+	// WindowMS is the Range window (paper: 5 seconds).
+	WindowMS stream.Time
+	// ThresholdLbs is the Having threshold (paper: 200 pounds).
+	ThresholdLbs float64
+	// MinAreaMass prunes negligible area memberships (default 0.01).
+	MinAreaMass float64
+	// MinAlertProb is the confidence floor for reporting (default 0.5).
+	MinAlertProb float64
+	// AreaFt is the grouping cell size in feet (paper: per square foot;
+	// larger cells make demos readable — default 1).
+	AreaFt float64
+	// Strategy/Agg select the aggregation algorithm.
+	Strategy Strategy
+	Agg      AggOptions
+}
+
+func (c Q1Config) withDefaults() Q1Config {
+	if c.WindowMS <= 0 {
+		c.WindowMS = 5 * stream.Second
+	}
+	if c.ThresholdLbs <= 0 {
+		c.ThresholdLbs = 200
+	}
+	if c.MinAreaMass <= 0 {
+		c.MinAreaMass = 0.01
+	}
+	if c.MinAlertProb <= 0 {
+		c.MinAlertProb = 0.5
+	}
+	if c.AreaFt <= 0 {
+		c.AreaFt = 1
+	}
+	return c
+}
+
+// Q1Alert is one reported fire-code violation with quantified uncertainty.
+type Q1Alert struct {
+	TS    stream.Time
+	Area  string
+	Total dist.Dist
+	// PViolation is P(total weight > threshold).
+	PViolation float64
+}
+
+// RunQ1 evaluates Q1 over a location-tuple stream: tumbling windows of
+// WindowMS, probabilistic GROUP BY area, SUM(weight) with full result
+// distributions, and a confidence-annotated HAVING.
+func RunQ1(lts []rfid.LocationTuple, w *rfid.Warehouse, cfg Q1Config) []Q1Alert {
+	cfg = cfg.withDefaults()
+	member := func(u *UTuple) []GroupMass {
+		x := scaleAxis(u.Attr("x"), cfg.AreaFt)
+		y := scaleAxis(u.Attr("y"), cfg.AreaFt)
+		ms := rfid.AreaMasses(x, y, cfg.MinAreaMass)
+		out := make([]GroupMass, len(ms))
+		for i, m := range ms {
+			out[i] = GroupMass{Group: m.Area, P: m.P}
+		}
+		return out
+	}
+
+	var alerts []Q1Alert
+	var window []*UTuple
+	var winStart stream.Time
+	started := false
+	flush := func(end stream.Time) {
+		if len(window) == 0 {
+			return
+		}
+		// One contribution per object per window: the reader reports a tag
+		// many times in 5 s; the latest location tuple supersedes earlier
+		// ones (its posterior has seen strictly more evidence).
+		latest := make(map[float64]*UTuple, len(window))
+		for _, u := range window {
+			tag := u.Mean("tag")
+			if cur, ok := latest[tag]; !ok || u.TS >= cur.TS {
+				latest[tag] = u
+			}
+		}
+		dedup := make([]*UTuple, 0, len(latest))
+		for _, u := range window { // preserve arrival order for determinism
+			if latest[u.Mean("tag")] == u {
+				dedup = append(dedup, u)
+			}
+		}
+		results := GroupSum(dedup, "weight", member, cfg.Strategy, cfg.Agg)
+		for _, h := range HavingGreater(results, cfg.ThresholdLbs, cfg.MinAlertProb) {
+			alerts = append(alerts, Q1Alert{TS: end, Area: h.Group, Total: h.Dist, PViolation: h.PAbove})
+		}
+		window = window[:0]
+	}
+	for _, lt := range lts {
+		if !started {
+			started = true
+			winStart = lt.T
+		}
+		for lt.T >= winStart+cfg.WindowMS {
+			flush(winStart + cfg.WindowMS)
+			winStart += cfg.WindowMS
+		}
+		window = append(window, LocationUTuple(lt, w))
+	}
+	if started {
+		flush(winStart + cfg.WindowMS)
+	}
+	return alerts
+}
+
+// scaleAxis rescales a location axis into grouping-cell units.
+func scaleAxis(d dist.Dist, cellFt float64) dist.Dist {
+	if cellFt == 1 {
+		return d
+	}
+	switch v := d.(type) {
+	case dist.Normal:
+		return v.ScaleShift(1/cellFt, 0)
+	case dist.PointMass:
+		return dist.PointMass{V: v.V / cellFt}
+	case *dist.Mixture:
+		comps := make([]dist.Dist, len(v.Components))
+		for i, c := range v.Components {
+			comps[i] = scaleAxis(c, cellFt)
+		}
+		return dist.NewMixture(append([]float64(nil), v.Weights...), comps)
+	default:
+		// Conservative fallback: Gaussian with scaled moments.
+		return dist.NewNormal(d.Mean()/cellFt, maxf(stdOf(d)/cellFt, 1e-9))
+	}
+}
+
+func stdOf(d dist.Dist) float64 { return dist.Std(d) }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TempReading is one tuple of Q2's temperature stream: (time, (x, y, z),
+// temp^p) — the sensor location is known, the reading uncertain.
+type TempReading struct {
+	TS      stream.Time
+	X, Y, Z float64
+	Temp    dist.Dist
+}
+
+// Q2Config parameterizes the flammable-object alert query of §2.1.
+type Q2Config struct {
+	// RangeMS is each side's join window (paper: 3 seconds).
+	RangeMS stream.Time
+	// TempThreshold in °C (paper: 60).
+	TempThreshold float64
+	// LocTolFt is the co-location tolerance defining loc_equals.
+	LocTolFt float64
+	// MinProb drops alerts with existence below this.
+	MinProb float64
+}
+
+func (c Q2Config) withDefaults() Q2Config {
+	if c.RangeMS <= 0 {
+		c.RangeMS = 3 * stream.Second
+	}
+	if c.TempThreshold == 0 {
+		c.TempThreshold = 60
+	}
+	if c.LocTolFt <= 0 {
+		c.LocTolFt = 3
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.05
+	}
+	return c
+}
+
+// Q2Alert is one flammable-object/high-temperature co-location alert.
+type Q2Alert struct {
+	TS    stream.Time
+	TagID int64
+	// P is the alert probability: P(flammable tuple exists) × P(temp > θ)
+	// × P(co-located).
+	P float64
+	// Temp is the conditional temperature distribution given temp > θ.
+	Temp dist.Dist
+	// X, Y are the object's location distributions.
+	X, Y dist.Dist
+}
+
+// RunQ2 evaluates Q2: select flammable objects from the location stream,
+// select hot readings from the temperature stream, and window-join them on
+// probabilistic co-location.
+func RunQ2(lts []rfid.LocationTuple, temps []TempReading, w *rfid.Warehouse, cfg Q2Config) []Q2Alert {
+	cfg = cfg.withDefaults()
+	// Certain predicate: object_type(tag) = 'flammable'.
+	var flam []*UTuple
+	for _, lt := range lts {
+		if w.ObjectType(lt.TagID) != "flammable" {
+			continue
+		}
+		flam = append(flam, LocationUTuple(lt, w))
+	}
+	// Uncertain predicate: temp > threshold, keeping truncated conditionals.
+	var hot []*UTuple
+	for _, tr := range temps {
+		u := NewUTuple(tr.TS,
+			[]string{"x", "y", "temp"},
+			[]dist.Dist{dist.PointMass{V: tr.X}, dist.PointMass{V: tr.Y}, tr.Temp})
+		if sel := SelectGreater(u, "temp", cfg.TempThreshold, cfg.MinProb); sel != nil {
+			hot = append(hot, sel)
+		}
+	}
+	sort.Slice(flam, func(i, j int) bool { return flam[i].TS < flam[j].TS })
+	sort.Slice(hot, func(i, j int) bool { return hot[i].TS < hot[j].TS })
+
+	var alerts []Q2Alert
+	j0 := 0
+	for _, f := range flam {
+		// Advance the temperature window.
+		for j0 < len(hot) && hot[j0].TS < f.TS-cfg.RangeMS {
+			j0++
+		}
+		for j := j0; j < len(hot) && hot[j].TS <= f.TS+cfg.RangeMS; j++ {
+			res := JoinProb(f, hot[j], []string{"x", "y"}, cfg.LocTolFt, cfg.MinProb)
+			if res == nil {
+				continue
+			}
+			alerts = append(alerts, Q2Alert{
+				TS:    res.TS,
+				TagID: int64(f.Mean("tag")),
+				P:     res.Exist,
+				Temp:  hot[j].Attr("temp"),
+				X:     f.Attr("x"),
+				Y:     f.Attr("y"),
+			})
+		}
+	}
+	return alerts
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"repro/internal/dist"
+)
+
+// SelectGreater applies the uncertain predicate attr > threshold: the
+// surviving tuple's existence is scaled by P(attr > threshold) and the
+// attribute is replaced by its truncated conditional distribution (§5: the
+// full conditional is kept so downstream result distributions stay exact,
+// e.g. Q2's "T.temp > 60 ℃"). Tuples whose survival probability falls below
+// minProb are dropped (nil).
+func SelectGreater(u *UTuple, attr string, threshold, minProb float64) *UTuple {
+	d := u.Attr(attr)
+	p := 1 - d.CDF(threshold)
+	if p*u.Exist < minProb {
+		return nil
+	}
+	out := u.Clone()
+	out.Exist = u.Exist * p
+	if p < 1 {
+		_, hi := d.Support()
+		if hi > threshold {
+			out.SetAttr(attr, dist.NewTruncated(d, threshold, hi))
+		}
+	}
+	return out
+}
+
+// SelectLess applies attr < threshold symmetrically.
+func SelectLess(u *UTuple, attr string, threshold, minProb float64) *UTuple {
+	d := u.Attr(attr)
+	p := d.CDF(threshold)
+	if p*u.Exist < minProb {
+		return nil
+	}
+	out := u.Clone()
+	out.Exist = u.Exist * p
+	if p < 1 {
+		lo, _ := d.Support()
+		if lo < threshold {
+			out.SetAttr(attr, dist.NewTruncated(d, lo, threshold))
+		}
+	}
+	return out
+}
+
+// SelectBetween applies lo < attr <= hi.
+func SelectBetween(u *UTuple, attr string, lo, hi, minProb float64) *UTuple {
+	d := u.Attr(attr)
+	p := dist.ProbBetween(d, lo, hi)
+	if p*u.Exist < minProb {
+		return nil
+	}
+	out := u.Clone()
+	out.Exist = u.Exist * p
+	if p < 1 {
+		out.SetAttr(attr, dist.NewTruncated(d, lo, hi))
+	}
+	return out
+}
+
+// PredicateProb returns P(attr > threshold) without modifying the tuple —
+// for callers that only need the alert confidence (the Having clause of Q1
+// reports P(sum > 200 lbs) rather than filtering hard).
+func PredicateProb(u *UTuple, attr string, threshold float64) float64 {
+	return (1 - u.Attr(attr).CDF(threshold)) * u.Exist
+}

@@ -1,0 +1,197 @@
+// Package detect implements the tornado detection stage of the CASA
+// pipeline (§2.2): a gate-to-gate azimuthal velocity-couplet (tornado vortex
+// signature) detector over moment data, plus truth scoring used to compute
+// Table 1's "Num. of Reported Tornados" and "False Negatives" columns.
+package detect
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/radar"
+)
+
+// Detection is one reported tornado signature.
+type Detection struct {
+	X, Y      float64 // Cartesian location, m
+	PeakShear float64 // m/s across the couplet
+	RangeM    float64
+}
+
+// Config tunes the detector.
+type Config struct {
+	// ShearThreshold is the minimum azimuthal velocity difference (m/s)
+	// within the neighborhood to flag a couplet (default 30).
+	ShearThreshold float64
+	// NeighborhoodDeg is the azimuthal half-window over which max-min
+	// velocity is computed per range ring; it widens automatically to
+	// include at least adjacent cells at coarse averaging (default 1.2°).
+	NeighborhoodDeg float64
+	// MinReflectivity requires storm context (dBZ, default 25): couplets in
+	// clear air are rejected.
+	MinReflectivity float64
+	// ClusterRadiusM merges nearby flagged cells into one detection
+	// (default 1500 m).
+	ClusterRadiusM float64
+	// MinGateM ignores near-field clutter (default 1000 m).
+	MinGateM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ShearThreshold <= 0 {
+		c.ShearThreshold = 30
+	}
+	if c.NeighborhoodDeg <= 0 {
+		c.NeighborhoodDeg = 1.2
+	}
+	if c.MinReflectivity == 0 {
+		c.MinReflectivity = 25
+	}
+	if c.ClusterRadiusM <= 0 {
+		c.ClusterRadiusM = 1500
+	}
+	if c.MinGateM <= 0 {
+		c.MinGateM = 1000
+	}
+	return c
+}
+
+// Result bundles detections with the measured detection cost (Table 1's
+// running-time column).
+type Result struct {
+	Detections []Detection
+	Elapsed    time.Duration
+	CellsSeen  int
+}
+
+// Detect scans one moment scan for tornado vortex signatures.
+func Detect(scan *radar.MomentScan, cfg Config) Result {
+	start := time.Now()
+	cfg = cfg.withDefaults()
+	site := scan.Site
+	nAz := len(scan.Cells)
+	res := Result{}
+	if nAz == 0 {
+		res.Elapsed = time.Since(start)
+		return res
+	}
+	cellWidthDeg := scan.CellWidthDeg()
+	// The max-min window must span at least the immediate neighbors even
+	// when one cell is wider than the nominal neighborhood.
+	nbhdCells := int(math.Ceil(cfg.NeighborhoodDeg / math.Max(cellWidthDeg, 1e-9)))
+	if nbhdCells < 1 {
+		nbhdCells = 1
+	}
+
+	type flagged struct {
+		x, y, shear, rangeM float64
+	}
+	var hits []flagged
+	gates := len(scan.Cells[0])
+	for gate := 0; gate < gates; gate++ {
+		rangeM := scan.Cells[0][gate].RangeM
+		if rangeM < cfg.MinGateM {
+			continue
+		}
+		for az := 0; az < nAz; az++ {
+			res.CellsSeen++
+			c := scan.Cells[az][gate]
+			if c.Z < cfg.MinReflectivity {
+				continue
+			}
+			lo := az - nbhdCells
+			if lo < 0 {
+				lo = 0
+			}
+			hi := az + nbhdCells
+			if hi >= nAz {
+				hi = nAz - 1
+			}
+			vMin, vMax := math.Inf(1), math.Inf(-1)
+			for k := lo; k <= hi; k++ {
+				v := scan.Cells[k][gate].V
+				if v < vMin {
+					vMin = v
+				}
+				if v > vMax {
+					vMax = v
+				}
+			}
+			shear := vMax - vMin
+			if shear >= cfg.ShearThreshold {
+				x, y := radar.PolarToCartesian(site, c.AzRad, c.RangeM)
+				hits = append(hits, flagged{x: x, y: y, shear: shear, rangeM: rangeM})
+			}
+		}
+	}
+
+	// Greedy clustering: strongest hit seeds a cluster absorbing everything
+	// within the radius.
+	sort.Slice(hits, func(i, j int) bool { return hits[i].shear > hits[j].shear })
+	used := make([]bool, len(hits))
+	for i, h := range hits {
+		if used[i] {
+			continue
+		}
+		var sx, sy, sw float64
+		for j := i; j < len(hits); j++ {
+			if used[j] {
+				continue
+			}
+			dx, dy := hits[j].x-h.x, hits[j].y-h.y
+			if dx*dx+dy*dy <= cfg.ClusterRadiusM*cfg.ClusterRadiusM {
+				used[j] = true
+				sx += hits[j].shear * hits[j].x
+				sy += hits[j].shear * hits[j].y
+				sw += hits[j].shear
+			}
+		}
+		res.Detections = append(res.Detections, Detection{
+			X:         sx / sw,
+			Y:         sy / sw,
+			PeakShear: h.shear,
+			RangeM:    h.rangeM,
+		})
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Score compares detections against the true vortices active at scan time.
+// A vortex is matched if any detection falls within tolM of its center; each
+// detection matches at most one vortex. Unmatched detections are false
+// positives; unmatched vortices are false negatives (Table 1's column 5).
+func Score(dets []Detection, vortices []radar.Vortex, t, tolM float64) (matched, falseNeg, falsePos int) {
+	if tolM <= 0 {
+		tolM = 1500
+	}
+	usedDet := make([]bool, len(dets))
+	for _, v := range vortices {
+		cx, cy := v.CenterAt(t)
+		bestD := math.Inf(1)
+		bestI := -1
+		for i, d := range dets {
+			if usedDet[i] {
+				continue
+			}
+			dd := math.Hypot(d.X-cx, d.Y-cy)
+			if dd < bestD {
+				bestD = dd
+				bestI = i
+			}
+		}
+		if bestI >= 0 && bestD <= tolM {
+			usedDet[bestI] = true
+			matched++
+		} else {
+			falseNeg++
+		}
+	}
+	for _, u := range usedDet {
+		if !u {
+			falsePos++
+		}
+	}
+	return matched, falseNeg, falsePos
+}

@@ -1,0 +1,128 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/radar"
+)
+
+// vortexScene builds a single-vortex atmosphere and a site whose sector
+// covers it.
+func vortexScene(rangeM float64) (*radar.Atmosphere, radar.Site, radar.Vortex) {
+	// Vortex due north-east at the given range, azimuth 45°.
+	vx := radar.Vortex{
+		X:          rangeM * math.Cos(math.Pi/4),
+		Y:          rangeM * math.Sin(math.Pi/4),
+		CoreRadius: 120,
+		Vmax:       50,
+	}
+	a := &radar.Atmosphere{WindU: 5, WindV: 2, Vortices: []radar.Vortex{vx}}
+	site := radar.Site{SectorStartDeg: 30, SectorWidthDeg: 30}
+	return a, site, vx
+}
+
+func TestDetectResolvedVortex(t *testing.T) {
+	a, site, vx := vortexScene(12000)
+	scan := radar.GenerateMomentScan(a, site, radar.NoiseConfig{Seed: 1}, 0, radar.AveragerConfig{AvgN: 40})
+	res := Detect(scan, Config{})
+	if len(res.Detections) == 0 {
+		t.Fatal("fine averaging failed to detect a resolved vortex")
+	}
+	matched, fn, _ := Score(res.Detections, []radar.Vortex{vx}, 0, 1500)
+	if matched != 1 || fn != 0 {
+		t.Errorf("matched=%d fn=%d", matched, fn)
+	}
+	// Location accuracy: within a beamwidth-scale tolerance.
+	d := res.Detections[0]
+	if math.Hypot(d.X-vx.X, d.Y-vx.Y) > 1500 {
+		t.Errorf("detection at (%g,%g), vortex at (%g,%g)", d.X, d.Y, vx.X, vx.Y)
+	}
+	if res.Elapsed <= 0 || res.CellsSeen == 0 {
+		t.Error("result metadata missing")
+	}
+}
+
+func TestDetectSmearedVortexMissed(t *testing.T) {
+	// The Table 1 mechanism: at AvgN=1000 each cell spans 9.5° of azimuth,
+	// an order of magnitude wider than the ~1.1° couplet — the couplet
+	// averages away and detection must fail.
+	a, site, vx := vortexScene(12000)
+	scan := radar.GenerateMomentScan(a, site, radar.NoiseConfig{Seed: 2}, 0, radar.AveragerConfig{AvgN: 1000})
+	res := Detect(scan, Config{})
+	matched, fn, _ := Score(res.Detections, []radar.Vortex{vx}, 0, 1500)
+	if matched != 0 || fn != 1 {
+		t.Errorf("smeared vortex: matched=%d fn=%d dets=%v", matched, fn, res.Detections)
+	}
+}
+
+func TestDetectNoFalsePositivesInCleanAir(t *testing.T) {
+	a := &radar.Atmosphere{WindU: 15, WindV: -5} // strong but uniform wind
+	site := radar.Site{SectorStartDeg: 30, SectorWidthDeg: 30}
+	scan := radar.GenerateMomentScan(a, site, radar.NoiseConfig{Seed: 3}, 0, radar.AveragerConfig{AvgN: 40})
+	res := Detect(scan, Config{})
+	if len(res.Detections) != 0 {
+		t.Errorf("false positives in uniform wind: %v", res.Detections)
+	}
+}
+
+func TestDetectRequiresStormContext(t *testing.T) {
+	// With MinReflectivity raised above the storm peak, even a resolved
+	// vortex is rejected (couplets need storm context).
+	a, site, vx := vortexScene(12000)
+	scan := radar.GenerateMomentScan(a, site, radar.NoiseConfig{Seed: 4}, 0, radar.AveragerConfig{AvgN: 40})
+	res := Detect(scan, Config{MinReflectivity: 90})
+	matched, _, _ := Score(res.Detections, []radar.Vortex{vx}, 0, 1500)
+	if matched != 0 {
+		t.Error("reflectivity gate not applied")
+	}
+}
+
+func TestScoreFalsePositives(t *testing.T) {
+	dets := []Detection{{X: 0, Y: 0}, {X: 50000, Y: 50000}}
+	vx := []radar.Vortex{{X: 100, Y: 100}}
+	matched, fn, fp := Score(dets, vx, 0, 1500)
+	if matched != 1 || fn != 0 || fp != 1 {
+		t.Errorf("matched=%d fn=%d fp=%d", matched, fn, fp)
+	}
+}
+
+func TestScoreEachDetectionMatchesOnce(t *testing.T) {
+	// One detection cannot satisfy two vortices.
+	dets := []Detection{{X: 0, Y: 0}}
+	vs := []radar.Vortex{{X: 0, Y: 100}, {X: 100, Y: 0}}
+	matched, fn, fp := Score(dets, vs, 0, 1500)
+	if matched != 1 || fn != 1 || fp != 0 {
+		t.Errorf("matched=%d fn=%d fp=%d", matched, fn, fp)
+	}
+}
+
+func TestDetectEmptyScan(t *testing.T) {
+	scan := &radar.MomentScan{Site: radar.Site{}, AvgN: 40}
+	res := Detect(scan, Config{})
+	if len(res.Detections) != 0 {
+		t.Error("empty scan produced detections")
+	}
+}
+
+func TestDetectionDegradesMonotonically(t *testing.T) {
+	// Sweep averaging sizes on one vortex: once detection is lost at some
+	// size it must not reappear at a larger one (the resolution argument is
+	// monotone; noise could in principle flip one step, so we check the
+	// cumulative pattern).
+	a, site, vx := vortexScene(14000)
+	lost := false
+	for _, n := range []int{40, 100, 200, 500, 1000} {
+		scan := radar.GenerateMomentScan(a, site, radar.NoiseConfig{Seed: 5}, 0, radar.AveragerConfig{AvgN: n})
+		res := Detect(scan, Config{})
+		matched, _, _ := Score(res.Detections, []radar.Vortex{vx}, 0, 1500)
+		if matched == 0 {
+			lost = true
+		} else if lost {
+			t.Errorf("detection reappeared at AvgN=%d after being lost", n)
+		}
+	}
+	if !lost {
+		t.Error("vortex never lost even at AvgN=1000 — smearing model broken")
+	}
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"repro/internal/detect"
+	"repro/internal/radar"
+)
+
+// AdaptiveRow compares one averaging policy on the Table 1 scenario.
+type AdaptiveRow struct {
+	Policy   string
+	MomentMB float64
+	Reported float64
+	FalseNeg float64
+	// TxSec is the 4 Mbps link time per epoch.
+	TxSec float64
+}
+
+// RunAdaptive is the extension experiment the paper's §2.2 analysis asks
+// for ("the CASA system can decide dynamically to which data it can apply
+// aggressive averaging without affecting the result"): on the Table 1
+// scenario, compare fine-everywhere (AvgN=40), coarse-everywhere
+// (AvgN=1000), and the adaptive policy (fine in active regions, coarse in
+// quiet air).
+func RunAdaptive(scans int, seed int64) []AdaptiveRow {
+	if scans <= 0 {
+		scans = 4
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	atmos, site := CASAScenario()
+	dcfg := DefaultTable1Config().Detect
+
+	rows := []AdaptiveRow{
+		{Policy: "fine (40)"},
+		{Policy: "coarse (1000)"},
+		{Policy: "adaptive (40/1000)"},
+	}
+	for scan := 0; scan < scans; scan++ {
+		tStart := float64(scan) * 9.5
+		noise := radar.NoiseConfig{Seed: seed + int64(scan)}
+		fineAvg := radar.NewAverager(site, radar.AveragerConfig{AvgN: 40})
+		coarseAvg := radar.NewAverager(site, radar.AveragerConfig{AvgN: 1000})
+		site.ScanStream(atmos, noise, tStart, radar.Tee([]*radar.Averager{fineAvg, coarseAvg}))
+		fine := fineAvg.Finish(tStart)
+		coarse := coarseAvg.Finish(tStart)
+		adaptive := radar.AdaptiveAverage(fine, radar.AdaptiveConfig{FineN: 40, CoarseN: 1000})
+
+		score := func(ms *radar.MomentScan, row *AdaptiveRow, bytes int64) {
+			res := detect.Detect(ms, dcfg)
+			_, fn, _ := detect.Score(res.Detections, atmos.Vortices, tStart, 1500)
+			row.Reported += float64(len(res.Detections))
+			row.FalseNeg += float64(fn)
+			row.MomentMB += float64(bytes) / 1e6
+		}
+		score(fine, &rows[0], fine.Bytes())
+		score(coarse, &rows[1], coarse.Bytes())
+		score(adaptive.AsMomentScan(tStart), &rows[2], adaptive.Bytes())
+	}
+	for i := range rows {
+		rows[i].Reported /= float64(scans)
+		rows[i].FalseNeg /= float64(scans)
+		rows[i].TxSec = radar.TransmissionSeconds(int64(rows[i].MomentMB*1e6), 4)
+	}
+	return rows
+}

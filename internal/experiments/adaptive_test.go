@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestRunAdaptivePolicyDominance(t *testing.T) {
+	rows := RunAdaptive(2, 42)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	fine, coarse, adaptive := rows[0], rows[1], rows[2]
+	// Detection: adaptive must match fine and beat coarse.
+	if adaptive.Reported < fine.Reported {
+		t.Errorf("adaptive reported %g < fine %g", adaptive.Reported, fine.Reported)
+	}
+	if coarse.Reported > 0 {
+		t.Errorf("coarse should detect nothing, got %g", coarse.Reported)
+	}
+	// Volume: strictly between coarse and fine, and a real saving.
+	if !(coarse.MomentMB < adaptive.MomentMB && adaptive.MomentMB < fine.MomentMB) {
+		t.Errorf("volume ordering wrong: %g / %g / %g",
+			coarse.MomentMB, adaptive.MomentMB, fine.MomentMB)
+	}
+	if adaptive.MomentMB > 0.8*fine.MomentMB {
+		t.Errorf("adaptive saves only %.0f%%", 100*(1-adaptive.MomentMB/fine.MomentMB))
+	}
+}

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/rfid"
+)
+
+// Figure3Config parameterizes the inference accuracy/cost sweep of §4.2.
+type Figure3Config struct {
+	// ObjectCounts is the x axis (paper: 100..20,000, log scale).
+	ObjectCounts []int
+	// ParticleCounts are the series (paper: 50, 100, 200).
+	ParticleCounts []int
+	// Events is the trace length per point; 0 sizes the trace to Sweeps
+	// full serpentine passes over the floor (the floor area grows with the
+	// object count, so a fixed event count would leave large warehouses
+	// unobserved and conflate coverage with inference error).
+	Events int
+	// Sweeps is the number of full floor passes when Events == 0
+	// (default 2).
+	Sweeps int
+	// MaxEvents caps the auto-sized trace (default 24000).
+	MaxEvents int
+	// Seed drives warehouse, trace, and inference.
+	Seed int64
+	// Repeats averages each point over this many independent inference
+	// seeds (default 1).
+	Repeats int
+	// HighNoise degrades the sensing model to reproduce the paper's
+	// "highly noisy trace of RFID readings".
+	HighNoise bool
+}
+
+// DefaultFigure3Config mirrors the paper's axes, sized to run in seconds.
+func DefaultFigure3Config() Figure3Config {
+	return Figure3Config{
+		ObjectCounts:   []int{100, 1000, 10000},
+		ParticleCounts: []int{50, 100, 200},
+		Seed:           5,
+		HighNoise:      true,
+	}
+}
+
+// Figure3Point is one (objects, particles) measurement.
+type Figure3Point struct {
+	Objects   int
+	Particles int
+	// ErrFt is the mean XY inference error in feet over all objects at the
+	// end of the trace — Figure 3(a)'s y axis.
+	ErrFt float64
+	// MsPerEvent is CPU time per reader event in milliseconds — Figure
+	// 3(b)'s y axis.
+	MsPerEvent float64
+	// TouchedPerEvent is the mean number of object filters updated per
+	// event (the spatial index's effect).
+	TouchedPerEvent float64
+}
+
+// noisySensing returns the Figure 3 sensing model: lower peak read rate and
+// shallower fall-off than the defaults, making single readings weakly
+// informative.
+func noisySensing(high bool) rfid.SensingConfig {
+	if !high {
+		return rfid.SensingConfig{}
+	}
+	return rfid.SensingConfig{
+		MaxRange:   20,
+		PMax:       0.55,
+		DistSlope:  3,
+		NoiseFloor: 0.01,
+	}
+}
+
+// RunFigure3 sweeps object and particle counts, reporting accuracy and CPU
+// time per event.
+func RunFigure3(cfg Figure3Config) []Figure3Point {
+	if len(cfg.ObjectCounts) == 0 {
+		cfg = DefaultFigure3Config()
+	}
+	sensing := noisySensing(cfg.HighNoise)
+	if cfg.Sweeps <= 0 {
+		cfg.Sweeps = 2
+	}
+	if cfg.MaxEvents <= 0 {
+		cfg.MaxEvents = 24000
+	}
+	var out []Figure3Point
+	for _, nObj := range cfg.ObjectCounts {
+		w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: nObj, Seed: cfg.Seed, MoveProb: -1})
+		reader := rfid.Reader{Sensing: sensing}
+		events := cfg.Events
+		if events == 0 {
+			// One sweep visits every lane: width × (depth / lanePitch) feet
+			// of travel at speed/scanHz feet per event.
+			distPerScan := 1.5 // default 3 ft/s at 2 Hz
+			rows := int(w.Depth / 10)
+			if rows < 1 {
+				rows = 1
+			}
+			events = int(w.Width*float64(rows)/distPerScan) * cfg.Sweeps
+			if events > cfg.MaxEvents {
+				events = cfg.MaxEvents
+			}
+		}
+		trace := rfid.GenerateTrace(w, reader, rfid.TraceConfig{
+			Events: events,
+			Seed:   cfg.Seed + 1,
+		})
+		ids := make([]int64, len(w.Objects))
+		for i, o := range w.Objects {
+			ids[i] = o.ID
+		}
+		for _, nPart := range cfg.ParticleCounts {
+			reps := cfg.Repeats
+			if reps <= 0 {
+				reps = 1
+			}
+			var errSum, msSum float64
+			for rep := 0; rep < reps; rep++ {
+				// Figure 3 presents the raw particles-vs-accuracy
+				// trade-off, so compression stays off here; the
+				// scalability ablation measures its effect separately.
+				tx := rfid.NewTransformer(w, sensing, rfid.TransformerConfig{
+					Particles:        nPart,
+					UseIndex:         true,
+					NegativeEvidence: true,
+					Seed:             cfg.Seed + 2 + int64(rep)*101,
+				})
+				start := time.Now()
+				for _, ev := range trace.Events {
+					tx.Process(ev)
+				}
+				elapsed := time.Since(start)
+				errSum += rfid.XYError(trace, tx.Filter(), ids, len(trace.Events)-1)
+				msSum += elapsed.Seconds() * 1000 / float64(len(trace.Events))
+			}
+			out = append(out, Figure3Point{
+				Objects:    nObj,
+				Particles:  nPart,
+				ErrFt:      errSum / float64(reps),
+				MsPerEvent: msSum / float64(reps),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package lineage
+
+// ApproxCorrelationGroups partitions tuples into correlation groups using
+// only their Bloom signatures — §5.2's approximate lineage: "it may also be
+// possible to find approximate lineage that gives a good approximation of
+// the result distributions and allows more efficient computation."
+//
+// Because MayOverlap has one-sided error (false positives only), groups are
+// a *coarsening* of the exact partition: tuples that are truly correlated
+// always land in the same group; occasionally independent tuples are merged
+// too, costing extra joint computation but never correctness. The trade-off
+// buys O(1) per-pair tests and O(1) lineage storage per tuple regardless of
+// lineage size — the paper's "compact representations of lineage to reduce
+// the volume of intermediate streams".
+func ApproxCorrelationGroups(sigs []ApproxSet) [][]int {
+	parent := make([]int, len(sigs))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// Pairwise signature tests. Unlike the exact path there is no inverted
+	// index to exploit (signatures don't enumerate members), but each test
+	// is two ANDs; n² stays cheap for window-sized n.
+	for i := 0; i < len(sigs); i++ {
+		for j := i + 1; j < len(sigs); j++ {
+			if find(i) != find(j) && sigs[i].MayOverlap(sigs[j]) {
+				union(i, j)
+			}
+		}
+	}
+	groupIdx := make(map[int]int)
+	var groups [][]int
+	for i := range sigs {
+		r := find(i)
+		gi, ok := groupIdx[r]
+		if !ok {
+			gi = len(groups)
+			groupIdx[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups
+}

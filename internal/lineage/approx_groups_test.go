@@ -1,0 +1,69 @@
+package lineage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestApproxGroupsCoarsenExact(t *testing.T) {
+	// Property: the approximate partition never splits an exact group —
+	// tuples grouped by exact lineage must share an approximate group.
+	f := func(seedsRaw []uint64) bool {
+		if len(seedsRaw) == 0 {
+			return true
+		}
+		// Build sets: consecutive pairs share an id when the seed is even.
+		var sets []Set
+		for i, s := range seedsRaw {
+			ids := []uint64{s, s + 1}
+			if i > 0 && s%2 == 0 {
+				ids = append(ids, seedsRaw[i-1]) // overlap with predecessor
+			}
+			sets = append(sets, NewSet(ids...))
+		}
+		exact := CorrelationGroups(sets)
+		sigs := make([]ApproxSet, len(sets))
+		for i, s := range sets {
+			sigs[i] = FromSet(s)
+		}
+		approx := ApproxCorrelationGroups(sigs)
+
+		// Map each index to its approximate group.
+		approxOf := make(map[int]int)
+		for gi, g := range approx {
+			for _, idx := range g {
+				approxOf[idx] = gi
+			}
+		}
+		for _, g := range exact {
+			for _, idx := range g[1:] {
+				if approxOf[idx] != approxOf[g[0]] {
+					return false // exact group split by the approximation
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxGroupsIndependentStayMostlySeparate(t *testing.T) {
+	// With few ids per signature, disjoint tuples should rarely merge.
+	var sigs []ApproxSet
+	for i := 0; i < 50; i++ {
+		sigs = append(sigs, NewApproxSet(uint64(1000+i*17), uint64(5000+i*13)))
+	}
+	groups := ApproxCorrelationGroups(sigs)
+	if len(groups) < 40 {
+		t.Errorf("false-positive merging collapsed %d disjoint tuples into %d groups",
+			len(sigs), len(groups))
+	}
+}
+
+func TestApproxGroupsEmpty(t *testing.T) {
+	if got := ApproxCorrelationGroups(nil); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package lineage
+
+// Archive stores independent upstream tuples keyed by their lineage ID so a
+// downstream (final) operator can recompute result distributions from base
+// inputs (§3: operator A4 "archives these input tuples for later computation
+// of the query result distributions" — J1 then reads them back). Capacity-
+// bounded FIFO eviction keeps it stream-safe.
+type Archive[V any] struct {
+	cap   int
+	items map[uint64]V
+	order []uint64
+}
+
+// NewArchive creates an archive retaining at most capacity entries
+// (capacity <= 0 means 4096).
+func NewArchive[V any](capacity int) *Archive[V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Archive[V]{cap: capacity, items: make(map[uint64]V, capacity)}
+}
+
+// Put stores v under the base-tuple id, evicting the oldest entry if full.
+// Re-putting an existing id refreshes the value but not its eviction order.
+func (a *Archive[V]) Put(id uint64, v V) {
+	if _, exists := a.items[id]; !exists {
+		if len(a.order) >= a.cap {
+			oldest := a.order[0]
+			a.order = a.order[1:]
+			delete(a.items, oldest)
+		}
+		a.order = append(a.order, id)
+	}
+	a.items[id] = v
+}
+
+// Get fetches the value archived under id.
+func (a *Archive[V]) Get(id uint64) (V, bool) {
+	v, ok := a.items[id]
+	return v, ok
+}
+
+// GetAll resolves a lineage set against the archive, reporting whether every
+// base tuple was still retained.
+func (a *Archive[V]) GetAll(s Set) ([]V, bool) {
+	out := make([]V, 0, s.Len())
+	complete := true
+	for _, id := range s.IDs() {
+		if v, ok := a.items[id]; ok {
+			out = append(out, v)
+		} else {
+			complete = false
+		}
+	}
+	return out, complete
+}
+
+// Len returns the number of retained entries.
+func (a *Archive[V]) Len() int { return len(a.items) }
+
+// ApproxSet is the compact lineage representation of §5.2 ("compact
+// representations of lineage to reduce the volume of intermediate streams"):
+// a 128-bit Bloom signature supporting overlap tests with one-sided error
+// (false positives possible, false negatives impossible) in O(1) space.
+type ApproxSet struct {
+	bits [2]uint64
+	n    int
+}
+
+// NewApproxSet summarizes the IDs into a Bloom signature.
+func NewApproxSet(ids ...uint64) ApproxSet {
+	var a ApproxSet
+	for _, id := range ids {
+		a.Add(id)
+	}
+	return a
+}
+
+// FromSet summarizes an exact lineage set.
+func FromSet(s Set) ApproxSet { return NewApproxSet(s.IDs()...) }
+
+// Add inserts one id (two hash functions via a 64-bit mix).
+func (a *ApproxSet) Add(id uint64) {
+	h := mix64(id)
+	a.bits[0] |= 1 << (h & 63)
+	a.bits[1] |= 1 << ((h >> 6) & 63)
+	a.n++
+}
+
+// MayOverlap reports whether the signatures could share an element. A false
+// return is definitive (no shared ids).
+func (a ApproxSet) MayOverlap(b ApproxSet) bool {
+	if a.n == 0 || b.n == 0 {
+		return false
+	}
+	return a.bits[0]&b.bits[0] != 0 && a.bits[1]&b.bits[1] != 0
+}
+
+// Union merges two signatures.
+func (a ApproxSet) Union(b ApproxSet) ApproxSet {
+	return ApproxSet{bits: [2]uint64{a.bits[0] | b.bits[0], a.bits[1] | b.bits[1]}, n: a.n + b.n}
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

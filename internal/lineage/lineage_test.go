@@ -1,0 +1,174 @@
+package lineage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3, 1, 2, 3, 1)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(2) || s.Contains(5) {
+		t.Error("Contains wrong")
+	}
+	if got := s.IDs(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("IDs = %v", got)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(3, 4)
+	if u := a.Union(b); !u.Equal(NewSet(1, 2, 3, 4)) {
+		t.Errorf("union = %v", u.IDs())
+	}
+	if i := a.Intersect(b); !i.Equal(NewSet(3)) {
+		t.Errorf("intersect = %v", i.IDs())
+	}
+	if !a.Overlaps(b) {
+		t.Error("should overlap")
+	}
+	if a.Overlaps(NewSet(9)) {
+		t.Error("should not overlap")
+	}
+	if a.Equal(b) || !a.Equal(NewSet(3, 2, 1)) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(xs, ys []uint64) bool {
+		a, b := NewSet(xs...), NewSet(ys...)
+		u := a.Union(b)
+		i := a.Intersect(b)
+		// |A∪B| + |A∩B| = |A| + |B|
+		if u.Len()+i.Len() != a.Len()+b.Len() {
+			return false
+		}
+		// Overlap iff non-empty intersection.
+		if a.Overlaps(b) != (i.Len() > 0) {
+			return false
+		}
+		// Union is commutative.
+		return u.Equal(b.Union(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrelationGroups(t *testing.T) {
+	sets := []Set{
+		NewSet(1, 2),  // 0 overlaps 1 (via 2)
+		NewSet(2, 3),  // 1
+		NewSet(10),    // 2 independent
+		NewSet(3, 11), // 3 overlaps 1 via 3 -> same group as 0,1
+		NewSet(20),    // 4 independent
+	}
+	groups := CorrelationGroups(sets)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	// Group containing 0 must contain 1 and 3.
+	var big []int
+	for _, g := range groups {
+		if g[0] == 0 {
+			big = g
+		}
+	}
+	if len(big) != 3 {
+		t.Errorf("correlated group = %v, want {0,1,3}", big)
+	}
+}
+
+func TestCorrelationGroupsAllIndependent(t *testing.T) {
+	sets := []Set{NewSet(1), NewSet(2), NewSet(3)}
+	groups := CorrelationGroups(sets)
+	if len(groups) != 3 {
+		t.Errorf("want 3 singletons, got %v", groups)
+	}
+}
+
+func TestArchivePutGetEvict(t *testing.T) {
+	a := NewArchive[string](3)
+	a.Put(1, "a")
+	a.Put(2, "b")
+	a.Put(3, "c")
+	a.Put(4, "d") // evicts 1
+	if _, ok := a.Get(1); ok {
+		t.Error("1 should be evicted")
+	}
+	if v, ok := a.Get(3); !ok || v != "c" {
+		t.Error("3 missing")
+	}
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+	// Refresh does not grow.
+	a.Put(3, "c2")
+	if a.Len() != 3 {
+		t.Error("refresh grew archive")
+	}
+	if v, _ := a.Get(3); v != "c2" {
+		t.Error("refresh did not update value")
+	}
+}
+
+func TestArchiveGetAll(t *testing.T) {
+	a := NewArchive[int](10)
+	a.Put(1, 100)
+	a.Put(2, 200)
+	vals, complete := a.GetAll(NewSet(1, 2))
+	if !complete || len(vals) != 2 {
+		t.Errorf("GetAll = %v complete=%v", vals, complete)
+	}
+	_, complete = a.GetAll(NewSet(1, 99))
+	if complete {
+		t.Error("missing id should report incomplete")
+	}
+}
+
+func TestApproxSetNoFalseNegatives(t *testing.T) {
+	f := func(shared uint64, xs, ys []uint64) bool {
+		a := NewApproxSet(append(xs, shared)...)
+		b := NewApproxSet(append(ys, shared)...)
+		return a.MayOverlap(b) // must always be true when an id is shared
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApproxSetEmpty(t *testing.T) {
+	var empty ApproxSet
+	if empty.MayOverlap(NewApproxSet(1, 2, 3)) {
+		t.Error("empty set cannot overlap")
+	}
+}
+
+func TestApproxSetMatchesExactMostly(t *testing.T) {
+	// With few ids in a 128-bit signature, false positives should be rare.
+	falsePos := 0
+	trials := 2000
+	for i := 0; i < trials; i++ {
+		a := NewSet(uint64(i*7+1), uint64(i*7+2))
+		b := NewSet(uint64(1e9+i*13), uint64(1e9+i*13+5))
+		if !a.Overlaps(b) && FromSet(a).MayOverlap(FromSet(b)) {
+			falsePos++
+		}
+	}
+	if rate := float64(falsePos) / float64(trials); rate > 0.02 {
+		t.Errorf("false positive rate = %g", rate)
+	}
+}
+
+func TestApproxSetUnion(t *testing.T) {
+	a := NewApproxSet(1, 2)
+	b := NewApproxSet(3)
+	u := a.Union(b)
+	if !u.MayOverlap(NewApproxSet(3)) {
+		t.Error("union lost element")
+	}
+}

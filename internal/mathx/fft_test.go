@@ -1,0 +1,91 @@
+package mathx
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	n := 64
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.7), math.Cos(float64(i)*1.3))
+	}
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip mismatch at %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTDelta(t *testing.T) {
+	// FFT of a delta at index 0 is all-ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	FFT(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("delta FFT[%d] = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	n := 128
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%7)-3, float64(i%5)-2)
+	}
+	var timeEnergy float64
+	for _, v := range x {
+		timeEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	FFT(x)
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= float64(n)
+	if math.Abs(timeEnergy-freqEnergy) > 1e-8*timeEnergy {
+		t.Errorf("Parseval violated: %g vs %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two length")
+		}
+	}()
+	FFT(make([]complex128, 12))
+}
+
+func TestConvolveMatchesDirect(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6, 7}
+	got := Convolve(a, b)
+	want := make([]float64, len(a)+len(b)-1)
+	for i := range a {
+		for j := range b {
+			want[i+j] += a[i] * b[j]
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []float64{1}) != nil {
+		t.Error("empty input should give nil")
+	}
+}

@@ -1,0 +1,157 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a small dense row-major matrix. It is deliberately minimal: the
+// system only needs covariance-sized matrices (2x2, 3x3) for multivariate
+// Gaussian locations and the delta method.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zero r-by-c matrix.
+func NewMat(r, c int) *Mat {
+	return &Mat{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m * v.
+func (m *Mat) MulVec(v []float64) []float64 {
+	if len(v) != m.Cols {
+		panic(fmt.Sprintf("mathx: MulVec dim mismatch %d != %d", len(v), m.Cols))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		var s float64
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Mul returns m * other.
+func (m *Mat) Mul(other *Mat) *Mat {
+	if m.Cols != other.Rows {
+		panic("mathx: Mul dim mismatch")
+	}
+	out := NewMat(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < other.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * other.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ.
+func (m *Mat) Transpose() *Mat {
+	out := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Cholesky computes the lower-triangular L with L*Lᵀ = m for a symmetric
+// positive-definite m. It returns an error if m is not positive definite
+// (within a small jitter tolerance).
+func (m *Mat) Cholesky() (*Mat, error) {
+	if m.Rows != m.Cols {
+		return nil, fmt.Errorf("mathx: Cholesky needs square matrix, got %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	l := NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("mathx: matrix not positive definite at pivot %d (%g)", i, sum)
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Mat, b []float64) []float64 {
+	n := l.Rows
+	if len(b) != n {
+		panic("mathx: SolveCholesky dim mismatch")
+	}
+	// Forward substitution L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x
+}
+
+// QuadForm returns vᵀ A v.
+func QuadForm(a *Mat, v []float64) float64 {
+	av := a.MulVec(v)
+	var s float64
+	for i, x := range v {
+		s += x * av[i]
+	}
+	return s
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package mathx
+
+import (
+	"math"
+	"sort"
+)
+
+// NelderMeadOptions tunes the simplex optimizer.
+type NelderMeadOptions struct {
+	// MaxIter bounds objective evaluations (default 400 per dimension).
+	MaxIter int
+	// Tol is the simplex-spread convergence tolerance (default 1e-9).
+	Tol float64
+	// Step is the initial simplex edge length per coordinate (default 0.1
+	// of |x0_i| or 0.1 when x0_i is 0).
+	Step float64
+}
+
+// NelderMead minimizes f starting from x0 with the downhill-simplex method.
+// It is derivative-free, which suits objectives like squared characteristic-
+// function error where analytic gradients are messy. Returns the best point
+// and its objective value.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) ([]float64, float64) {
+	n := len(x0)
+	if n == 0 {
+		return nil, f(nil)
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 400 * n
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			step := opts.Step
+			if step <= 0 {
+				step = 0.1 * math.Abs(x[i-1])
+				if step == 0 {
+					step = 0.1
+				}
+			}
+			x[i-1] += step
+		}
+		simplex[i] = vertex{x: x, f: f(x)}
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+	centroid := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		if math.Abs(simplex[n].f-simplex[0].f) <= opts.Tol*(math.Abs(simplex[0].f)+opts.Tol) {
+			break
+		}
+		// Centroid of all but the worst.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			for j := range centroid {
+				centroid[j] += simplex[i].x[j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		refl := make([]float64, n)
+		for j := range refl {
+			refl[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := f(refl)
+		switch {
+		case fr < simplex[0].f:
+			// Try expansion.
+			exp := make([]float64, n)
+			for j := range exp {
+				exp[j] = centroid[j] + gamma*(refl[j]-centroid[j])
+			}
+			fe := f(exp)
+			if fe < fr {
+				simplex[n] = vertex{x: exp, f: fe}
+			} else {
+				simplex[n] = vertex{x: refl, f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: refl, f: fr}
+		default:
+			// Contraction.
+			con := make([]float64, n)
+			for j := range con {
+				con[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			fc := f(con)
+			if fc < worst.f {
+				simplex[n] = vertex{x: con, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return simplex[0].x, simplex[0].f
+}

@@ -1,0 +1,38 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNelderMeadQuadratic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-3)*(x[0]-3) + 2*(x[1]+1)*(x[1]+1)
+	}
+	x, fv := NelderMead(f, []float64{0, 0}, NelderMeadOptions{})
+	if math.Abs(x[0]-3) > 1e-4 || math.Abs(x[1]+1) > 1e-4 {
+		t.Errorf("minimum at %v, want (3,-1)", x)
+	}
+	if fv > 1e-7 {
+		t.Errorf("f = %g", fv)
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	x, _ := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIter: 5000, Tol: 1e-13})
+	if math.Abs(x[0]-1) > 1e-3 || math.Abs(x[1]-1) > 1e-3 {
+		t.Errorf("Rosenbrock minimum at %v, want (1,1)", x)
+	}
+}
+
+func TestNelderMeadEmpty(t *testing.T) {
+	_, fv := NelderMead(func([]float64) float64 { return 7 }, nil, NelderMeadOptions{})
+	if fv != 7 {
+		t.Error("empty input should just evaluate f")
+	}
+}

@@ -1,0 +1,91 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		z, want float64
+	}{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145705},
+		{1.959963984540054, 0.975},
+		{-3, 0.0013498980316300933},
+		{6, 0.9999999990134123},
+	}
+	for _, c := range cases {
+		got := NormalCDF(c.z)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%g) = %.16g, want %.16g", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-12, 1e-6, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999999, 1 - 1e-12} {
+		z := NormalQuantile(p)
+		back := NormalCDF(z)
+		if math.Abs(back-p) > 1e-10*math.Max(1, 1/math.Min(p, 1-p)*1e-4) && math.Abs(back-p) > 1e-9 {
+			t.Errorf("NormalCDF(NormalQuantile(%g)) = %g", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("NormalQuantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalCDFMonotoneProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 50)
+		b = math.Mod(b, 50)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return NormalCDF(lo) <= NormalCDF(hi)+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalPDFIntegratesToOne(t *testing.T) {
+	total := Integrate(NormalPDF, math.Inf(-1), math.Inf(1), QuadOptions{})
+	if math.Abs(total-1) > 1e-8 {
+		t.Errorf("integral of normal pdf = %.12g, want 1", total)
+	}
+}
+
+func TestNormalMills(t *testing.T) {
+	// Mills ratio at 0 is sqrt(pi/2).
+	want := math.Sqrt(math.Pi / 2)
+	if got := NormalMills(0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalMills(0) = %g, want %g", got, want)
+	}
+	// For large z, Mills ratio approx 1/z.
+	if got := NormalMills(40); math.Abs(got-1.0/40) > 1e-4 {
+		t.Errorf("NormalMills(40) = %g, want ~%g", got, 1.0/40)
+	}
+}
+
+func TestErfcxLargeArgument(t *testing.T) {
+	// Cross-check the asymptotic branch against the exact branch near the cut.
+	a := Erfcx(24.999)
+	b := Erfcx(25.001)
+	if math.Abs(a-b)/a > 1e-4 {
+		t.Errorf("Erfcx discontinuous at branch cut: %g vs %g", a, b)
+	}
+}

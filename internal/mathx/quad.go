@@ -1,0 +1,121 @@
+package mathx
+
+import "math"
+
+// QuadOptions controls adaptive quadrature.
+type QuadOptions struct {
+	// AbsTol is the absolute error target (default 1e-10).
+	AbsTol float64
+	// RelTol is the relative error target (default 1e-9).
+	RelTol float64
+	// MaxDepth bounds the recursion depth (default 50).
+	MaxDepth int
+}
+
+func (o QuadOptions) withDefaults() QuadOptions {
+	if o.AbsTol <= 0 {
+		o.AbsTol = 1e-10
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-9
+	}
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = 50
+	}
+	return o
+}
+
+// Integrate computes the definite integral of f over [a, b] with adaptive
+// Simpson quadrature (Lyness' error control). Infinite endpoints are handled
+// by the tangent substitution x = tan(t).
+func Integrate(f func(float64) float64, a, b float64, opts QuadOptions) float64 {
+	opts = opts.withDefaults()
+	if a == b {
+		return 0
+	}
+	if a > b {
+		return -Integrate(f, b, a, opts)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		// Map (a,b) to a finite interval through x = tan(t).
+		ta, tb := math.Atan(a), math.Atan(b)
+		g := func(t float64) float64 {
+			c := math.Cos(t)
+			if c == 0 {
+				return 0
+			}
+			x := math.Tan(t)
+			return f(x) / (c * c)
+		}
+		return adaptiveSimpson(g, ta, tb, opts)
+	}
+	return adaptiveSimpson(f, a, b, opts)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b float64, opts QuadOptions) float64 {
+	fa, fb := finite(f(a)), finite(f(b))
+	m := (a + b) / 2
+	fm := finite(f(m))
+	whole := simpson(a, b, fa, fm, fb)
+	return adaptiveSimpsonRec(f, a, b, fa, fm, fb, whole, opts.AbsTol, opts.RelTol, opts.MaxDepth)
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpsonRec(f func(float64) float64, a, b, fa, fm, fb, whole, absTol, relTol float64, depth int) float64 {
+	m := (a + b) / 2
+	lm := (a + m) / 2
+	rm := (m + b) / 2
+	flm := finite(f(lm))
+	frm := finite(f(rm))
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	delta := left + right - whole
+	tol := math.Max(absTol, relTol*math.Abs(left+right))
+	if depth <= 0 || math.Abs(delta) <= 15*tol {
+		return left + right + delta/15
+	}
+	return adaptiveSimpsonRec(f, a, m, fa, flm, fm, left, absTol/2, relTol, depth-1) +
+		adaptiveSimpsonRec(f, m, b, fm, frm, fb, right, absTol/2, relTol, depth-1)
+}
+
+func finite(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return x
+}
+
+// IntegrateOsc integrates f over [0, inf) for oscillatory integrands such as
+// the Gil-Pelaez characteristic-function inversion kernel. It sums
+// fixed-width panels until their contribution falls below the tolerance for
+// several consecutive panels, which is robust to the zero crossings that
+// defeat plain adaptive subdivision.
+func IntegrateOsc(f func(float64) float64, panel float64, opts QuadOptions) float64 {
+	opts = opts.withDefaults()
+	if panel <= 0 {
+		panel = 1
+	}
+	const maxPanels = 4096
+	var (
+		total     float64
+		quietRuns int
+	)
+	for i := 0; i < maxPanels; i++ {
+		a := float64(i) * panel
+		b := a + panel
+		part := adaptiveSimpson(f, a, b, QuadOptions{AbsTol: opts.AbsTol, RelTol: opts.RelTol, MaxDepth: 24})
+		total += part
+		if math.Abs(part) < opts.AbsTol+opts.RelTol*math.Abs(total) {
+			quietRuns++
+			if quietRuns >= 3 {
+				break
+			}
+		} else {
+			quietRuns = 0
+		}
+	}
+	return total
+}

@@ -1,0 +1,144 @@
+package pfilter
+
+// Controller implements the §4.2 feedback control of the accuracy/cost
+// trade-off: "it starts with a relatively small number of particles and
+// keeps doubling this number before meeting the accuracy requirement. After
+// that, it reduces the number of particles by a constant each time until it
+// finds the smallest number."
+type Controller struct {
+	// TargetError is the accuracy requirement (same unit as the error
+	// estimates fed to Observe, e.g. feet of XY error).
+	TargetError float64
+	// Min and Max bound the particle count.
+	Min, Max int
+	// Step is the constant decrement of the refinement phase (default
+	// Min/2, at least 1).
+	Step int
+
+	n        int
+	doubling bool
+	lastGood int
+	settled  bool
+}
+
+// NewController starts at the minimum count in the doubling phase.
+func NewController(targetError float64, min, max int) *Controller {
+	if min <= 0 {
+		min = 8
+	}
+	if max < min {
+		max = min * 64
+	}
+	return &Controller{
+		TargetError: targetError,
+		Min:         min,
+		Max:         max,
+		Step:        maxInt(min/2, 1),
+		n:           min,
+		doubling:    true,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Particles returns the current particle budget.
+func (c *Controller) Particles() int { return c.n }
+
+// Settled reports whether the controller has found the smallest passing
+// count and stopped adjusting.
+func (c *Controller) Settled() bool { return c.settled }
+
+// Observe feeds the latest measured inference error (from reference
+// objects) and returns the particle count to use next.
+func (c *Controller) Observe(err float64) int {
+	if c.settled {
+		// Re-enter control if accuracy regresses badly (e.g. noise regime
+		// changed): restart the doubling phase from the last good count.
+		if err > 1.5*c.TargetError {
+			c.settled = false
+			c.doubling = true
+		}
+		return c.n
+	}
+	if c.doubling {
+		if err <= c.TargetError {
+			// Requirement met: remember and switch to refinement.
+			c.lastGood = c.n
+			c.doubling = false
+			next := c.n - c.Step
+			if next < c.Min {
+				c.settled = true
+				return c.n
+			}
+			c.n = next
+			return c.n
+		}
+		if c.n >= c.Max {
+			// Cannot meet the requirement; pin at max.
+			c.settled = true
+			return c.n
+		}
+		c.n *= 2
+		if c.n > c.Max {
+			c.n = c.Max
+		}
+		return c.n
+	}
+	// Refinement phase: decreasing by Step while accuracy holds.
+	if err <= c.TargetError {
+		c.lastGood = c.n
+		next := c.n - c.Step
+		if next < c.Min {
+			c.settled = true
+			return c.n
+		}
+		c.n = next
+		return c.n
+	}
+	// Went below the smallest workable count: settle at the last good one.
+	c.n = c.lastGood
+	c.settled = true
+	return c.n
+}
+
+// ErrorEstimator measures inference accuracy online using reference objects
+// with known true positions (§4.2: shelf tags at fixed, known locations are
+// conceptually duplicated — one copy evidence, one copy hidden — and the
+// estimated position of the hidden copy is compared against truth). It keeps
+// an exponentially-weighted mean absolute XY error.
+type ErrorEstimator struct {
+	alpha float64
+	err   float64
+	n     int
+}
+
+// NewErrorEstimator creates an estimator with smoothing factor alpha in
+// (0,1]; smaller is smoother (default 0.1).
+func NewErrorEstimator(alpha float64) *ErrorEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.1
+	}
+	return &ErrorEstimator{alpha: alpha}
+}
+
+// Observe records one reference-object estimate against its known truth.
+func (e *ErrorEstimator) Observe(estimate, truth Point) {
+	d := estimate.Dist(truth)
+	if e.n == 0 {
+		e.err = d
+	} else {
+		e.err = (1-e.alpha)*e.err + e.alpha*d
+	}
+	e.n++
+}
+
+// Error returns the smoothed error estimate (0 before any observation).
+func (e *ErrorEstimator) Error() float64 { return e.err }
+
+// Count returns the number of observations.
+func (e *ErrorEstimator) Count() int { return e.n }

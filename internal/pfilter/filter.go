@@ -1,0 +1,254 @@
+package pfilter
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Dynamics advances a particle through the state-transition model. The RFID
+// application plugs in its stay-or-move shelf dynamics here.
+type Dynamics interface {
+	Step(cur Point, dt float64, g *rng.RNG) Point
+}
+
+// Likelihood scores a hypothetical object position against one observation.
+type Likelihood func(pos Point) float64
+
+// ObjectFilter is a per-object particle set: the unit the factorized filter
+// of §4.1 maintains per hidden variable after breaking up the joint state.
+type ObjectFilter struct {
+	Pts []Point
+	Ws  []float64 // normalized weights
+
+	// Roughening is the post-resampling jitter coefficient (Gordon et
+	// al.'s remedy for particle impoverishment under weakly informative
+	// likelihoods): after each resample, particles receive N(0, (k·σ_cloud·
+	// n^{-1/2})²) noise per axis. Zero disables.
+	Roughening float64
+
+	full       int  // configured (uncompressed) particle count
+	compressed bool // running in compressed mode
+	checkTick  int  // rate-limits spread checks (they cost a Cov pass)
+
+	scratchPts []Point
+}
+
+// NewObjectFilter initializes n particles from the prior sampler.
+func NewObjectFilter(n int, prior func(g *rng.RNG) Point, g *rng.RNG) *ObjectFilter {
+	f := &ObjectFilter{
+		Pts:  make([]Point, n),
+		Ws:   make([]float64, n),
+		full: n,
+	}
+	for i := range f.Pts {
+		f.Pts[i] = prior(g)
+		f.Ws[i] = 1 / float64(n)
+	}
+	return f
+}
+
+// N returns the current particle count (smaller when compressed).
+func (f *ObjectFilter) N() int { return len(f.Pts) }
+
+// Compressed reports whether the filter is in compressed mode.
+func (f *ObjectFilter) Compressed() bool { return f.compressed }
+
+// Predict advances all particles through the dynamics.
+func (f *ObjectFilter) Predict(dyn Dynamics, dt float64, g *rng.RNG) {
+	for i := range f.Pts {
+		f.Pts[i] = dyn.Step(f.Pts[i], dt, g)
+	}
+}
+
+// Update reweights particles by the observation likelihood and resamples if
+// the effective sample size drops below half the particle count. It returns
+// the marginal observation likelihood estimate (the normalizer) — near-zero
+// values mean the observation was very surprising under the current belief.
+func (f *ObjectFilter) Update(lik Likelihood, g *rng.RNG) float64 {
+	var total float64
+	for i, p := range f.Pts {
+		w := f.Ws[i] * lik(p)
+		f.Ws[i] = w
+		total += w
+	}
+	if total <= 0 || math.IsNaN(total) {
+		// Degenerate update: keep previous weights (uniform reset) rather
+		// than dividing by zero; the belief simply doesn't move.
+		uw := 1 / float64(len(f.Ws))
+		for i := range f.Ws {
+			f.Ws[i] = uw
+		}
+		return 0
+	}
+	inv := 1 / total
+	var ess float64
+	for i := range f.Ws {
+		f.Ws[i] *= inv
+		ess += f.Ws[i] * f.Ws[i]
+	}
+	ess = 1 / ess
+	if ess < float64(len(f.Ws))/2 {
+		f.resample(g)
+	}
+	return total
+}
+
+// resample performs systematic resampling in place (O(n), low variance).
+func (f *ObjectFilter) resample(g *rng.RNG) {
+	n := len(f.Pts)
+	if cap(f.scratchPts) < n {
+		f.scratchPts = make([]Point, n)
+	}
+	out := f.scratchPts[:n]
+	step := 1 / float64(n)
+	u := g.Float64() * step
+	var cum float64
+	j := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+f.Ws[j] < target && j < n-1 {
+			cum += f.Ws[j]
+			j++
+		}
+		out[i] = f.Pts[j]
+	}
+	f.Pts, f.scratchPts = out, f.Pts
+	uw := step
+	for i := range f.Ws {
+		f.Ws[i] = uw
+	}
+	if f.Roughening > 0 {
+		c := f.Cov()
+		sx := f.Roughening * math.Sqrt(math.Max(c.XX, 1e-12)/float64(n))
+		sy := f.Roughening * math.Sqrt(math.Max(c.YY, 1e-12)/float64(n))
+		// Floor the jitter so fully collapsed clouds regain diversity.
+		sx = math.Max(sx, 0.02)
+		sy = math.Max(sy, 0.02)
+		for i := range f.Pts {
+			f.Pts[i].X += g.Normal(0, sx)
+			f.Pts[i].Y += g.Normal(0, sy)
+		}
+	}
+}
+
+// Mean returns the weighted posterior mean.
+func (f *ObjectFilter) Mean() Point {
+	var m Point
+	for i, p := range f.Pts {
+		m.X += f.Ws[i] * p.X
+		m.Y += f.Ws[i] * p.Y
+	}
+	return m
+}
+
+// Cov returns the weighted posterior covariance.
+func (f *ObjectFilter) Cov() Cov2 {
+	m := f.Mean()
+	var c Cov2
+	for i, p := range f.Pts {
+		dx, dy := p.X-m.X, p.Y-m.Y
+		c.XX += f.Ws[i] * dx * dx
+		c.YY += f.Ws[i] * dy * dy
+		c.XY += f.Ws[i] * dx * dy
+	}
+	return c
+}
+
+// ESS returns the effective sample size.
+func (f *ObjectFilter) ESS() float64 {
+	var s float64
+	for _, w := range f.Ws {
+		s += w * w
+	}
+	if s == 0 {
+		return 0
+	}
+	return 1 / s
+}
+
+// CompressOptions tunes §4.1 particle compression.
+type CompressOptions struct {
+	// SpreadThreshold: compress when the particle cloud's RMS radius falls
+	// below this (same length unit as positions).
+	SpreadThreshold float64
+	// MinParticles is the compressed particle count (default 8).
+	MinParticles int
+}
+
+// MaybeCompress shrinks the particle set when it has stabilized into a
+// region smaller than the threshold; MaybeExpand restores the full count
+// when the belief becomes uncertain again (e.g. after a surprising miss).
+// Returns true if the representation changed.
+func (f *ObjectFilter) MaybeCompress(opts CompressOptions, g *rng.RNG) bool {
+	minP := opts.MinParticles
+	if minP <= 0 {
+		minP = 8
+	}
+	if f.compressed || len(f.Pts) <= minP {
+		return false
+	}
+	// The spread test costs a full covariance pass; amortize it.
+	f.checkTick++
+	if f.checkTick%8 != 1 {
+		return false
+	}
+	if f.Cov().SpreadRadius() > opts.SpreadThreshold {
+		return false
+	}
+	// Resample down to minP particles.
+	f.resample(g)
+	f.Pts = f.Pts[:minP]
+	f.Ws = f.Ws[:minP]
+	uw := 1 / float64(minP)
+	for i := range f.Ws {
+		f.Ws[i] = uw
+	}
+	f.compressed = true
+	return true
+}
+
+// MaybeExpand regrows a compressed filter to its full particle count by
+// jittered resampling when the compressed cloud has spread beyond the
+// threshold (the object likely moved).
+func (f *ObjectFilter) MaybeExpand(opts CompressOptions, g *rng.RNG) bool {
+	if !f.compressed {
+		return false
+	}
+	f.checkTick++
+	if f.checkTick%8 != 1 {
+		return false
+	}
+	if f.Cov().SpreadRadius() <= opts.SpreadThreshold {
+		return false
+	}
+	f.expand(opts, g)
+	return true
+}
+
+func (f *ObjectFilter) expand(opts CompressOptions, g *rng.RNG) {
+	jitter := opts.SpreadThreshold / 2
+	if jitter <= 0 {
+		jitter = 0.1
+	}
+	n := f.full
+	pts := make([]Point, n)
+	ws := make([]float64, n)
+	alias := rng.NewAlias(f.Ws)
+	for i := 0; i < n; i++ {
+		src := f.Pts[alias.Sample(g)]
+		pts[i] = Point{src.X + g.Normal(0, jitter), src.Y + g.Normal(0, jitter)}
+		ws[i] = 1 / float64(n)
+	}
+	f.Pts, f.Ws = pts, ws
+	f.compressed = false
+	f.scratchPts = nil
+}
+
+// ForceExpand unconditionally restores the full particle count (used when an
+// observation contradicts a compressed belief).
+func (f *ObjectFilter) ForceExpand(opts CompressOptions, g *rng.RNG) {
+	if f.compressed {
+		f.expand(opts, g)
+	}
+}

@@ -1,0 +1,91 @@
+package pfilter
+
+import "math"
+
+// Grid is the spatial index of §4.1: it maps object IDs to grid cells by
+// their current position estimate so that each reader event touches only the
+// objects within reading range instead of all hidden variables.
+type Grid struct {
+	cell  float64
+	cells map[[2]int][]int64
+	pos   map[int64]Point
+}
+
+// NewGrid creates an index with the given cell size (should be on the order
+// of the reader range).
+func NewGrid(cellSize float64) *Grid {
+	if cellSize <= 0 {
+		panic("pfilter: grid cell size must be positive")
+	}
+	return &Grid{
+		cell:  cellSize,
+		cells: make(map[[2]int][]int64),
+		pos:   make(map[int64]Point),
+	}
+}
+
+func (g *Grid) key(p Point) [2]int {
+	return [2]int{int(math.Floor(p.X / g.cell)), int(math.Floor(p.Y / g.cell))}
+}
+
+// Update moves (or inserts) an object's indexed position.
+func (g *Grid) Update(id int64, p Point) {
+	if old, ok := g.pos[id]; ok {
+		ok2 := g.key(old)
+		if ok2 == g.key(p) {
+			g.pos[id] = p
+			return
+		}
+		g.removeFromCell(id, ok2)
+	}
+	k := g.key(p)
+	g.cells[k] = append(g.cells[k], id)
+	g.pos[id] = p
+}
+
+// Remove deletes an object from the index.
+func (g *Grid) Remove(id int64) {
+	if old, ok := g.pos[id]; ok {
+		g.removeFromCell(id, g.key(old))
+		delete(g.pos, id)
+	}
+}
+
+func (g *Grid) removeFromCell(id int64, k [2]int) {
+	cell := g.cells[k]
+	for i, v := range cell {
+		if v == id {
+			cell[i] = cell[len(cell)-1]
+			cell = cell[:len(cell)-1]
+			break
+		}
+	}
+	if len(cell) == 0 {
+		delete(g.cells, k)
+	} else {
+		g.cells[k] = cell
+	}
+}
+
+// Query appends to out the IDs of objects within radius of center and
+// returns it (two-phase: cell scan then exact distance check).
+func (g *Grid) Query(center Point, radius float64, out []int64) []int64 {
+	r2 := radius * radius
+	lo := g.key(Point{center.X - radius, center.Y - radius})
+	hi := g.key(Point{center.X + radius, center.Y + radius})
+	for cx := lo[0]; cx <= hi[0]; cx++ {
+		for cy := lo[1]; cy <= hi[1]; cy++ {
+			for _, id := range g.cells[[2]int{cx, cy}] {
+				p := g.pos[id]
+				dx, dy := p.X-center.X, p.Y-center.Y
+				if dx*dx+dy*dy <= r2 {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Len returns the number of indexed objects.
+func (g *Grid) Len() int { return len(g.pos) }

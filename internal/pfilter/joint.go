@@ -1,0 +1,135 @@
+package pfilter
+
+import (
+	"repro/internal/rng"
+)
+
+// Joint is the unoptimized baseline of §4.1: a single particle filter whose
+// state is the joint location of *all* objects. Each particle stores one
+// hypothesis per object, every event reweights every particle against every
+// candidate object, and resampling copies entire joint states. Its per-event
+// cost is O(particles × objects), and the particle count needed for a fixed
+// accuracy grows with dimension — the paper's "worst case of an exponential
+// number of particles", and the source of the 0.1 readings/sec measurement
+// for 20 objects that motivates factorization.
+type Joint struct {
+	ids       []int64
+	idx       map[int64]int
+	particles [][]Point // [particle][object]
+	ws        []float64
+	detect    DetectModel
+	dyn       Dynamics
+	g         *rng.RNG
+}
+
+// NewJoint creates the joint-state filter with the given number of joint
+// particles.
+func NewJoint(particles int, detect DetectModel, dyn Dynamics, g *rng.RNG) *Joint {
+	return &Joint{
+		idx:       make(map[int64]int),
+		particles: make([][]Point, particles),
+		ws:        make([]float64, particles),
+		detect:    detect,
+		dyn:       dyn,
+		g:         g,
+	}
+}
+
+// Track registers an object; must be called before processing events.
+func (j *Joint) Track(id int64, prior func(g *rng.RNG) Point) {
+	j.idx[id] = len(j.ids)
+	j.ids = append(j.ids, id)
+	for p := range j.particles {
+		j.particles[p] = append(j.particles[p], prior(j.g))
+	}
+	uw := 1 / float64(len(j.ws))
+	for i := range j.ws {
+		j.ws[i] = uw
+	}
+}
+
+// NumObjects returns the number of tracked objects.
+func (j *Joint) NumObjects() int { return len(j.ids) }
+
+// Process applies one scan event against the full joint state.
+func (j *Joint) Process(ev ScanEvent) {
+	observed := make(map[int]bool, len(ev.Observed))
+	for _, id := range ev.Observed {
+		if k, ok := j.idx[id]; ok {
+			observed[k] = true
+		}
+	}
+	var total float64
+	for p := range j.particles {
+		state := j.particles[p]
+		if ev.DT > 0 {
+			for k := range state {
+				state[k] = j.dyn.Step(state[k], ev.DT, j.g)
+			}
+		}
+		lik := 1.0
+		for k := range state {
+			d := j.detect(state[k], ev.Reader)
+			if observed[k] {
+				lik *= d
+			} else {
+				lik *= 1 - d
+			}
+		}
+		j.ws[p] *= lik
+		total += j.ws[p]
+	}
+	if total <= 0 {
+		uw := 1 / float64(len(j.ws))
+		for i := range j.ws {
+			j.ws[i] = uw
+		}
+		return
+	}
+	var ess float64
+	for i := range j.ws {
+		j.ws[i] /= total
+		ess += j.ws[i] * j.ws[i]
+	}
+	if 1/ess < float64(len(j.ws))/2 {
+		j.resample()
+	}
+}
+
+func (j *Joint) resample() {
+	n := len(j.particles)
+	out := make([][]Point, n)
+	step := 1 / float64(n)
+	u := j.g.Float64() * step
+	var cum float64
+	src := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)*step
+		for cum+j.ws[src] < target && src < n-1 {
+			cum += j.ws[src]
+			src++
+		}
+		cp := make([]Point, len(j.particles[src]))
+		copy(cp, j.particles[src])
+		out[i] = cp
+	}
+	j.particles = out
+	uw := step
+	for i := range j.ws {
+		j.ws[i] = uw
+	}
+}
+
+// Estimate returns the posterior mean position of one object.
+func (j *Joint) Estimate(id int64) (Point, bool) {
+	k, ok := j.idx[id]
+	if !ok {
+		return Point{}, false
+	}
+	var m Point
+	for p := range j.particles {
+		m.X += j.ws[p] * j.particles[p][k].X
+		m.Y += j.ws[p] * j.particles[p][k].Y
+	}
+	return m, true
+}

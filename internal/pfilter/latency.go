@@ -1,0 +1,95 @@
+package pfilter
+
+// LatencyController is the dual of Controller, per §4.2's closing remark:
+// "A similar method can be used to maximize accuracy while meeting the
+// application performance requirement." It grows the particle budget while
+// the measured per-event cost stays under the budget, backing off when the
+// budget is exceeded, and settles at the largest count that fits.
+type LatencyController struct {
+	// BudgetMS is the per-event processing budget in milliseconds.
+	BudgetMS float64
+	// Min and Max bound the particle count.
+	Min, Max int
+	// Step is the constant increment of the refinement phase.
+	Step int
+
+	n        int
+	doubling bool
+	lastGood int
+	settled  bool
+}
+
+// NewLatencyController starts at the minimum count, doubling while the
+// budget holds.
+func NewLatencyController(budgetMS float64, min, max int) *LatencyController {
+	if min <= 0 {
+		min = 8
+	}
+	if max < min {
+		max = min * 64
+	}
+	return &LatencyController{
+		BudgetMS: budgetMS,
+		Min:      min,
+		Max:      max,
+		Step:     maxInt(min/2, 1),
+		n:        min,
+		doubling: true,
+		lastGood: min,
+	}
+}
+
+// Particles returns the current particle budget.
+func (c *LatencyController) Particles() int { return c.n }
+
+// Settled reports whether the controller has stopped adjusting.
+func (c *LatencyController) Settled() bool { return c.settled }
+
+// Observe feeds the measured per-event cost (ms) at the current particle
+// count and returns the count to use next.
+func (c *LatencyController) Observe(msPerEvent float64) int {
+	if c.settled {
+		// Sustained budget violations re-enter control from the last good
+		// count (e.g. the workload's object density changed).
+		if msPerEvent > 1.5*c.BudgetMS {
+			c.settled = false
+			c.doubling = false
+			c.n = c.lastGood
+		}
+		return c.n
+	}
+	within := msPerEvent <= c.BudgetMS
+	if c.doubling {
+		if !within {
+			// Blew the budget: step back toward the last good count.
+			c.doubling = false
+			c.n = c.lastGood
+			c.settled = true
+			return c.n
+		}
+		c.lastGood = c.n
+		if c.n >= c.Max {
+			c.settled = true
+			return c.n
+		}
+		c.n *= 2
+		if c.n > c.Max {
+			c.n = c.Max
+		}
+		return c.n
+	}
+	// Refinement: creep upward by Step while the budget holds.
+	if within {
+		c.lastGood = c.n
+		next := c.n + c.Step
+		if next > c.Max {
+			c.settled = true
+			return c.n
+		}
+		c.n = next
+		return c.n
+	}
+	c.n = c.lastGood
+	c.settled = true
+	return c.n
+}

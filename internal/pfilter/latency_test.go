@@ -1,0 +1,71 @@
+package pfilter
+
+import "testing"
+
+func TestLatencyControllerMaximizesWithinBudget(t *testing.T) {
+	// Synthetic cost: 0.01 ms per particle; budget 2 ms → max feasible 200.
+	cost := func(n int) float64 { return 0.01 * float64(n) }
+	c := NewLatencyController(2.0, 8, 4096)
+	var path []int
+	for i := 0; i < 50 && !c.Settled(); i++ {
+		n := c.Particles()
+		path = append(path, n)
+		c.Observe(cost(n))
+	}
+	if !c.Settled() {
+		t.Fatalf("never settled: %v", path)
+	}
+	final := c.Particles()
+	if cost(final) > 2.0 {
+		t.Errorf("settled count %d busts the budget", final)
+	}
+	// Doubling reaches 128 (1.28 ms ok) then 256 (2.56 ms busts) → settles
+	// at the last good 128 (the refinement phase is entered only on
+	// re-control).
+	if final < 128 || final > 200 {
+		t.Errorf("settled at %d, want in [128, 200]; path %v", final, path)
+	}
+	// Path starts with doubling.
+	if path[0] != 8 || path[1] != 16 {
+		t.Errorf("doubling phase wrong: %v", path)
+	}
+}
+
+func TestLatencyControllerPinsAtMax(t *testing.T) {
+	c := NewLatencyController(1000, 8, 64) // budget never binds
+	for i := 0; i < 20 && !c.Settled(); i++ {
+		c.Observe(0.001)
+	}
+	if !c.Settled() || c.Particles() != 64 {
+		t.Errorf("expected pin at max: %d", c.Particles())
+	}
+}
+
+func TestLatencyControllerReentersOnViolation(t *testing.T) {
+	c := NewLatencyController(2.0, 8, 4096)
+	for i := 0; i < 50 && !c.Settled(); i++ {
+		c.Observe(0.01 * float64(c.Particles()))
+	}
+	if !c.Settled() {
+		t.Fatal("did not settle")
+	}
+	before := c.Particles()
+	c.Observe(10.0) // sustained violation (load spike)
+	if c.Settled() {
+		t.Error("should re-enter control")
+	}
+	if c.Particles() > before {
+		t.Error("re-control must not increase the budget")
+	}
+	// Creeping refinement: while within budget it grows by Step and
+	// eventually settles again.
+	for i := 0; i < 200 && !c.Settled(); i++ {
+		c.Observe(0.01 * float64(c.Particles()))
+	}
+	if !c.Settled() {
+		t.Error("did not re-settle")
+	}
+	if got := 0.01 * float64(c.Particles()); got > 2.0 {
+		t.Errorf("re-settled outside budget: %g ms", got)
+	}
+}

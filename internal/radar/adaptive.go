@@ -1,0 +1,185 @@
+package radar
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// AdaptiveConfig tunes adaptive averaging — the capability Table 1
+// motivates: "the CASA system can decide dynamically to which data it can
+// apply aggressive averaging without affecting the result, hence making CPU
+// and bandwidth available for other data for which detailed analysis
+// increases the quality of detection results significantly."
+type AdaptiveConfig struct {
+	// FineN is the averaging size for active regions (default 40).
+	FineN int
+	// CoarseN is the averaging size for quiet regions (default 1000;
+	// must be an integer multiple of FineN).
+	CoarseN int
+	// ActivityThreshold is the reflectivity (dBZ) above which a region is
+	// considered active/storm-bearing (default 25).
+	ActivityThreshold float64
+	// GuardGroups widens each active region by this many fine groups on
+	// both sides so storm edges keep fine resolution (default 2).
+	GuardGroups int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.FineN <= 0 {
+		c.FineN = 40
+	}
+	if c.CoarseN <= 0 {
+		c.CoarseN = 1000
+	}
+	if c.CoarseN%c.FineN != 0 {
+		// Round the coarse size down to a multiple of the fine size so
+		// coarse cells re-aggregate exactly from fine cells.
+		c.CoarseN -= c.CoarseN % c.FineN
+		if c.CoarseN < c.FineN {
+			c.CoarseN = c.FineN
+		}
+	}
+	if c.ActivityThreshold == 0 {
+		c.ActivityThreshold = 25
+	}
+	if c.GuardGroups < 0 {
+		c.GuardGroups = 0
+	} else if c.GuardGroups == 0 {
+		c.GuardGroups = 2
+	}
+	return c
+}
+
+// AdaptiveScan is the mixed-resolution moment product: fine cells where the
+// atmosphere is active, coarse cells elsewhere.
+type AdaptiveScan struct {
+	Site   Site
+	Config AdaptiveConfig
+	// Rows is the emitted moment data: each row one azimuth group (of
+	// varying angular width); FineRows counts how many used FineN.
+	Rows     [][]MomentCell
+	RowAvgN  []int
+	FineRows int
+}
+
+// Bytes returns the mixed product's volume.
+func (a *AdaptiveScan) Bytes() int64 {
+	var cells int64
+	for _, row := range a.Rows {
+		cells += int64(len(row))
+	}
+	return cells * BytesPerItem
+}
+
+// AsMomentScan converts to a MomentScan for the detector. The detector's
+// azimuth neighborhood uses the *fine* cell width so max-min windows stay
+// correct in fine regions (coarse regions are quiet by construction).
+func (a *AdaptiveScan) AsMomentScan(tStart float64) *MomentScan {
+	return &MomentScan{Site: a.Site, AvgN: a.Config.FineN, TStart: tStart, Cells: a.Rows}
+}
+
+// AdaptiveAverage builds the mixed-resolution product from a fine-averaged
+// scan: fine groups whose maximum reflectivity clears the activity threshold
+// (plus guard groups) are kept at fine resolution; runs of quiet fine groups
+// are re-aggregated into coarse cells. Because coarse cells are exact
+// averages of their fine constituents, no second pass over raw data is
+// needed — the operator composes with the streaming averager.
+func AdaptiveAverage(fine *MomentScan, cfg AdaptiveConfig) *AdaptiveScan {
+	cfg = cfg.withDefaults()
+	ratio := cfg.CoarseN / cfg.FineN
+	n := len(fine.Cells)
+	active := make([]bool, n)
+	for i, row := range fine.Cells {
+		for _, c := range row {
+			if c.Z >= cfg.ActivityThreshold && c.RangeM > 1000 {
+				active[i] = true
+				break
+			}
+		}
+	}
+	// Dilate by the guard width.
+	dilated := make([]bool, n)
+	for i := range active {
+		if !active[i] {
+			continue
+		}
+		lo := i - cfg.GuardGroups
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + cfg.GuardGroups
+		if hi >= n {
+			hi = n - 1
+		}
+		for j := lo; j <= hi; j++ {
+			dilated[j] = true
+		}
+	}
+
+	out := &AdaptiveScan{Site: fine.Site, Config: cfg}
+	i := 0
+	for i < n {
+		if dilated[i] {
+			out.Rows = append(out.Rows, fine.Cells[i])
+			out.RowAvgN = append(out.RowAvgN, cfg.FineN)
+			out.FineRows++
+			i++
+			continue
+		}
+		// Collect a run of quiet groups up to the coarse ratio.
+		j := i
+		for j < n && !dilated[j] && j-i < ratio {
+			j++
+		}
+		out.Rows = append(out.Rows, mergeRows(fine.Cells[i:j]))
+		out.RowAvgN = append(out.RowAvgN, (j-i)*cfg.FineN)
+		i = j
+	}
+	return out
+}
+
+// mergeRows averages aligned fine rows into one coarse row (gate-wise), with
+// the coarse velocity σ combined as the σ of the mean of means.
+func mergeRows(rows [][]MomentCell) []MomentCell {
+	k := float64(len(rows))
+	out := make([]MomentCell, len(rows[0]))
+	for gate := range out {
+		var c MomentCell
+		var varSum float64
+		hasDist := true
+		for _, row := range rows {
+			rc := row[gate]
+			c.AzRad += rc.AzRad
+			c.V += rc.V
+			c.Z += rc.Z
+			c.W += rc.W
+			c.SNR += rc.SNR
+			if rc.HasDist {
+				varSum += rc.VDist.Variance()
+			} else {
+				hasDist = false
+			}
+		}
+		c.AzRad /= k
+		c.V /= k
+		c.Z /= k
+		c.W /= k
+		c.SNR /= k
+		c.RangeM = rows[0][gate].RangeM
+		if hasDist {
+			c.VDist = newNormalSafe(c.V, math.Sqrt(varSum)/k)
+			c.HasDist = true
+		}
+		out[gate] = c
+	}
+	return out
+}
+
+// newNormalSafe floors the σ so zero-noise configurations stay valid.
+func newNormalSafe(mu, sigma float64) dist.Normal {
+	if sigma <= 0 {
+		sigma = 1e-9
+	}
+	return dist.NewNormal(mu, sigma)
+}

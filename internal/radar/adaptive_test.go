@@ -1,0 +1,158 @@
+package radar
+
+import (
+	"math"
+	"testing"
+)
+
+// adaptiveScene: one vortex (with its storm blob) inside an otherwise quiet
+// sector.
+func adaptiveScene() (*Atmosphere, Site) {
+	a := &Atmosphere{
+		WindU: 6, WindV: 2,
+		Vortices: []Vortex{{
+			X: 15000 * math.Cos(1.0), Y: 15000 * math.Sin(1.0),
+			CoreRadius: 120, Vmax: 50,
+		}},
+	}
+	site := Site{SectorStartDeg: 40, SectorWidthDeg: 40}
+	return a, site
+}
+
+func TestAdaptiveAverageKeepsStormFine(t *testing.T) {
+	a, site := adaptiveScene()
+	fine := GenerateMomentScan(a, site, NoiseConfig{Seed: 3}, 0, AveragerConfig{AvgN: 40, WithUncertainty: true})
+	ad := AdaptiveAverage(fine, AdaptiveConfig{FineN: 40, CoarseN: 1000})
+
+	if ad.FineRows == 0 {
+		t.Fatal("no fine rows kept — storm not detected as active")
+	}
+	if ad.FineRows == len(ad.Rows) {
+		t.Fatal("everything kept fine — no compression happened")
+	}
+	// The mixed product must be much smaller than all-fine but bigger than
+	// all-coarse.
+	fineBytes := fine.Bytes()
+	if ad.Bytes() >= fineBytes/2 {
+		t.Errorf("adaptive bytes %d not < half of fine %d", ad.Bytes(), fineBytes)
+	}
+	// Every row's AvgN must be a multiple of the fine size.
+	for i, n := range ad.RowAvgN {
+		if n%40 != 0 {
+			t.Errorf("row %d AvgN = %d", i, n)
+		}
+	}
+}
+
+func TestAdaptiveAveragePreservesDetection(t *testing.T) {
+	// The paper's motivating property: aggressive averaging *where it is
+	// safe* must not cost detections. Compare: fine everywhere, coarse
+	// everywhere, adaptive.
+	a, site := adaptiveScene()
+	fine := GenerateMomentScan(a, site, NoiseConfig{Seed: 4}, 0, AveragerConfig{AvgN: 40})
+	coarseScan := GenerateMomentScan(a, site, NoiseConfig{Seed: 4}, 0, AveragerConfig{AvgN: 1000})
+	ad := AdaptiveAverage(fine, AdaptiveConfig{FineN: 40, CoarseN: 1000})
+
+	det := func(ms *MomentScan) int {
+		return len(detectForTest(ms))
+	}
+	fineDet := det(fine)
+	coarseDet := det(coarseScan)
+	adDet := det(ad.AsMomentScan(0))
+
+	if fineDet == 0 {
+		t.Fatal("fine averaging missed the vortex — scene miscalibrated")
+	}
+	if coarseDet != 0 {
+		t.Fatal("coarse averaging should miss the vortex")
+	}
+	if adDet != fineDet {
+		t.Errorf("adaptive detections %d != fine %d", adDet, fineDet)
+	}
+	// And the volume win is real.
+	reduction := float64(ad.Bytes()) / float64(fine.Bytes())
+	if reduction > 0.5 {
+		t.Errorf("adaptive volume is %.0f%% of fine — not worth it", 100*reduction)
+	}
+	t.Logf("adaptive: %d detections at %.0f%% of fine volume (coarse: %d detections)",
+		adDet, 100*reduction, coarseDet)
+}
+
+// detectForTest is a minimal inline couplet detector to avoid an import
+// cycle with internal/detect (which imports radar): max-min azimuthal
+// velocity over a ±1.2° neighborhood per ring, threshold 30 m/s, one
+// detection per contiguous flagged run.
+func detectForTest(ms *MomentScan) []int {
+	if len(ms.Cells) == 0 {
+		return nil
+	}
+	cellW := ms.CellWidthDeg()
+	nb := int(math.Ceil(1.2 / math.Max(cellW, 1e-9)))
+	if nb < 1 {
+		nb = 1
+	}
+	gates := len(ms.Cells[0])
+	flagged := map[int]bool{}
+	for gate := 0; gate < gates; gate++ {
+		if ms.Cells[0][gate].RangeM < 1000 {
+			continue
+		}
+		for az := range ms.Cells {
+			lo, hi := az-nb, az+nb
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(ms.Cells) {
+				hi = len(ms.Cells) - 1
+			}
+			vMin, vMax := math.Inf(1), math.Inf(-1)
+			for k := lo; k <= hi; k++ {
+				v := ms.Cells[k][gate].V
+				vMin = math.Min(vMin, v)
+				vMax = math.Max(vMax, v)
+			}
+			if vMax-vMin >= 30 && ms.Cells[az][gate].Z >= 25 {
+				flagged[az] = true
+			}
+		}
+	}
+	// Contiguous flagged azimuth runs = detections.
+	var runs []int
+	prev := -10
+	for az := 0; az < len(ms.Cells); az++ {
+		if flagged[az] {
+			if az != prev+1 {
+				runs = append(runs, az)
+			}
+			prev = az
+		}
+	}
+	return runs
+}
+
+func TestAdaptiveConfigDefaults(t *testing.T) {
+	c := AdaptiveConfig{CoarseN: 130, FineN: 40}.withDefaults()
+	if c.CoarseN != 120 {
+		t.Errorf("coarse rounded to %d, want 120", c.CoarseN)
+	}
+	c2 := AdaptiveConfig{}.withDefaults()
+	if c2.FineN != 40 || c2.CoarseN != 1000 || c2.GuardGroups != 2 {
+		t.Errorf("defaults: %+v", c2)
+	}
+}
+
+func TestMergeRowsExactAveraging(t *testing.T) {
+	// Coarse cells must be exact means of their fine constituents.
+	mk := func(v, z float64) []MomentCell {
+		return []MomentCell{{AzRad: 1, RangeM: 500, V: v, Z: z,
+			VDist: newNormalSafe(v, 1), HasDist: true}}
+	}
+	merged := mergeRows([][]MomentCell{mk(10, 20), mk(20, 40)})
+	if merged[0].V != 15 || merged[0].Z != 30 {
+		t.Errorf("merged = %+v", merged[0])
+	}
+	// σ of mean of two independent means with σ=1 each: sqrt(2)/2.
+	if math.Abs(merged[0].VDist.Sigma-math.Sqrt2/2) > 1e-12 {
+		t.Errorf("merged σ = %g", merged[0].VDist.Sigma)
+	}
+}

@@ -1,0 +1,184 @@
+package radar
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// PolarToCartesian converts a site-relative (azimuth, range) sample to the
+// shared Cartesian frame.
+func PolarToCartesian(s Site, azRad, rangeM float64) (x, y float64) {
+	return s.X + math.Cos(azRad)*rangeM, s.Y + math.Sin(azRad)*rangeM
+}
+
+// MergedCell is one Cartesian voxel of the merged multi-radar product
+// (§2.2 "merged data"). Reflectivity fuses by precision weighting; where two
+// radars with sufficiently aligned beam heights overlap, the dual-Doppler
+// wind (u, v) is reconstructed with its covariance.
+type MergedCell struct {
+	X, Y float64
+	// Z is the fused reflectivity (dBZ); NSources the number of radars
+	// contributing.
+	Z        float64
+	NSources int
+	// HasWind reports a dual-Doppler reconstruction.
+	HasWind bool
+	U, V    float64
+	// UVar, VVar, UVCov carry the delta-method covariance of (U, V).
+	UVar, VVar, UVCov float64
+	// AltOffsetM is the beam-height mismatch between the contributing
+	// radars (quality flag: large offsets mean the radars saw different
+	// altitudes — the §2.2 third-dimension problem).
+	AltOffsetM float64
+}
+
+// MergeConfig controls the polar→Cartesian merge.
+type MergeConfig struct {
+	// CellSizeM is the Cartesian grid pitch (default 500 m).
+	CellSizeM float64
+	// MaxAltOffsetM rejects dual-Doppler fusion when the two beams differ
+	// in height by more than this (default 500 m).
+	MaxAltOffsetM float64
+	// MinBeamAngleDeg rejects fusion when the viewing angles are too
+	// parallel for a stable 2x2 solve (default 20°).
+	MinBeamAngleDeg float64
+}
+
+func (c MergeConfig) withDefaults() MergeConfig {
+	if c.CellSizeM <= 0 {
+		c.CellSizeM = 500
+	}
+	if c.MaxAltOffsetM <= 0 {
+		c.MaxAltOffsetM = 500
+	}
+	if c.MinBeamAngleDeg <= 0 {
+		c.MinBeamAngleDeg = 20
+	}
+	return c
+}
+
+// sample is one polar cell mapped into a Cartesian bucket.
+type sample struct {
+	site    int
+	bx, by  float64 // beam unit vector
+	vr      float64 // radial velocity
+	vrVar   float64
+	z       float64
+	heightM float64
+}
+
+// MergeScans fuses moment scans from multiple radars onto a Cartesian grid.
+// This is the "special form of join" of §3: tuples from different radar
+// streams match when they fall in the same spatial cell, and the fused
+// value's uncertainty comes from the inputs' distributions.
+func MergeScans(scans []*MomentScan, cfg MergeConfig) []MergedCell {
+	cfg = cfg.withDefaults()
+	buckets := make(map[[2]int][]sample)
+	for si, scan := range scans {
+		site := scan.Site.withDefaults()
+		for _, row := range scan.Cells {
+			for _, c := range row {
+				x, y := PolarToCartesian(site, c.AzRad, c.RangeM)
+				k := [2]int{int(math.Floor(x / cfg.CellSizeM)), int(math.Floor(y / cfg.CellSizeM))}
+				vrVar := 1.0
+				if c.HasDist {
+					vrVar = c.VDist.Variance()
+				}
+				buckets[k] = append(buckets[k], sample{
+					site:    si,
+					bx:      math.Cos(c.AzRad),
+					by:      math.Sin(c.AzRad),
+					vr:      c.V,
+					vrVar:   vrVar,
+					z:       c.Z,
+					heightM: site.BeamHeightM(c.RangeM),
+				})
+			}
+		}
+	}
+
+	out := make([]MergedCell, 0, len(buckets))
+	for k, ss := range buckets {
+		mc := MergedCell{
+			X: (float64(k[0]) + 0.5) * cfg.CellSizeM,
+			Y: (float64(k[1]) + 0.5) * cfg.CellSizeM,
+		}
+		// Precision-weighted reflectivity over all samples.
+		var zw, wsum float64
+		seen := map[int]bool{}
+		for _, s := range ss {
+			w := 1 / (s.vrVar + 1e-6)
+			zw += w * s.z
+			wsum += w
+			seen[s.site] = true
+		}
+		mc.Z = zw / wsum
+		mc.NSources = len(seen)
+
+		// Dual-Doppler: pick the best-conditioned pair from two distinct
+		// sites with acceptable altitude offset.
+		best := -1.0
+		var bi, bj int
+		for i := range ss {
+			for j := i + 1; j < len(ss); j++ {
+				if ss[i].site == ss[j].site {
+					continue
+				}
+				if math.Abs(ss[i].heightM-ss[j].heightM) > cfg.MaxAltOffsetM {
+					continue
+				}
+				cross := math.Abs(ss[i].bx*ss[j].by - ss[i].by*ss[j].bx)
+				if cross > best {
+					best = cross
+					bi, bj = i, j
+				}
+			}
+		}
+		minCross := math.Sin(cfg.MinBeamAngleDeg * math.Pi / 180)
+		if best >= minCross {
+			a, b := ss[bi], ss[bj]
+			mc.AltOffsetM = math.Abs(a.heightM - b.heightM)
+			det := a.bx*b.by - a.by*b.bx
+			// Solve [bx by; bx' by'] (u,v)ᵀ = (vr, vr')ᵀ.
+			mc.U = (a.vr*b.by - b.vr*a.by) / det
+			mc.V = (a.bx*b.vr - b.bx*a.vr) / det
+			// Delta method: covariance of the linear solve.
+			// (u,v) = M⁻¹ (vr1, vr2); Σ = M⁻¹ diag(σ²) M⁻ᵀ.
+			inv00, inv01 := b.by/det, -a.by/det
+			inv10, inv11 := -b.bx/det, a.bx/det
+			mc.UVar = inv00*inv00*a.vrVar + inv01*inv01*b.vrVar
+			mc.VVar = inv10*inv10*a.vrVar + inv11*inv11*b.vrVar
+			mc.UVCov = inv00*inv10*a.vrVar + inv01*inv11*b.vrVar
+			mc.HasWind = true
+		}
+		out = append(out, mc)
+	}
+	return out
+}
+
+// WindSpeedDist returns the distribution of the wind speed √(U²+V²) for a
+// merged cell via the multivariate delta method (§5.2 "complex functions"):
+// speed ≈ N(√(u²+v²), ∇gᵀ Σ ∇g).
+func (mc MergedCell) WindSpeedDist() (dist.Normal, bool) {
+	if !mc.HasWind {
+		return dist.Normal{}, false
+	}
+	speed := math.Hypot(mc.U, mc.V)
+	if speed < 1e-9 {
+		return dist.NewNormal(0, math.Sqrt(math.Max(mc.UVar+mc.VVar, 1e-12))), true
+	}
+	gu, gv := mc.U/speed, mc.V/speed
+	v := gu*gu*mc.UVar + 2*gu*gv*mc.UVCov + gv*gv*mc.VVar
+	v = math.Max(v, 1e-12)
+	return dist.NewNormal(speed, math.Sqrt(v)), true
+}
+
+// TransmissionSeconds returns the time to ship the scan's moment data over a
+// link of the given megabits/s — the 4 Mbps budget check of §2.2.
+func TransmissionSeconds(bytes int64, mbps float64) float64 {
+	if mbps <= 0 {
+		return math.Inf(1)
+	}
+	return float64(bytes) * 8 / (mbps * 1e6)
+}

@@ -1,0 +1,194 @@
+package radar
+
+import (
+	"repro/internal/dist"
+	"repro/internal/timeseries"
+)
+
+// MomentCell is one averaged moment-data item: the numeric description of a
+// unit of scanned space (voxel) after averaging AvgN consecutive pulses for
+// the same gate (§2.2 "averaged moment data").
+type MomentCell struct {
+	AzRad  float64
+	RangeM float64
+	// Averaged moments.
+	V, Z, W, SNR float64
+	// VDist quantifies the uncertainty of the velocity average via the
+	// MA Central Limit Theorem (§4.4/§5.1); zero-value if the averager ran
+	// with uncertainty disabled.
+	VDist dist.Normal
+	// HasDist reports whether VDist is populated.
+	HasDist bool
+}
+
+// MomentScan is the moment data of one sector sweep at one averaging size.
+type MomentScan struct {
+	Site   Site
+	AvgN   int
+	TStart float64
+	// Cells is indexed [azGroup][gate].
+	Cells [][]MomentCell
+}
+
+// Bytes returns the moment data volume (four 32-bit floats per cell, the
+// paper's item size — the uncertainty annotation travels in-tuple downstream
+// but the Table 1 volume accounting uses the paper's wire format).
+func (m *MomentScan) Bytes() int64 {
+	var cells int64
+	for _, row := range m.Cells {
+		cells += int64(len(row))
+	}
+	return cells * BytesPerItem
+}
+
+// AzGroups returns the number of azimuth groups.
+func (m *MomentScan) AzGroups() int { return len(m.Cells) }
+
+// CellWidthDeg returns the angular span of one averaging group.
+func (m *MomentScan) CellWidthDeg() float64 {
+	s := m.Site.withDefaults()
+	return float64(m.AvgN) / s.PulseHz * s.RotRateDegPerSec
+}
+
+// AveragerConfig tunes moment generation.
+type AveragerConfig struct {
+	// AvgN is the number of consecutive pulses averaged per gate (Table 1
+	// sweeps 40..1000).
+	AvgN int
+	// WithUncertainty attaches the MA-CLT velocity distribution per cell
+	// (§4.4). MALag is the assumed MA order for the long-run variance
+	// (default 2, matching the generator's noise; the auto-identification
+	// path lives in timeseries.MeanCLTAuto and is exercised by tests).
+	WithUncertainty bool
+	MALag           int
+}
+
+// Averager is the streaming temporal-aggregation operator: it consumes
+// pulses and emits one row of moment cells per completed group of AvgN
+// pulses. This is the radar T operator's first half; the paper models it as
+// relational aggregation over non-overlapping windows (§5.2: such averaging
+// "does not create correlated results because it is applied to
+// non-overlapping segments").
+type Averager struct {
+	site Site
+	cfg  AveragerConfig
+
+	count  int
+	azSum  float64
+	sums   []sums
+	velBuf [][]float64 // per gate, only when WithUncertainty
+	out    [][]MomentCell
+}
+
+type sums struct {
+	v, z, w, snr float64
+}
+
+// NewAverager creates the operator for one site.
+func NewAverager(site Site, cfg AveragerConfig) *Averager {
+	site = site.withDefaults()
+	if cfg.AvgN <= 0 {
+		cfg.AvgN = 40
+	}
+	if cfg.MALag <= 0 {
+		cfg.MALag = 2
+	}
+	a := &Averager{
+		site: site,
+		cfg:  cfg,
+		sums: make([]sums, site.Gates),
+	}
+	if cfg.WithUncertainty {
+		a.velBuf = make([][]float64, site.Gates)
+		for i := range a.velBuf {
+			a.velBuf[i] = make([]float64, 0, cfg.AvgN)
+		}
+	}
+	return a
+}
+
+// AddPulse feeds one pulse; a completed group appends a row of cells.
+func (a *Averager) AddPulse(p *Pulse) {
+	for gate, it := range p.Items {
+		s := &a.sums[gate]
+		s.v += float64(it.V)
+		s.z += float64(it.Z)
+		s.w += float64(it.W)
+		s.snr += float64(it.SNR)
+		if a.velBuf != nil {
+			a.velBuf[gate] = append(a.velBuf[gate], float64(it.V))
+		}
+	}
+	a.azSum += p.AzRad
+	a.count++
+	if a.count >= a.cfg.AvgN {
+		a.finalizeGroup()
+	}
+}
+
+func (a *Averager) finalizeGroup() {
+	n := float64(a.count)
+	az := a.azSum / n
+	row := make([]MomentCell, len(a.sums))
+	for gate := range a.sums {
+		s := a.sums[gate]
+		c := MomentCell{
+			AzRad:  az,
+			RangeM: (float64(gate) + 0.5) * a.site.GateSpacingM,
+			V:      s.v / n,
+			Z:      s.z / n,
+			W:      s.w / n,
+			SNR:    s.snr / n,
+		}
+		if a.velBuf != nil {
+			c.VDist = timeseries.MeanCLT(a.velBuf[gate], a.cfg.MALag)
+			c.HasDist = true
+			a.velBuf[gate] = a.velBuf[gate][:0]
+		}
+		row[gate] = c
+		a.sums[gate] = sums{}
+	}
+	a.out = append(a.out, row)
+	a.count = 0
+	a.azSum = 0
+}
+
+// Finish flushes a partial trailing group (dropped: the paper averages whole
+// groups) and returns the scan.
+func (a *Averager) Finish(tStart float64) *MomentScan {
+	// Partial groups are discarded; reset state for reuse.
+	a.count = 0
+	a.azSum = 0
+	for i := range a.sums {
+		a.sums[i] = sums{}
+	}
+	if a.velBuf != nil {
+		for i := range a.velBuf {
+			a.velBuf[i] = a.velBuf[i][:0]
+		}
+	}
+	scan := &MomentScan{Site: a.site, AvgN: a.cfg.AvgN, TStart: tStart, Cells: a.out}
+	a.out = nil
+	return scan
+}
+
+// GenerateMomentScan runs a full sector sweep through one averager — the
+// common single-size path. For multi-size experiments feed one ScanStream
+// into several averagers via Tee to avoid regenerating raw data.
+func GenerateMomentScan(a *Atmosphere, site Site, noise NoiseConfig, tStart float64, cfg AveragerConfig) *MomentScan {
+	avg := NewAverager(site, cfg)
+	site.ScanStream(a, noise, tStart, avg.AddPulse)
+	return avg.Finish(tStart)
+}
+
+// Tee feeds one pulse stream into several averagers — the Table 1 sweep
+// generates raw data once per scan and averages it at every size in
+// parallel, exactly how the paper's experiment varies only the averaging
+// parameter over the same 38 s of raw data.
+func Tee(avgs []*Averager) func(*Pulse) {
+	return func(p *Pulse) {
+		for _, a := range avgs {
+			a.AddPulse(p)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package radar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVortexTangentialField(t *testing.T) {
+	v := Vortex{X: 0, Y: 0, CoreRadius: 100, Vmax: 50}
+	// At the core radius, speed is Vmax; direction perpendicular to radius.
+	vx, vy := v.TangentialAt(100, 0, 0)
+	if math.Abs(vx) > 1e-9 || math.Abs(vy-50) > 1e-9 {
+		t.Errorf("at (100,0): (%g, %g), want (0, 50)", vx, vy)
+	}
+	// Inside: linear ramp.
+	vx, vy = v.TangentialAt(50, 0, 0)
+	if math.Abs(vy-25) > 1e-9 {
+		t.Errorf("inside speed = %g, want 25", vy)
+	}
+	// Outside: 1/r decay.
+	vx, vy = v.TangentialAt(200, 0, 0)
+	if math.Abs(vy-25) > 1e-9 {
+		t.Errorf("outside speed = %g, want 25", vy)
+	}
+	_ = vx
+}
+
+func TestVortexTranslation(t *testing.T) {
+	v := Vortex{X: 0, Y: 0, CoreRadius: 100, Vmax: 50, VX: 10, VY: -5}
+	cx, cy := v.CenterAt(10)
+	if cx != 100 || cy != -50 {
+		t.Errorf("center at t=10: (%g, %g)", cx, cy)
+	}
+}
+
+func TestCoupletWidth(t *testing.T) {
+	v := Vortex{CoreRadius: 100}
+	w := v.CoupletWidthDeg(12000)
+	want := 2 * 100.0 / 12000 * 180 / math.Pi
+	if math.Abs(w-want) > 1e-9 {
+		t.Errorf("width = %g, want %g", w, want)
+	}
+}
+
+func TestDopplerSignConvention(t *testing.T) {
+	// Wind blowing +x; radar at origin looking along +x: positive Doppler.
+	a := &Atmosphere{WindU: 10}
+	if d := a.DopplerAt(0, 0, 0, 1000, 0); math.Abs(d-10) > 1e-9 {
+		t.Errorf("Doppler along wind = %g", d)
+	}
+	// Looking along +y: no radial component.
+	if d := a.DopplerAt(0, 0, math.Pi/2, 1000, 0); math.Abs(d) > 1e-9 {
+		t.Errorf("Doppler crosswind = %g", d)
+	}
+	// Looking along -x: wind approaches, negative.
+	if d := a.DopplerAt(0, 0, math.Pi, 1000, 0); math.Abs(d+10) > 1e-9 {
+		t.Errorf("Doppler against wind = %g", d)
+	}
+}
+
+func TestReflectivityPeaksAtVortex(t *testing.T) {
+	a := &Atmosphere{Vortices: []Vortex{{X: 5000, Y: 0, CoreRadius: 100, Vmax: 50}}}
+	at := a.ReflectivityAt(5000, 0, 0)
+	far := a.ReflectivityAt(20000, 20000, 0)
+	if at <= far+20 {
+		t.Errorf("reflectivity at vortex %g, far %g", at, far)
+	}
+}
+
+func TestScanStreamGeometryAndDeterminism(t *testing.T) {
+	a := &Atmosphere{WindU: 5}
+	site := Site{Gates: 64, SectorWidthDeg: 10}.withDefaults()
+	var azs []float64
+	var firstVals []float32
+	site.ScanStream(a, NoiseConfig{Seed: 3}, 0, func(p *Pulse) {
+		azs = append(azs, p.AzRad)
+		firstVals = append(firstVals, p.Items[0].V)
+	})
+	wantPulses := site.PulsesPerScan()
+	if len(azs) != wantPulses {
+		t.Fatalf("pulses = %d, want %d", len(azs), wantPulses)
+	}
+	// Azimuth strictly increasing over the sector.
+	for i := 1; i < len(azs); i++ {
+		if azs[i] <= azs[i-1] {
+			t.Fatal("azimuth must increase")
+		}
+	}
+	span := (azs[len(azs)-1] - azs[0]) * 180 / math.Pi
+	if math.Abs(span-10) > 0.5 {
+		t.Errorf("sector span = %g°, want ~10°", span)
+	}
+	// Determinism.
+	var again []float32
+	site.ScanStream(a, NoiseConfig{Seed: 3}, 0, func(p *Pulse) {
+		again = append(again, p.Items[0].V)
+	})
+	for i := range firstVals {
+		if firstVals[i] != again[i] {
+			t.Fatal("scan stream not deterministic")
+		}
+	}
+}
+
+func TestNoiseIsTemporallyCorrelated(t *testing.T) {
+	a := &Atmosphere{} // zero wind: samples are pure noise
+	site := Site{Gates: 4, SectorWidthDeg: 5}.withDefaults()
+	var vs []float64
+	site.ScanStream(a, NoiseConfig{Seed: 4}, 0, func(p *Pulse) {
+		vs = append(vs, float64(p.Items[0].V))
+	})
+	// Lag-1 autocorrelation of MA(2) with θ=(0.6,0.3):
+	// ρ1 = (0.6+0.6·0.3)/(1+0.36+0.09) ≈ 0.54.
+	var mean float64
+	for _, v := range vs {
+		mean += v
+	}
+	mean /= float64(len(vs))
+	var g0, g1 float64
+	for i := range vs {
+		g0 += (vs[i] - mean) * (vs[i] - mean)
+		if i+1 < len(vs) {
+			g1 += (vs[i] - mean) * (vs[i+1] - mean)
+		}
+	}
+	rho1 := g1 / g0
+	if rho1 < 0.4 || rho1 > 0.65 {
+		t.Errorf("lag-1 autocorrelation = %g, want ~0.54", rho1)
+	}
+}
+
+func TestAveragerGroupsAndBytes(t *testing.T) {
+	a := &Atmosphere{WindU: 7}
+	site := Site{Gates: 32, SectorWidthDeg: 5}.withDefaults()
+	avg := NewAverager(site, AveragerConfig{AvgN: 50})
+	site.ScanStream(a, NoiseConfig{Seed: 5}, 0, avg.AddPulse)
+	scan := avg.Finish(0)
+	wantGroups := site.PulsesPerScan() / 50
+	if scan.AzGroups() != wantGroups {
+		t.Errorf("groups = %d, want %d", scan.AzGroups(), wantGroups)
+	}
+	if scan.Bytes() != int64(wantGroups)*32*BytesPerItem {
+		t.Errorf("bytes = %d", scan.Bytes())
+	}
+	// Cell width: 50 pulses at 2000 Hz, 19°/s → 0.475°.
+	if w := scan.CellWidthDeg(); math.Abs(w-0.475) > 1e-9 {
+		t.Errorf("cell width = %g", w)
+	}
+}
+
+func TestAveragerReducesNoise(t *testing.T) {
+	// With a constant true field, larger averages land closer to truth.
+	a := &Atmosphere{WindU: 10}
+	site := Site{Gates: 8, SectorWidthDeg: 20}.withDefaults()
+	rmse := func(n int) float64 {
+		avg := NewAverager(site, AveragerConfig{AvgN: n})
+		site.ScanStream(a, NoiseConfig{Seed: 6}, 0, avg.AddPulse)
+		scan := avg.Finish(0)
+		var s float64
+		var count int
+		for _, row := range scan.Cells {
+			for _, c := range row {
+				truth := a.DopplerAt(site.X, site.Y, c.AzRad, c.RangeM, 0)
+				s += (c.V - truth) * (c.V - truth)
+				count++
+			}
+		}
+		return math.Sqrt(s / float64(count))
+	}
+	small, large := rmse(10), rmse(500)
+	if large >= small {
+		t.Errorf("averaging should reduce noise: rmse(10)=%g, rmse(500)=%g", small, large)
+	}
+}
+
+func TestAveragerUncertaintyCoversNoise(t *testing.T) {
+	a := &Atmosphere{WindU: 10}
+	site := Site{Gates: 16, SectorWidthDeg: 20}.withDefaults()
+	avg := NewAverager(site, AveragerConfig{AvgN: 100, WithUncertainty: true})
+	site.ScanStream(a, NoiseConfig{Seed: 7}, 0, avg.AddPulse)
+	scan := avg.Finish(0)
+	inside, total := 0, 0
+	for _, row := range scan.Cells {
+		for _, c := range row {
+			if !c.HasDist {
+				t.Fatal("missing VDist")
+			}
+			truth := a.DopplerAt(site.X, site.Y, c.AzRad, c.RangeM, 0)
+			lo, hi := c.VDist.Quantile(0.025), c.VDist.Quantile(0.975)
+			if truth >= lo && truth <= hi {
+				inside++
+			}
+			total++
+		}
+	}
+	cov := float64(inside) / float64(total)
+	if cov < 0.85 || cov > 1.0 {
+		t.Errorf("95%% interval coverage = %g over %d cells", cov, total)
+	}
+}
+
+func TestBeamHeightMonotone(t *testing.T) {
+	s := Site{}.withDefaults()
+	h10 := s.BeamHeightM(10000)
+	h30 := s.BeamHeightM(30000)
+	if h10 <= 0 || h30 <= h10 {
+		t.Errorf("beam heights %g, %g", h10, h30)
+	}
+	// ~1° elevation at 10 km ≈ 175 m plus refraction ≈ 6 m.
+	if h10 < 150 || h10 > 220 {
+		t.Errorf("h(10km) = %g m, expected ~180", h10)
+	}
+}
+
+func TestDualDopplerMergeRecoversWind(t *testing.T) {
+	a := &Atmosphere{WindU: 12, WindV: -4}
+	// Two radars 20 km apart, sectors aimed at the midpoint region.
+	s1 := Site{Name: "KA", X: 0, Y: 0, SectorStartDeg: 20, SectorWidthDeg: 50, Gates: 416, GateSpacingM: 72}
+	s2 := Site{Name: "KB", X: 20000, Y: 0, SectorStartDeg: 110, SectorWidthDeg: 50, Gates: 416, GateSpacingM: 72}
+	noise := NoiseConfig{VelSigma: 0.5, VelTheta: []float64{0}, ReflSigma: 0.5, Seed: 8}
+	m1 := GenerateMomentScan(a, s1, noise, 0, AveragerConfig{AvgN: 100, WithUncertainty: true})
+	m2 := GenerateMomentScan(a, s2, noise, 0, AveragerConfig{AvgN: 100, WithUncertainty: true})
+	cells := MergeScans([]*MomentScan{m1, m2}, MergeConfig{CellSizeM: 1000})
+	var fused int
+	for _, c := range cells {
+		if !c.HasWind {
+			continue
+		}
+		fused++
+		if math.Abs(c.U-12) > 2 || math.Abs(c.V+4) > 2 {
+			t.Errorf("dual-Doppler wind (%g, %g) at (%g,%g), want (12, -4)", c.U, c.V, c.X, c.Y)
+		}
+		if c.UVar <= 0 || c.VVar <= 0 {
+			t.Error("wind variance must be positive")
+		}
+		sp, ok := c.WindSpeedDist()
+		if !ok {
+			t.Fatal("WindSpeedDist missing")
+		}
+		want := math.Hypot(12, 4)
+		if math.Abs(sp.Mu-want) > 2 {
+			t.Errorf("speed %g, want %g", sp.Mu, want)
+		}
+	}
+	if fused < 10 {
+		t.Fatalf("only %d dual-Doppler cells — geometry wrong", fused)
+	}
+}
+
+func TestMergeAltitudeGate(t *testing.T) {
+	a := &Atmosphere{WindU: 10}
+	// Radar 2 at a steep elevation: beam heights differ by km at range —
+	// fusion must be rejected.
+	s1 := Site{Name: "KA", X: 0, Y: 0, SectorStartDeg: 20, SectorWidthDeg: 30, Gates: 208, GateSpacingM: 144, ElevationDeg: 1}
+	s2 := Site{Name: "KB", X: 20000, Y: 0, SectorStartDeg: 120, SectorWidthDeg: 30, Gates: 208, GateSpacingM: 144, ElevationDeg: 10}
+	noise := NoiseConfig{VelSigma: 0.5, VelTheta: []float64{0}, Seed: 9}
+	m1 := GenerateMomentScan(a, s1, noise, 0, AveragerConfig{AvgN: 100})
+	m2 := GenerateMomentScan(a, s2, noise, 0, AveragerConfig{AvgN: 100})
+	cells := MergeScans([]*MomentScan{m1, m2}, MergeConfig{CellSizeM: 1000, MaxAltOffsetM: 300})
+	for _, c := range cells {
+		if c.HasWind && c.X > 5000 {
+			// Far cells have offsets >> 300 m; any fusion there is a bug.
+			t.Errorf("fused cell at (%g,%g) despite altitude offset", c.X, c.Y)
+		}
+	}
+}
+
+func TestTransmissionSeconds(t *testing.T) {
+	// 1 MB over 4 Mbps = 2 s.
+	if got := TransmissionSeconds(1e6, 4); math.Abs(got-2) > 1e-9 {
+		t.Errorf("TransmissionSeconds = %g", got)
+	}
+	if !math.IsInf(TransmissionSeconds(1, 0), 1) {
+		t.Error("zero bandwidth should be infinite")
+	}
+}
+
+func TestRawDataRateMatchesPaper(t *testing.T) {
+	// §2.2: 2000 pulses/s × 832 gates × 16 B ≈ 1.66M items and ~205-213
+	// Mb/s of raw data.
+	s := Site{}.withDefaults()
+	itemsPerSec := s.PulseHz * float64(s.Gates)
+	if math.Abs(itemsPerSec-1.664e6) > 1e3 {
+		t.Errorf("items/s = %g", itemsPerSec)
+	}
+	mbps := itemsPerSec * BytesPerItem * 8 / 1e6
+	if mbps < 200 || mbps < 205 && mbps > 220 {
+		if mbps < 200 || mbps > 220 {
+			t.Errorf("raw rate = %g Mb/s, want ~213", mbps)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package radar
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Site is one radar node of the CASA-style network.
+type Site struct {
+	// Name labels the node in merged products.
+	Name string
+	// X, Y position the radar (m).
+	X, Y float64
+	// SectorStartDeg / SectorWidthDeg bound the monitored sector (the
+	// closed-loop system re-steers radars to sectors of interest).
+	SectorStartDeg, SectorWidthDeg float64
+	// RotRateDegPerSec is the antenna rotation rate (default 19°/s; a 66°
+	// sector then takes ~3.5 s, giving 4 sector scans in the paper's 38 s
+	// window).
+	RotRateDegPerSec float64
+	// PulseHz is the pulse rate (default 2000/s, the paper's figure).
+	PulseHz float64
+	// Gates is the number of range gates per pulse (default 832).
+	Gates int
+	// GateSpacingM is the range-gate spacing (default 36 m → 30 km range).
+	GateSpacingM float64
+	// ElevationDeg tilts the beam (matters for multi-radar merge altitude
+	// offsets; default 1°).
+	ElevationDeg float64
+}
+
+func (s Site) withDefaults() Site {
+	if s.RotRateDegPerSec <= 0 {
+		s.RotRateDegPerSec = 19
+	}
+	if s.PulseHz <= 0 {
+		s.PulseHz = 2000
+	}
+	if s.Gates <= 0 {
+		s.Gates = 832
+	}
+	if s.GateSpacingM <= 0 {
+		s.GateSpacingM = 36
+	}
+	if s.SectorWidthDeg <= 0 {
+		s.SectorWidthDeg = 66
+	}
+	if s.ElevationDeg == 0 {
+		s.ElevationDeg = 1
+	}
+	return s
+}
+
+// PulsesPerScan returns the number of pulses in one sector sweep.
+func (s Site) PulsesPerScan() int {
+	s = s.withDefaults()
+	return int(s.SectorWidthDeg / s.RotRateDegPerSec * s.PulseHz)
+}
+
+// BytesPerItem is the raw/moment item size: four 32-bit floats (§2.2).
+const BytesPerItem = 16
+
+// RawBytesPerScan returns the raw data volume of one sector sweep.
+func (s Site) RawBytesPerScan() int64 {
+	s = s.withDefaults()
+	return int64(s.PulsesPerScan()) * int64(s.Gates) * BytesPerItem
+}
+
+// BeamHeightM returns the beam centerline height above ground at the given
+// range under 4/3-earth refraction — the source of the §2.2 altitude-offset
+// problem when merging radars.
+func (s Site) BeamHeightM(rangeM float64) float64 {
+	s = s.withDefaults()
+	const effectiveEarthR = 4.0 / 3 * 6.371e6
+	elev := s.ElevationDeg * math.Pi / 180
+	return rangeM*math.Sin(elev) + rangeM*rangeM/(2*effectiveEarthR)
+}
+
+// PulseItem is one range gate's raw sample: the four 32-bit floats of the
+// paper's time-series data structure (velocity sample, reflectivity sample,
+// spectral-width sample, SNR).
+type PulseItem struct {
+	V, Z, W, SNR float32
+}
+
+// Pulse is one transmitted pulse: an azimuth plus one item per range gate.
+// Gate i covers range (i+0.5) × GateSpacingM.
+type Pulse struct {
+	T     float64 // seconds since scan start
+	AzRad float64
+	Items []PulseItem
+}
+
+// NoiseConfig shapes the per-gate measurement noise. Velocity noise is an
+// MA(q) process across consecutive pulses (§5.1: "the data items for the
+// 2000 pulses in each second form a correlated time series, due to frequent
+// sampling").
+type NoiseConfig struct {
+	// VelSigma is the per-pulse velocity noise innovation σ (m/s, default 4).
+	VelSigma float64
+	// VelTheta are the MA coefficients (default {0.6, 0.3}).
+	VelTheta []float64
+	// ReflSigma is reflectivity noise σ (dBZ, default 3).
+	ReflSigma float64
+	// Seed drives the noise streams.
+	Seed int64
+}
+
+func (n NoiseConfig) withDefaults() NoiseConfig {
+	if n.VelSigma <= 0 {
+		n.VelSigma = 4
+	}
+	if n.VelTheta == nil {
+		n.VelTheta = []float64{0.6, 0.3}
+	}
+	if n.ReflSigma <= 0 {
+		n.ReflSigma = 3
+	}
+	if n.Seed == 0 {
+		n.Seed = 1
+	}
+	return n
+}
+
+// gateNoise holds MA lag state for every gate of one site.
+type gateNoise struct {
+	theta []float64
+	sigma float64
+	lags  [][]float64 // [gate][lag]
+	g     *rng.RNG
+}
+
+func newGateNoise(gates int, cfg NoiseConfig) *gateNoise {
+	gn := &gateNoise{
+		theta: cfg.VelTheta,
+		sigma: cfg.VelSigma,
+		lags:  make([][]float64, gates),
+		g:     rng.New(cfg.Seed),
+	}
+	for i := range gn.lags {
+		gn.lags[i] = make([]float64, len(cfg.VelTheta))
+	}
+	return gn
+}
+
+// next draws the gate's correlated velocity noise for one pulse.
+func (gn *gateNoise) next(gate int) float64 {
+	e := gn.g.Normal(0, gn.sigma)
+	v := e
+	lags := gn.lags[gate]
+	for j, b := range gn.theta {
+		v += b * lags[j]
+	}
+	// Shift lag buffer.
+	copy(lags[1:], lags[:len(lags)-1])
+	if len(lags) > 0 {
+		lags[0] = e
+	}
+	return v
+}
+
+// ScanStream generates one sector sweep pulse by pulse, invoking emit for
+// each. Pulses are generated (not materialized) because one 38-second
+// four-scan window is ~1.2 GB of raw items at paper rates — the streaming
+// discipline the paper's volumes force.
+//
+// tStart is the scan's start time in atmosphere time (vortices translate).
+func (s Site) ScanStream(a *Atmosphere, noise NoiseConfig, tStart float64, emit func(*Pulse)) {
+	s = s.withDefaults()
+	noise = noise.withDefaults()
+	gn := newGateNoise(s.Gates, noise)
+	zg := rng.New(noise.Seed + 7)
+
+	n := s.PulsesPerScan()
+	dt := 1 / s.PulseHz
+	azStart := s.SectorStartDeg * math.Pi / 180
+	azRate := s.RotRateDegPerSec * math.Pi / 180
+	p := &Pulse{Items: make([]PulseItem, s.Gates)}
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		p.T = t
+		p.AzRad = azStart + azRate*t
+		sin, cos := math.Sincos(p.AzRad)
+		for gate := 0; gate < s.Gates; gate++ {
+			r := (float64(gate) + 0.5) * s.GateSpacingM
+			trueV := a.DopplerRay(s.X, s.Y, cos, sin, r, tStart+t)
+			trueZ := a.ReflectivityAt(s.X+cos*r, s.Y+sin*r, tStart+t)
+			v := trueV + gn.next(gate)
+			z := trueZ + zg.Normal(0, noise.ReflSigma)
+			p.Items[gate] = PulseItem{
+				V:   float32(v),
+				Z:   float32(z),
+				W:   float32(math.Abs(zg.Normal(2, 1))),
+				SNR: float32(trueZ - 10 + zg.Normal(0, 1)),
+			}
+		}
+		emit(p)
+	}
+}

@@ -1,0 +1,150 @@
+package radar
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/stream"
+)
+
+// VoxelTuple is the radar T operator's output: one tuple per voxel (azimuth
+// group × gate) per scan, carrying the averaged moments and the full
+// velocity distribution (§4.4). When correlation tracking is enabled, the
+// tuple also carries the conditional distribution p(Vₙ | Vₙ₋₁) linking it to
+// the previous epoch's tuple for the same voxel — the §3 mechanism that lets
+// downstream operators rebuild joint distributions across epochs.
+type VoxelTuple struct {
+	TS     stream.Time
+	AzRad  float64
+	RangeM float64
+	// Vel is the marginal velocity distribution (MA-CLT Gaussian).
+	Vel dist.Normal
+	// Refl is the averaged reflectivity (certain, averaged over many
+	// samples).
+	Refl float64
+	// Cond, when non-nil, is the conditional link from the previous epoch:
+	// Vel_n = A·Vel_{n-1} + B + N(0, S²).
+	Cond *core.CondLink
+	// Epoch indexes the scan this tuple came from.
+	Epoch int
+}
+
+// TransformerConfig tunes the radar T operator.
+type TransformerConfig struct {
+	// AvgN is the temporal averaging size.
+	AvgN int
+	// MALag is the assumed MA order for the CLT (default 2).
+	MALag int
+	// TrackCorrelation emits conditional links across epochs (§3's
+	// "temporally correlated tuples each carry a conditional
+	// distribution").
+	TrackCorrelation bool
+	// CorrelationRho is the assumed epoch-to-epoch AR coefficient of the
+	// underlying field when TrackCorrelation is set (default 0.8 —
+	// weather evolves slowly relative to the 60 s epoch).
+	CorrelationRho float64
+}
+
+// Transformer is the radar data capture and transformation operator: raw
+// pulse streams in, voxel tuples with quantified uncertainty out. It is the
+// §4.4 "alternative technique for extremely high volume streams": no
+// per-tuple inference, just deterministic averaging plus a one-scan MA-CLT
+// uncertainty model.
+type Transformer struct {
+	site Site
+	cfg  TransformerConfig
+
+	epoch int
+	prev  map[[2]int]dist.Normal // previous epoch's velocity dist per voxel
+}
+
+// NewTransformer builds the operator for one radar site.
+func NewTransformer(site Site, cfg TransformerConfig) *Transformer {
+	if cfg.AvgN <= 0 {
+		cfg.AvgN = 40
+	}
+	if cfg.MALag <= 0 {
+		cfg.MALag = 2
+	}
+	if cfg.CorrelationRho == 0 {
+		cfg.CorrelationRho = 0.8
+	}
+	return &Transformer{
+		site: site.withDefaults(),
+		cfg:  cfg,
+		prev: make(map[[2]int]dist.Normal),
+	}
+}
+
+// ProcessScan consumes one sector sweep of raw pulses (via the atmosphere
+// generator) and emits the epoch's voxel tuples.
+func (t *Transformer) ProcessScan(a *Atmosphere, noise NoiseConfig, tStart float64) []VoxelTuple {
+	scan := GenerateMomentScan(a, t.site, noise, tStart, AveragerConfig{
+		AvgN:            t.cfg.AvgN,
+		WithUncertainty: true,
+		MALag:           t.cfg.MALag,
+	})
+	return t.EmitScan(scan)
+}
+
+// EmitScan converts an already-averaged moment scan into voxel tuples,
+// attaching cross-epoch conditional links when enabled.
+func (t *Transformer) EmitScan(scan *MomentScan) []VoxelTuple {
+	out := make([]VoxelTuple, 0, len(scan.Cells)*8)
+	ts := stream.Time(scan.TStart * 1000)
+	for azIdx, row := range scan.Cells {
+		for gate, c := range row {
+			if !c.HasDist {
+				c.VDist = dist.NewNormal(c.V, 1)
+			}
+			vt := VoxelTuple{
+				TS:     ts,
+				AzRad:  c.AzRad,
+				RangeM: c.RangeM,
+				Vel:    c.VDist,
+				Refl:   c.Z,
+				Epoch:  t.epoch,
+			}
+			key := [2]int{azIdx, gate}
+			if t.cfg.TrackCorrelation {
+				if prev, ok := t.prev[key]; ok {
+					vt.Cond = condLink(prev, c.VDist, t.cfg.CorrelationRho)
+				}
+				t.prev[key] = c.VDist
+			}
+			out = append(out, vt)
+		}
+	}
+	t.epoch++
+	return out
+}
+
+// condLink builds the linear-Gaussian conditional p(Vₙ | Vₙ₋₁) consistent
+// with the two marginals and the assumed correlation ρ:
+//
+//	Vₙ = ρ·(σₙ/σₙ₋₁)·Vₙ₋₁ + (μₙ − ρ·(σₙ/σₙ₋₁)·μₙ₋₁) + N(0, σₙ²(1−ρ²)).
+func condLink(prev, cur dist.Normal, rho float64) *core.CondLink {
+	a := rho * cur.Sigma / prev.Sigma
+	b := cur.Mu - a*prev.Mu
+	s := cur.Sigma * math.Sqrt(math.Max(1-rho*rho, 1e-12))
+	return &core.CondLink{A: a, B: b, S: s}
+}
+
+// ChainFor reconstructs the §3 joint machinery for one voxel across epochs:
+// given the voxel's tuples in epoch order, it builds a core.CondChain rooted
+// at the first marginal with the carried conditional links. Downstream
+// operators use it for exact correlated aggregation (core.CondChain.SumDist).
+func ChainFor(tuples []VoxelTuple) *core.CondChain {
+	if len(tuples) == 0 {
+		return nil
+	}
+	chain := &core.CondChain{Root: tuples[0].Vel}
+	for _, vt := range tuples[1:] {
+		if vt.Cond == nil {
+			return nil // broken chain: caller must treat as independent
+		}
+		chain.Links = append(chain.Links, *vt.Cond)
+	}
+	return chain
+}

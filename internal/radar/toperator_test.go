@@ -1,0 +1,107 @@
+package radar
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+func TestTransformerEmitsVoxelTuples(t *testing.T) {
+	atmos := &Atmosphere{WindU: 10}
+	site := Site{Gates: 32, SectorWidthDeg: 10}
+	tx := NewTransformer(site, TransformerConfig{AvgN: 100})
+	tuples := tx.ProcessScan(atmos, NoiseConfig{Seed: 1}, 0)
+	if len(tuples) == 0 {
+		t.Fatal("no tuples")
+	}
+	wantCells := (Site{Gates: 32, SectorWidthDeg: 10}.PulsesPerScan() / 100) * 32
+	if len(tuples) != wantCells {
+		t.Errorf("tuples = %d, want %d", len(tuples), wantCells)
+	}
+	for _, vt := range tuples[:5] {
+		if vt.Vel.Sigma <= 0 {
+			t.Error("velocity distribution missing")
+		}
+		if vt.Cond != nil {
+			t.Error("first epoch must have no conditional link")
+		}
+	}
+}
+
+func TestTransformerConditionalChain(t *testing.T) {
+	atmos := &Atmosphere{WindU: 10}
+	site := Site{Gates: 8, SectorWidthDeg: 5}
+	tx := NewTransformer(site, TransformerConfig{AvgN: 200, TrackCorrelation: true, CorrelationRho: 0.8})
+
+	// Three epochs for the same voxel grid.
+	var perVoxel [][]VoxelTuple
+	for epoch := 0; epoch < 3; epoch++ {
+		tuples := tx.ProcessScan(atmos, NoiseConfig{Seed: int64(epoch + 2)}, float64(epoch)*9.5)
+		if perVoxel == nil {
+			perVoxel = make([][]VoxelTuple, len(tuples))
+		}
+		for i, vt := range tuples {
+			perVoxel[i] = append(perVoxel[i], vt)
+		}
+	}
+	// Later epochs carry conditional links.
+	v := perVoxel[3]
+	if v[0].Cond != nil || v[1].Cond == nil || v[2].Cond == nil {
+		t.Fatalf("conditional links wrong: %+v", v)
+	}
+	// The chain's marginal at step n must reproduce the carried marginal:
+	// the conditional was constructed to be consistent with both.
+	chain := ChainFor(v)
+	if chain == nil {
+		t.Fatal("chain broken")
+	}
+	for n := 0; n < 3; n++ {
+		m := chain.Marginal(n)
+		if math.Abs(m.Mu-v[n].Vel.Mu) > 1e-9 || math.Abs(m.Sigma-v[n].Vel.Sigma) > 1e-6 {
+			t.Errorf("epoch %d: chain marginal %v vs tuple %v", n, m, v[n].Vel)
+		}
+	}
+	// Correlated sum variance exceeds the independence assumption for
+	// rho > 0 — the §3 point of carrying conditionals.
+	exact := chain.SumDist()
+	naive := chain.SumAssumingIndependent()
+	if exact.Variance() <= naive.Variance() {
+		t.Errorf("correlated var %g should exceed naive %g", exact.Variance(), naive.Variance())
+	}
+	// Monte Carlo cross-check of the joint construction.
+	g := rng.New(9)
+	var s, s2 float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		xs := chain.JointSample(g)
+		var tot float64
+		for _, x := range xs {
+			tot += x
+		}
+		s += tot
+		s2 += tot * tot
+	}
+	mcVar := s2/float64(n) - (s/float64(n))*(s/float64(n))
+	if math.Abs(mcVar-exact.Variance()) > 0.05*exact.Variance() {
+		t.Errorf("MC var %g vs chain %g", mcVar, exact.Variance())
+	}
+}
+
+func TestChainForBrokenChain(t *testing.T) {
+	v := []VoxelTuple{
+		{Vel: dist.NewNormal(1, 1)},
+		{Vel: dist.NewNormal(2, 1)}, // no Cond: broken
+	}
+	if ChainFor(v) != nil {
+		t.Error("broken chain should return nil")
+	}
+	if ChainFor(nil) != nil {
+		t.Error("empty chain should return nil")
+	}
+	single := ChainFor(v[:1])
+	if single == nil || single.Len() != 1 {
+		t.Error("single tuple chain")
+	}
+}

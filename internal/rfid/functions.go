@@ -1,0 +1,88 @@
+package rfid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// AreaID names the square-foot floor cell containing (x, y) — the area()
+// function of Q1 ("the square foot area that each object belongs to,
+// computed by a function on its (x,y,z) location").
+func AreaID(x, y Feet) string {
+	return fmt.Sprintf("A%d_%d", int(math.Floor(x)), int(math.Floor(y)))
+}
+
+// AreaOfDist maps an uncertain location to the area of its mean — the MAP
+// assignment used by the fast path of the uncertain GROUP BY. The full
+// probabilistic assignment (mass per area cell) is AreaMasses.
+func AreaOfDist(x, y dist.Dist) string {
+	return AreaID(x.Mean(), y.Mean())
+}
+
+// AreaMass is one candidate area with the probability the object is in it.
+type AreaMass struct {
+	Area string
+	P    float64
+}
+
+// AreaMasses enumerates the floor cells the uncertain location intersects
+// (within ±3σ) with the probability mass of each: P(cell) = (F_x(x1)−F_x(x0))
+// × (F_y(y1)−F_y(y0)) under the (axis-independent) location distribution.
+// Cells below minMass are dropped.
+func AreaMasses(x, y dist.Dist, minMass float64) []AreaMass {
+	if minMass <= 0 {
+		minMass = 0.01
+	}
+	xCells := axisCells(x)
+	yCells := axisCells(y)
+	var out []AreaMass
+	for _, xc := range xCells {
+		for _, yc := range yCells {
+			p := xc.p * yc.p
+			if p >= minMass {
+				out = append(out, AreaMass{Area: fmt.Sprintf("A%d_%d", xc.i, yc.i), P: p})
+			}
+		}
+	}
+	return out
+}
+
+type cellMass struct {
+	i int
+	p float64
+}
+
+func axisCells(d dist.Dist) []cellMass {
+	mu := d.Mean()
+	sd := math.Sqrt(d.Variance())
+	lo := int(math.Floor(mu - 3*sd))
+	hi := int(math.Floor(mu + 3*sd))
+	var out []cellMass
+	for i := lo; i <= hi; i++ {
+		p := d.CDF(float64(i+1)) - d.CDF(float64(i))
+		if p > 1e-6 {
+			out = append(out, cellMass{i: i, p: p})
+		}
+	}
+	return out
+}
+
+// Weight returns the registered weight (pounds) for a tag — Q1's
+// weight(tag_id) lookup function against the object registry.
+func (w *Warehouse) Weight(tagID int64) float64 {
+	if o := w.ObjectByID(tagID); o != nil {
+		return o.Weight
+	}
+	return 0
+}
+
+// ObjectType returns the registered type for a tag — Q2's
+// object_type(tag_id).
+func (w *Warehouse) ObjectType(tagID int64) string {
+	if o := w.ObjectByID(tagID); o != nil {
+		return o.Type
+	}
+	return "unknown"
+}

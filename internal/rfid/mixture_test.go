@@ -1,0 +1,77 @@
+package rfid
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// TestMovedObjectGetsMixtureTuple exercises §4.3's motivating case: an
+// object moves between shelves mid-trace, its particle cloud spreads over
+// the old and new locations, and with MixtureMaxK enabled the T operator
+// emits Gaussian-mixture tuple distributions instead of a single (badly
+// fitting) Gaussian.
+func TestMovedObjectGetsMixtureTuple(t *testing.T) {
+	w := NewWarehouse(WarehouseConfig{NumObjects: 60, Seed: 51, MoveProb: 0.01})
+	reader := Reader{}.withDefaults()
+	tr := GenerateTrace(w, reader, TraceConfig{Events: 2500, Seed: 52, MovementEvery: 100})
+	tx := NewTransformer(w, reader.Sensing, TransformerConfig{
+		Particles:        120,
+		UseIndex:         true,
+		NegativeEvidence: true,
+		MixtureMaxK:      2,
+		Seed:             53,
+	})
+	var mixtures, gaussians int
+	for _, ev := range tr.Events {
+		for _, lt := range tx.Process(ev) {
+			switch lt.X.(type) {
+			case *dist.Mixture:
+				mixtures++
+			case dist.Normal:
+				gaussians++
+			}
+		}
+	}
+	if gaussians == 0 {
+		t.Fatal("no Gaussian tuples at all — fast path broken")
+	}
+	if mixtures == 0 {
+		t.Error("movement trace never produced a mixture tuple; §4.3 path dead")
+	}
+	// The fast path must dominate: mixtures are the exception
+	// (spread-triggered), not the rule.
+	if mixtures > gaussians {
+		t.Errorf("mixtures (%d) outnumber Gaussians (%d): spread trigger miscalibrated",
+			mixtures, gaussians)
+	}
+}
+
+// TestNoMovementMeansNoMixtures: with static objects and a converged filter
+// the mixture path should not trigger spuriously once objects localize.
+func TestNoMovementMeansNoMixtures(t *testing.T) {
+	w := NewWarehouse(WarehouseConfig{NumObjects: 40, Seed: 54, MoveProb: -1})
+	reader := Reader{}.withDefaults()
+	tr := GenerateTrace(w, reader, TraceConfig{Events: 1500, Seed: 55})
+	tx := NewTransformer(w, reader.Sensing, TransformerConfig{
+		Particles: 120, UseIndex: true, NegativeEvidence: true,
+		MixtureMaxK: 2, Seed: 56,
+	})
+	var lateMixtures, lateTuples int
+	for i, ev := range tr.Events {
+		for _, lt := range tx.Process(ev) {
+			if i > len(tr.Events)/2 {
+				lateTuples++
+				if _, ok := lt.X.(*dist.Mixture); ok {
+					lateMixtures++
+				}
+			}
+		}
+	}
+	if lateTuples == 0 {
+		t.Skip("no late tuples in this trace")
+	}
+	if frac := float64(lateMixtures) / float64(lateTuples); frac > 0.25 {
+		t.Errorf("late-trace mixture fraction %g too high for static objects", frac)
+	}
+}

@@ -1,0 +1,174 @@
+package rfid
+
+import (
+	"math"
+
+	"repro/internal/pfilter"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// SensingConfig parameterizes the logistic read-rate model of §4.1 ("a
+// distribution for RFID sensing can be devised using logistic regression
+// over factors such as the distance and angle between the reader and an
+// object").
+type SensingConfig struct {
+	// MaxRange is the nominal read range in feet (default 20 — the paper's
+	// "twenty feet away in any direction").
+	MaxRange Feet
+	// PMax is the peak detection probability at zero distance (default
+	// 0.8: read rates are "far less than 100%").
+	PMax float64
+	// DistSlope shapes the logistic fall-off (default MaxRange/8).
+	DistSlope Feet
+	// AngleExp weights the antenna directionality: 0 selects the default
+	// (1); negative values disable the angle factor.
+	AngleExp float64
+	// NoiseFloor is a residual detection probability anywhere in range,
+	// modeling multipath ghost reads (default 0.005).
+	NoiseFloor float64
+}
+
+func (c SensingConfig) withDefaults() SensingConfig {
+	if c.MaxRange <= 0 {
+		c.MaxRange = 20
+	}
+	if c.PMax <= 0 {
+		c.PMax = 0.8
+	}
+	if c.DistSlope <= 0 {
+		c.DistSlope = c.MaxRange / 8
+	}
+	switch {
+	case c.AngleExp < 0:
+		c.AngleExp = 0 // explicitly disabled
+	case c.AngleExp == 0:
+		c.AngleExp = 1
+	}
+	if c.NoiseFloor < 0 {
+		c.NoiseFloor = 0
+	}
+	return c
+}
+
+// DetectProb is the generative read-rate: logistic in distance, attenuated
+// by the angle between the reader heading and the object bearing.
+func (c SensingConfig) DetectProb(obj, reader pfilter.Point, heading float64) float64 {
+	d := obj.Dist(reader)
+	if d > c.MaxRange {
+		return 0
+	}
+	p := c.PMax / (1 + math.Exp((d-c.MaxRange/2)/c.DistSlope))
+	if c.AngleExp > 0 {
+		bearing := math.Atan2(obj.Y-reader.Y, obj.X-reader.X)
+		diff := math.Abs(angleWrap(bearing - heading))
+		p *= math.Pow(0.5+0.5*math.Cos(diff), c.AngleExp)
+	}
+	if p < c.NoiseFloor {
+		p = c.NoiseFloor
+	}
+	return p
+}
+
+// InferenceModel returns the distance-only detection model the particle
+// filter uses. The deliberate gap between the generative model (distance +
+// angle + noise floor) and the inference model (distance only, angle
+// marginalized) reproduces the model mismatch any real deployment has; the
+// trace stays "highly noisy" in the paper's sense.
+func (c SensingConfig) InferenceModel() pfilter.DetectModel {
+	half := 0.5 * c.PMax // expected angle attenuation, marginalized
+	return func(obj, reader pfilter.Point) float64 {
+		d := obj.Dist(reader)
+		if d > c.MaxRange {
+			return 1e-9
+		}
+		p := half / (1 + math.Exp((d-c.MaxRange/2)/c.DistSlope))
+		if p < 1e-9 {
+			p = 1e-9
+		}
+		return p
+	}
+}
+
+func angleWrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Event is one raw scan cycle from the mobile reader: what the device
+// actually emits (tag IDs plus its own position) — the evidence variables O
+// of the graphical model.
+type Event struct {
+	T               stream.Time
+	Reader          pfilter.Point
+	Heading         float64
+	ObservedObjects []int64
+	ObservedShelves []int64
+}
+
+// Reader simulates the mobile reader: a serpentine sweep over the floor at
+// constant speed, scanning at a fixed cycle rate.
+type Reader struct {
+	Sensing SensingConfig
+	// SpeedFtPerSec is the travel speed (default 3).
+	SpeedFtPerSec float64
+	// ScanHz is the scan cycle rate (default 2).
+	ScanHz float64
+	// LanePitch is the serpentine spacing in feet (default 10, one aisle).
+	LanePitch Feet
+}
+
+func (r Reader) withDefaults() Reader {
+	r.Sensing = r.Sensing.withDefaults()
+	if r.SpeedFtPerSec <= 0 {
+		r.SpeedFtPerSec = 3
+	}
+	if r.ScanHz <= 0 {
+		r.ScanHz = 2
+	}
+	if r.LanePitch <= 0 {
+		r.LanePitch = 10
+	}
+	return r
+}
+
+// PathAt returns the reader position and heading at travel distance s along
+// the serpentine path over a width×depth floor.
+func (r Reader) PathAt(s float64, width, depth Feet) (pfilter.Point, float64) {
+	lane := int(s / width)
+	rem := s - float64(lane)*width
+	y := (float64(lane) + 0.5) * r.LanePitch
+	// Wrap vertically when the sweep finishes the floor.
+	rows := int(depth / r.LanePitch)
+	if rows < 1 {
+		rows = 1
+	}
+	y = (float64(lane%rows) + 0.5) * r.LanePitch
+	if lane%2 == 0 {
+		return pfilter.Point{X: rem, Y: y}, 0
+	}
+	return pfilter.Point{X: width - rem, Y: y}, math.Pi
+}
+
+// Scan produces one event at travel distance s and time t: every object and
+// shelf tag is detected independently with its sensing probability.
+func (r Reader) Scan(w *Warehouse, s float64, t stream.Time, g *rng.RNG) Event {
+	pos, heading := r.PathAt(s, w.Width, w.Depth)
+	ev := Event{T: t, Reader: pos, Heading: heading}
+	for _, o := range w.Objects {
+		if g.Bernoulli(r.Sensing.DetectProb(o.Pos, pos, heading)) {
+			ev.ObservedObjects = append(ev.ObservedObjects, o.ID)
+		}
+	}
+	for _, sh := range w.Shelves {
+		if g.Bernoulli(r.Sensing.DetectProb(sh.Pos, pos, heading)) {
+			ev.ObservedShelves = append(ev.ObservedShelves, sh.ID)
+		}
+	}
+	return ev
+}

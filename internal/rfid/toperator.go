@@ -1,0 +1,231 @@
+package rfid
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/pfilter"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// LocationTuple is the T operator's output: the transformed stream of §2.1,
+// (time, tag_id, (x,y,z)^p), with the uncertain location carried as
+// per-axis probability distributions (Gaussian after KL compression, or a
+// Gaussian mixture when AIC prefers one — §4.3's moved-object case).
+type LocationTuple struct {
+	T     stream.Time
+	TagID int64
+	X, Y  dist.Dist
+	Z     dist.Dist
+	// Particles is the effective particle count behind the estimate (a
+	// quality hint for downstream consumers).
+	Particles int
+}
+
+// Mean returns the location point estimate.
+func (lt LocationTuple) Mean() pfilter.Point {
+	return pfilter.Point{X: lt.X.Mean(), Y: lt.Y.Mean()}
+}
+
+// TransformerConfig tunes the RFID T operator.
+type TransformerConfig struct {
+	// Particles per object (Figure 3: 50/100/200).
+	Particles int
+	// UseIndex / Compression / NegativeEvidence mirror pfilter.Config.
+	UseIndex         bool
+	Compression      pfilter.CompressOptions
+	NegativeEvidence bool
+	// MixtureMaxK enables AIC mixture selection for the tuple-level
+	// distribution when a particle cloud is multi-modal (0 = always fit a
+	// single Gaussian, the fast path).
+	MixtureMaxK int
+	// Dynamics noise (ft/√s) for the stay-in-place diffusion component.
+	DiffusionSigma float64
+	// Seed drives inference randomness.
+	Seed int64
+}
+
+func (c TransformerConfig) withDefaults() TransformerConfig {
+	if c.Particles <= 0 {
+		c.Particles = 100
+	}
+	if c.DiffusionSigma <= 0 {
+		c.DiffusionSigma = 0.05
+	}
+	if c.Seed == 0 {
+		c.Seed = 3
+	}
+	return c
+}
+
+// shelfMixDyn is the state-transition model of §4.1: objects mostly stay put
+// (small diffusion) but occasionally jump to another shelf; the jump mixture
+// is what spreads particles over two locations after an unobserved move.
+type shelfMixDyn struct {
+	sigma    float64
+	moveProb float64
+	shelves  []Shelf
+}
+
+func (d shelfMixDyn) Step(cur pfilter.Point, dt float64, g *rng.RNG) pfilter.Point {
+	if len(d.shelves) > 0 && g.Float64() < d.moveProb*dt {
+		s := d.shelves[g.Intn(len(d.shelves))]
+		return pfilter.Point{X: s.Pos.X + g.Normal(0, 1), Y: s.Pos.Y + g.Normal(0, 1)}
+	}
+	jitter := d.sigma * math.Sqrt(dt)
+	return pfilter.Point{X: cur.X + g.Normal(0, jitter), Y: cur.Y + g.Normal(0, jitter)}
+}
+
+// Transformer is the RFID data capture and transformation operator: raw
+// reader events in, location tuples with pdfs out. It owns the factorized
+// particle filter, the shelf-tag accuracy estimator, and the tuple-level
+// distribution fitting.
+type Transformer struct {
+	cfg      TransformerConfig
+	w        *Warehouse
+	filter   *pfilter.Factorized
+	accuracy *pfilter.ErrorEstimator
+	sensing  SensingConfig
+	g        *rng.RNG
+	events   int
+	zByID    map[int64]Feet
+}
+
+// NewTransformer builds the T operator for a warehouse's object population.
+// The warehouse provides only public knowledge: shelf positions (known
+// landmarks) and the object/shelf ID space — never true object positions.
+func NewTransformer(w *Warehouse, sensing SensingConfig, cfg TransformerConfig) *Transformer {
+	cfg = cfg.withDefaults()
+	sensing = sensing.withDefaults()
+	g := rng.New(cfg.Seed)
+	dyn := shelfMixDyn{
+		sigma:    cfg.DiffusionSigma,
+		moveProb: w.Config.MoveProb,
+		shelves:  w.Shelves,
+	}
+	f := pfilter.NewFactorized(pfilter.Config{
+		Particles:        cfg.Particles,
+		ReaderRange:      sensing.MaxRange,
+		UseIndex:         cfg.UseIndex,
+		Compression:      cfg.Compression,
+		NegativeEvidence: cfg.NegativeEvidence,
+		Roughening:       1.0,
+	}, sensing.InferenceModel(), dyn, g)
+
+	tr := &Transformer{
+		cfg:      cfg,
+		w:        w,
+		filter:   f,
+		accuracy: pfilter.NewErrorEstimator(0.05),
+		sensing:  sensing,
+		g:        g,
+		zByID:    make(map[int64]Feet),
+	}
+	// Prior: anywhere on the floor (objects' shelves are unknown).
+	width, depth := w.Width, w.Depth
+	for _, o := range w.Objects {
+		tr.filter.Track(o.ID, func(g *rng.RNG) pfilter.Point {
+			return pfilter.Point{X: g.Uniform(0, width), Y: g.Uniform(0, depth)}
+		})
+		tr.zByID[o.ID] = 4 // unknown level: mid-rack prior
+	}
+	return tr
+}
+
+// Filter exposes the underlying particle filter (benchmarks and the
+// controller integration use it).
+func (tr *Transformer) Filter() *pfilter.Factorized { return tr.filter }
+
+// Accuracy returns the §4.2 reference-object error estimate (smoothed mean
+// XY error on shelf tags, in feet).
+func (tr *Transformer) Accuracy() float64 { return tr.accuracy.Error() }
+
+// Process consumes one raw event and emits location tuples for the objects
+// observed in it.
+func (tr *Transformer) Process(ev Event) []LocationTuple {
+	dt := 0.5 // seconds per scan cycle at the default 2 Hz
+	tr.filter.Process(pfilter.ScanEvent{
+		Reader:   ev.Reader,
+		Observed: ev.ObservedObjects,
+		DT:       dt,
+	})
+	tr.events++
+
+	// §4.2: shelf tags are reference objects. Conceptually we replicate the
+	// shelf node — the evidence copy is its reading; the hidden copy is
+	// inferred the same way objects are. Here we estimate the shelf position
+	// from the reader positions that observed it (the same information the
+	// hidden copy would see) and score against its known location.
+	for _, sid := range ev.ObservedShelves {
+		s := tr.w.Shelves[sid-ShelfTagBase]
+		// One-shot estimate: the reader position is an unbiased but noisy
+		// proxy for the tag position within read range.
+		tr.accuracy.Observe(ev.Reader, s.Pos)
+	}
+
+	out := make([]LocationTuple, 0, len(ev.ObservedObjects))
+	for _, id := range ev.ObservedObjects {
+		of := tr.filter.Filter(id)
+		if of == nil {
+			continue
+		}
+		lt := tr.tupleFor(id, ev.T, of)
+		out = append(out, lt)
+	}
+	return out
+}
+
+// tupleFor converts an object's particle cloud into the tuple-level
+// distribution per §4.3: closed-form KL-minimizing Gaussian, upgraded to an
+// AIC-selected mixture when configured and the cloud is spread.
+func (tr *Transformer) tupleFor(id int64, t stream.Time, of *pfilter.ObjectFilter) LocationTuple {
+	xs := make([]float64, of.N())
+	ys := make([]float64, of.N())
+	for i, p := range of.Pts {
+		xs[i] = p.X
+		ys[i] = p.Y
+	}
+	ex := dist.NewEmpirical(xs, of.Ws)
+	ey := dist.NewEmpirical(ys, of.Ws)
+
+	var dx, dy dist.Dist
+	if tr.cfg.MixtureMaxK > 1 && of.Cov().SpreadRadius() > 3 {
+		dx, _ = dist.SelectMixture(ex, tr.cfg.MixtureMaxK, dist.AIC, dist.FitMixtureOptions{Seed: tr.cfg.Seed})
+		dy, _ = dist.SelectMixture(ey, tr.cfg.MixtureMaxK, dist.AIC, dist.FitMixtureOptions{Seed: tr.cfg.Seed})
+	} else {
+		dx = dist.FitNormal(ex)
+		dy = dist.FitNormal(ey)
+	}
+	return LocationTuple{
+		T:         t,
+		TagID:     id,
+		X:         dx,
+		Y:         dy,
+		Z:         dist.NewNormal(tr.zByID[id], 2), // rack-level uncertainty
+		Particles: of.N(),
+	}
+}
+
+// XYError scores current estimates against trace ground truth at event
+// index i — Figure 3(a)'s metric (mean error in the XY plane, feet).
+func XYError(tr *Trace, f *pfilter.Factorized, ids []int64, eventIdx int) float64 {
+	if len(ids) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, id := range ids {
+		est, ok := f.Estimate(id)
+		if !ok {
+			continue
+		}
+		truth, _ := tr.TruthAt(id, eventIdx)
+		sum += est.Dist(truth)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

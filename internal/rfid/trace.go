@@ -1,0 +1,109 @@
+package rfid
+
+import (
+	"repro/internal/pfilter"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// TraceConfig controls trace generation.
+type TraceConfig struct {
+	// Events is the number of scan cycles to generate.
+	Events int
+	// MovementEvery injects an object-movement step every k events
+	// (0 disables movement).
+	MovementEvery int
+	// Seed drives the sensing randomness (independent of warehouse layout).
+	Seed int64
+}
+
+// Trace is a generated raw RFID stream plus the ground truth needed to score
+// inference. TruthAt captures per-object true positions at each event index
+// only for objects that moved, keeping 20k-object traces compact.
+type Trace struct {
+	Events []Event
+	// Truth maps object ID to its position history: list of (event index,
+	// position) effective from that event onward.
+	Truth map[int64][]TruthPoint
+	// Shelves echoes the known shelf-tag positions (reference objects).
+	Shelves []Shelf
+}
+
+// TruthPoint is a ground-truth position effective from event From onward.
+type TruthPoint struct {
+	From int
+	Pos  pfilter.Point
+	Z    Feet
+}
+
+// TruthAt returns an object's true position at event index i.
+func (tr *Trace) TruthAt(id int64, i int) (pfilter.Point, Feet) {
+	hist := tr.Truth[id]
+	best := hist[0]
+	for _, tp := range hist[1:] {
+		if tp.From <= i {
+			best = tp
+		} else {
+			break
+		}
+	}
+	return best.Pos, best.Z
+}
+
+// GenerateTrace walks the reader through the warehouse producing scan
+// events. The generator indexes true object positions in a spatial grid so
+// per-event sensing work is O(objects in range), keeping 20,000-object
+// traces cheap to produce.
+func GenerateTrace(w *Warehouse, r Reader, cfg TraceConfig) *Trace {
+	r = r.withDefaults()
+	if cfg.Events <= 0 {
+		cfg.Events = 1000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 2
+	}
+	g := rng.New(cfg.Seed)
+
+	tr := &Trace{Truth: make(map[int64][]TruthPoint, len(w.Objects)), Shelves: w.Shelves}
+	grid := pfilter.NewGrid(r.Sensing.MaxRange)
+	for _, o := range w.Objects {
+		grid.Update(o.ID, o.Pos)
+		tr.Truth[o.ID] = []TruthPoint{{From: 0, Pos: o.Pos, Z: o.Z}}
+	}
+	shelfGrid := pfilter.NewGrid(r.Sensing.MaxRange)
+	for _, s := range w.Shelves {
+		shelfGrid.Update(s.ID, s.Pos)
+	}
+
+	dtMS := stream.Time(1000 / r.ScanHz)
+	distPerScan := r.SpeedFtPerSec / r.ScanHz
+	var buf []int64
+	for i := 0; i < cfg.Events; i++ {
+		if cfg.MovementEvery > 0 && i > 0 && i%cfg.MovementEvery == 0 {
+			for _, id := range w.StepMovement() {
+				o := w.ObjectByID(id)
+				grid.Update(id, o.Pos)
+				tr.Truth[id] = append(tr.Truth[id], TruthPoint{From: i, Pos: o.Pos, Z: o.Z})
+			}
+		}
+		s := float64(i) * distPerScan
+		pos, heading := r.PathAt(s, w.Width, w.Depth)
+		ev := Event{T: stream.Time(i) * dtMS, Reader: pos, Heading: heading}
+		buf = grid.Query(pos, r.Sensing.MaxRange, buf[:0])
+		for _, id := range buf {
+			o := w.ObjectByID(id)
+			if g.Bernoulli(r.Sensing.DetectProb(o.Pos, pos, heading)) {
+				ev.ObservedObjects = append(ev.ObservedObjects, id)
+			}
+		}
+		buf = shelfGrid.Query(pos, r.Sensing.MaxRange, buf[:0])
+		for _, id := range buf {
+			sh := w.Shelves[id-ShelfTagBase]
+			if g.Bernoulli(r.Sensing.DetectProb(sh.Pos, pos, heading)) {
+				ev.ObservedShelves = append(ev.ObservedShelves, id)
+			}
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	return tr
+}

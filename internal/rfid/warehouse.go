@@ -1,0 +1,186 @@
+// Package rfid is the object-tracking substrate of §2.1: a warehouse of
+// shelves and tagged objects scanned by a mobile RFID reader, a noisy
+// logistic sensing model, a seeded trace generator with ground truth, and
+// the data capture and transformation (T) operator that turns raw readings
+// into an object-location tuple stream with quantified uncertainty (§4.1).
+//
+// The paper evaluates on a real mobile-reader trace; DESIGN.md §2 documents
+// the substitution: this simulator reproduces the generative process the
+// paper's own graphical model assumes (logistic read rates in distance and
+// angle, objects mostly staying put but occasionally moving between
+// shelves), so the inference problem exercised is the same.
+package rfid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pfilter"
+	"repro/internal/rng"
+)
+
+// Feet is the length unit of the warehouse; Figure 3 reports inference error
+// in feet.
+type Feet = float64
+
+// Shelf is a reference tag at a known, fixed location (§4.2: shelf tags
+// serve as reference objects for online accuracy estimation).
+type Shelf struct {
+	ID  int64
+	Pos pfilter.Point
+	Z   Feet
+}
+
+// Object is a tagged object. Its true position is simulator ground truth —
+// hidden from inference, used only for scoring.
+type Object struct {
+	ID     int64
+	Shelf  int // index into Warehouse.Shelves
+	Pos    pfilter.Point
+	Z      Feet
+	Weight float64 // pounds, for Q1
+	Type   string  // "flammable" | "solid", for Q2
+}
+
+// WarehouseConfig sizes the simulated floor.
+type WarehouseConfig struct {
+	// NumObjects is the tagged-object population (Figure 3 sweeps
+	// 100..20,000).
+	NumObjects int
+	// ObjectsPerShelf controls shelf count (default 10).
+	ObjectsPerShelf int
+	// AisleSpacing is the shelf grid pitch in feet (default 10).
+	AisleSpacing Feet
+	// MoveProb is the per-scan-pass probability an object moves to another
+	// shelf (default 0.002).
+	MoveProb float64
+	// FlammableFrac is the fraction of objects typed flammable (default
+	// 0.1).
+	FlammableFrac float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c WarehouseConfig) withDefaults() WarehouseConfig {
+	if c.NumObjects <= 0 {
+		c.NumObjects = 100
+	}
+	if c.ObjectsPerShelf <= 0 {
+		c.ObjectsPerShelf = 10
+	}
+	if c.AisleSpacing <= 0 {
+		c.AisleSpacing = 10
+	}
+	if c.MoveProb < 0 {
+		c.MoveProb = 0
+	} else if c.MoveProb == 0 {
+		c.MoveProb = 0.002
+	}
+	if c.FlammableFrac <= 0 {
+		c.FlammableFrac = 0.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Warehouse is the simulated storage area.
+type Warehouse struct {
+	Config  WarehouseConfig
+	Width   Feet
+	Depth   Feet
+	Shelves []Shelf
+	Objects []*Object
+
+	rng *rng.RNG
+}
+
+// ShelfTagBase offsets shelf tag IDs away from object IDs.
+const ShelfTagBase int64 = 1 << 40
+
+// NewWarehouse lays out shelves on a square-ish grid and scatters objects on
+// them. Layout density is constant: the floor grows with the population, as
+// a real deployment's would.
+func NewWarehouse(cfg WarehouseConfig) *Warehouse {
+	cfg = cfg.withDefaults()
+	g := rng.New(cfg.Seed)
+	numShelves := (cfg.NumObjects + cfg.ObjectsPerShelf - 1) / cfg.ObjectsPerShelf
+	cols := int(math.Ceil(math.Sqrt(float64(numShelves))))
+	rows := (numShelves + cols - 1) / cols
+	w := &Warehouse{
+		Config: cfg,
+		Width:  Feet(cols) * cfg.AisleSpacing,
+		Depth:  Feet(rows) * cfg.AisleSpacing,
+		rng:    g,
+	}
+	for s := 0; s < numShelves; s++ {
+		col := s % cols
+		row := s / cols
+		w.Shelves = append(w.Shelves, Shelf{
+			ID: ShelfTagBase + int64(s),
+			Pos: pfilter.Point{
+				X: (float64(col) + 0.5) * cfg.AisleSpacing,
+				Y: (float64(row) + 0.5) * cfg.AisleSpacing,
+			},
+			Z: 0,
+		})
+	}
+	for i := 0; i < cfg.NumObjects; i++ {
+		shelf := i % numShelves
+		o := &Object{
+			ID:     int64(i + 1),
+			Shelf:  shelf,
+			Weight: 5 + 45*g.Float64(), // 5..50 lbs
+			Type:   "solid",
+		}
+		if g.Float64() < cfg.FlammableFrac {
+			o.Type = "flammable"
+		}
+		w.placeOnShelf(o, shelf)
+		w.Objects = append(w.Objects, o)
+	}
+	return w
+}
+
+// placeOnShelf sets an object's true position near its shelf with jitter and
+// a discrete level height.
+func (w *Warehouse) placeOnShelf(o *Object, shelf int) {
+	s := w.Shelves[shelf]
+	o.Shelf = shelf
+	o.Pos = pfilter.Point{
+		X: s.Pos.X + w.rng.Uniform(-1.5, 1.5),
+		Y: s.Pos.Y + w.rng.Uniform(-1.5, 1.5),
+	}
+	o.Z = float64(w.rng.Intn(4)) * 4 // shelf levels at 0/4/8/12 ft
+}
+
+// StepMovement gives every object an independent chance to move to a random
+// other shelf — the dynamic the paper's mixture-model discussion (§4.3)
+// hinges on.
+// Returns the IDs of objects that moved.
+func (w *Warehouse) StepMovement() []int64 {
+	var moved []int64
+	for _, o := range w.Objects {
+		if w.rng.Float64() < w.Config.MoveProb {
+			dest := w.rng.Intn(len(w.Shelves))
+			w.placeOnShelf(o, dest)
+			moved = append(moved, o.ID)
+		}
+	}
+	return moved
+}
+
+// ObjectByID finds an object (nil if absent).
+func (w *Warehouse) ObjectByID(id int64) *Object {
+	if id < 1 || id > int64(len(w.Objects)) {
+		return nil
+	}
+	return w.Objects[id-1]
+}
+
+// String summarizes the layout.
+func (w *Warehouse) String() string {
+	return fmt.Sprintf("Warehouse{%d objects, %d shelves, %.0fx%.0f ft}",
+		len(w.Objects), len(w.Shelves), w.Width, w.Depth)
+}

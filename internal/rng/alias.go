@@ -1,0 +1,84 @@
+package rng
+
+// Alias implements Walker's alias method for O(1) sampling from a fixed
+// discrete distribution. Particle-filter resampling and histogram sampling
+// draw millions of categorical samples per second; linear scans dominate the
+// profile without it.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// The weights need not be normalized. It panics on an empty slice.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("rng: NewAlias on empty weights")
+	}
+	var total float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: NewAlias negative weight")
+		}
+		total += w
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	if total <= 0 {
+		// Degenerate: uniform.
+		for i := range a.prob {
+			a.prob[i] = 1
+			a.alias[i] = i
+		}
+		return a
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// Sample draws an index with probability proportional to the table weights.
+func (a *Alias) Sample(g *RNG) int {
+	i := g.Intn(len(a.prob))
+	if g.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// N returns the number of categories.
+func (a *Alias) N() int { return len(a.prob) }

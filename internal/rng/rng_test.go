@@ -1,0 +1,184 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("split children look correlated: %d identical draws", same)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	g := New(1)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := g.Normal(3, 2)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean-3) > 0.02 {
+		t.Errorf("normal mean = %g, want 3", mean)
+	}
+	if math.Abs(variance-4) > 0.1 {
+		t.Errorf("normal var = %g, want 4", variance)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	g := New(2)
+	n := 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exponential(4)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.25) > 0.005 {
+		t.Errorf("exponential mean = %g, want 0.25", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	g := New(3)
+	for _, lambda := range []float64{0.5, 3, 50} {
+		n := 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(g.Poisson(lambda))
+		}
+		mean := sum / float64(n)
+		if math.Abs(mean-lambda) > 0.05*math.Max(1, lambda) {
+			t.Errorf("poisson(%g) mean = %g", lambda, mean)
+		}
+	}
+	if New(1).Poisson(0) != 0 {
+		t.Error("Poisson(0) should be 0")
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	g := New(4)
+	w := []float64{1, 2, 7}
+	counts := make([]int, 3)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("categorical[%d] = %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalZeroWeights(t *testing.T) {
+	g := New(5)
+	w := []float64{0, 0, 0}
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[g.Categorical(w)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("zero-weight categorical should fall back to uniform")
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	g := New(6)
+	w := []float64{5, 0, 3, 2}
+	a := NewAlias(w)
+	counts := make([]int, len(w))
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[a.Sample(g)]++
+	}
+	want := []float64{0.5, 0, 0.3, 0.2}
+	for i := range w {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Errorf("alias[%d] = %g, want %g", i, got, want[i])
+		}
+	}
+}
+
+func TestAliasUniformFallback(t *testing.T) {
+	a := NewAlias([]float64{0, 0})
+	g := New(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 50; i++ {
+		seen[a.Sample(g)] = true
+	}
+	if len(seen) != 2 {
+		t.Error("zero-weight alias should be uniform")
+	}
+	if a.N() != 2 {
+		t.Errorf("N = %d, want 2", a.N())
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for empty weights")
+		}
+	}()
+	NewAlias(nil)
+}
+
+func TestUniformRange(t *testing.T) {
+	g := New(8)
+	for i := 0; i < 1000; i++ {
+		x := g.Uniform(-2, 5)
+		if x < -2 || x >= 5 {
+			t.Fatalf("Uniform out of range: %g", x)
+		}
+	}
+}
+
+func TestPermAndShuffle(t *testing.T) {
+	g := New(9)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("Perm missing %d", i)
+		}
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Error("Shuffle lost elements")
+	}
+}

@@ -1,0 +1,176 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Box is a node in the dataflow graph: an operator plus its outgoing arrows.
+type Box struct {
+	Op Operator
+
+	id    int
+	outs  []arrow
+	stats Stats
+}
+
+// arrow connects a box output to a (box, port) input.
+type arrow struct {
+	to   *Box
+	port int
+}
+
+// Stats counts a box's traffic and processing time.
+type Stats struct {
+	In, Out    uint64
+	Processing time.Duration
+}
+
+// Stats returns a copy of the box's counters.
+func (b *Box) Stats() Stats { return b.stats }
+
+// Graph is a box-arrow diagram (§3, Figure 2). Build it with AddBox and
+// Connect, feed tuples with Push, and finish with Close. RunChan executes
+// the same graph with one goroutine per box connected by channels — the
+// paper's dataflow reading — and is equivalent to the synchronous path
+// (tests assert this).
+type Graph struct {
+	boxes []*Box
+}
+
+// NewGraph creates an empty dataflow graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddBox registers an operator and returns its box.
+func (g *Graph) AddBox(op Operator) *Box {
+	b := &Box{Op: op, id: len(g.boxes)}
+	g.boxes = append(g.boxes, b)
+	return b
+}
+
+// Connect draws an arrow from box src to input port of box dst.
+func (g *Graph) Connect(src, dst *Box, port int) {
+	src.outs = append(src.outs, arrow{to: dst, port: port})
+}
+
+// Push injects a tuple into a box input synchronously; processing cascades
+// depth-first through the arrows.
+func (g *Graph) Push(b *Box, port int, t *Tuple) {
+	b.stats.In++
+	start := time.Now()
+	b.Op.Process(port, t, func(out *Tuple) {
+		b.stats.Out++
+		for _, a := range b.outs {
+			g.Push(a.to, a.port, out)
+		}
+	})
+	b.stats.Processing += time.Since(start)
+}
+
+// Close flushes every box in insertion order (sources first), cascading any
+// emitted tuples.
+func (g *Graph) Close() {
+	for _, b := range g.boxes {
+		b.Op.Flush(func(out *Tuple) {
+			b.stats.Out++
+			for _, a := range b.outs {
+				g.Push(a.to, a.port, out)
+			}
+		})
+	}
+}
+
+// Describe renders the diagram topology.
+func (g *Graph) Describe() string {
+	s := ""
+	for _, b := range g.boxes {
+		s += fmt.Sprintf("[%d] %s ->", b.id, b.Op.Name())
+		for _, a := range b.outs {
+			s += fmt.Sprintf(" [%d]:%d", a.to.id, a.port)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// portedTuple carries a tuple with its destination port through a channel.
+type portedTuple struct {
+	port int
+	t    *Tuple
+}
+
+// RunChan executes the graph with one goroutine per box communicating over
+// buffered channels; feed supplies source tuples via the returned inject
+// function and must call done() when finished. RunChan blocks until all
+// boxes have flushed.
+//
+// Boxes process their inputs sequentially, so operators need no internal
+// locking — the concurrency is pipeline parallelism across boxes, matching
+// the paper's dataflow architecture.
+func (g *Graph) RunChan(buffer int, feed func(inject func(b *Box, port int, t *Tuple))) {
+	if buffer <= 0 {
+		buffer = 128
+	}
+	chans := make([]chan portedTuple, len(g.boxes))
+	for i := range chans {
+		chans[i] = make(chan portedTuple, buffer)
+	}
+	// Per-box downstream counters to know when to close inputs: a box's
+	// channel closes when all its upstream producers (plus the feeder) are
+	// done. We track producer counts per destination box.
+	producers := make([]int, len(g.boxes))
+	for _, b := range g.boxes {
+		for _, a := range b.outs {
+			producers[a.to.id]++
+		}
+	}
+	// Every box also counts the external feeder as a potential producer.
+	for i := range producers {
+		producers[i]++
+	}
+	var mu sync.Mutex
+	release := func(id int) {
+		mu.Lock()
+		producers[id]--
+		if producers[id] == 0 {
+			close(chans[id])
+		}
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for _, b := range g.boxes {
+		wg.Add(1)
+		go func(b *Box) {
+			defer wg.Done()
+			emit := func(out *Tuple) {
+				b.stats.Out++
+				for _, a := range b.outs {
+					chans[a.to.id] <- portedTuple{port: a.port, t: out}
+				}
+			}
+			for pt := range chans[b.id] {
+				b.stats.In++
+				start := time.Now()
+				b.Op.Process(pt.port, pt.t, emit)
+				b.stats.Processing += time.Since(start)
+			}
+			b.Op.Flush(emit)
+			for _, a := range b.outs {
+				release(a.to.id)
+			}
+		}(b)
+	}
+
+	feed(func(b *Box, port int, t *Tuple) {
+		chans[b.id] <- portedTuple{port: port, t: t}
+	})
+	// Feeder finished: release its producer slot on every box. Boxes with
+	// no other upstream close immediately; closure then propagates along
+	// the topology as upstream goroutines drain and flush.
+	for i := range g.boxes {
+		release(i)
+	}
+	wg.Wait()
+}

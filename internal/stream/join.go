@@ -1,0 +1,75 @@
+package stream
+
+// JoinPred decides whether a left/right tuple pair matches.
+type JoinPred func(l, r *Tuple) bool
+
+// JoinEmit constructs the output tuple for a matching pair.
+type JoinEmit func(l, r *Tuple) *Tuple
+
+// joinOp is a symmetric window equi/θ-join: each side keeps a Range window
+// of its recent tuples; an arriving tuple probes the opposite window. This
+// is Q2's shape ("RFIDStream [Range 3 seconds] as R, TempStream [Range 3
+// seconds] as T Where ... loc_equals(...)") and the radar merge's shape
+// (fusing spatially overlapping moment tuples from two radars).
+type joinOp struct {
+	name    string
+	rangeMS Time
+	pred    JoinPred
+	out     JoinEmit
+
+	left  []*Tuple
+	right []*Tuple
+}
+
+// NewJoin creates a two-input window join. Port 0 is the left input, port 1
+// the right. rangeMS is each side's retention window, measured against the
+// arriving tuple's timestamp (sources are assumed approximately
+// time-ordered).
+func NewJoin(name string, rangeMS Time, pred JoinPred, out JoinEmit) Operator {
+	return &joinOp{name: name, rangeMS: rangeMS, pred: pred, out: out}
+}
+
+func (o *joinOp) Name() string { return o.name }
+
+func (o *joinOp) Process(port int, t *Tuple, emit Emit) {
+	switch port {
+	case 0:
+		o.left = append(o.left, t)
+		o.right = evict(o.right, t.TS-o.rangeMS)
+		for _, r := range o.right {
+			if o.pred(t, r) {
+				if res := o.out(t, r); res != nil {
+					emit(res)
+				}
+			}
+		}
+	case 1:
+		o.right = append(o.right, t)
+		o.left = evict(o.left, t.TS-o.rangeMS)
+		for _, l := range o.left {
+			if o.pred(l, t) {
+				if res := o.out(l, t); res != nil {
+					emit(res)
+				}
+			}
+		}
+	default:
+		panic("stream: join has two ports")
+	}
+}
+
+func (o *joinOp) Flush(Emit) {
+	o.left, o.right = nil, nil
+}
+
+// evict drops tuples with TS < horizon, preserving order.
+func evict(buf []*Tuple, horizon Time) []*Tuple {
+	i := 0
+	for i < len(buf) && buf[i].TS < horizon {
+		i++
+	}
+	if i == 0 {
+		return buf
+	}
+	return append(buf[:0], buf[i:]...)
+}

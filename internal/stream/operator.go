@@ -1,0 +1,139 @@
+package stream
+
+import "fmt"
+
+// Emit forwards a tuple to the downstream arrow.
+type Emit func(*Tuple)
+
+// Operator is a box in the box-arrow diagram. Process receives one tuple on
+// an input port (single-input operators see port 0); Flush signals
+// end-of-stream so windowed operators can drain pending state.
+type Operator interface {
+	// Name identifies the box in metrics and debug output.
+	Name() string
+	// Process consumes one input tuple, emitting zero or more outputs.
+	Process(port int, t *Tuple, emit Emit)
+	// Flush drains buffered state at end-of-stream.
+	Flush(emit Emit)
+}
+
+// MapFunc transforms one tuple into another (nil drops the tuple).
+type MapFunc func(*Tuple) *Tuple
+
+// selectOp implements projection/extension: the Select-From inner query of
+// Q1 ("adds two attributes to each tuple") is a selectOp computing
+// area(x,y,z) and weight(tag_id).
+type selectOp struct {
+	name string
+	fn   MapFunc
+}
+
+// NewSelect creates a map/projection operator.
+func NewSelect(name string, fn MapFunc) Operator {
+	return &selectOp{name: name, fn: fn}
+}
+
+func (o *selectOp) Name() string { return o.name }
+
+func (o *selectOp) Process(_ int, t *Tuple, emit Emit) {
+	if out := o.fn(t); out != nil {
+		emit(out)
+	}
+}
+
+func (o *selectOp) Flush(Emit) {}
+
+// Pred decides whether a tuple passes a filter.
+type Pred func(*Tuple) bool
+
+type filterOp struct {
+	name string
+	pred Pred
+}
+
+// NewFilter creates a selection operator keeping tuples where pred is true.
+func NewFilter(name string, pred Pred) Operator {
+	return &filterOp{name: name, pred: pred}
+}
+
+func (o *filterOp) Name() string { return o.name }
+
+func (o *filterOp) Process(_ int, t *Tuple, emit Emit) {
+	if o.pred(t) {
+		emit(t)
+	}
+}
+
+func (o *filterOp) Flush(Emit) {}
+
+// unionOp merges any number of input ports into one output stream.
+type unionOp struct{ name string }
+
+// NewUnion creates a union (merge) operator.
+func NewUnion(name string) Operator { return &unionOp{name: name} }
+
+func (o *unionOp) Name() string                       { return o.name }
+func (o *unionOp) Process(_ int, t *Tuple, emit Emit) { emit(t) }
+func (o *unionOp) Flush(Emit)                         {}
+
+// FuncOp wraps plain functions as an Operator for ad-hoc boxes.
+type FuncOp struct {
+	OpName  string
+	OnTuple func(port int, t *Tuple, emit Emit)
+	OnFlush func(emit Emit)
+}
+
+// Name implements Operator.
+func (f *FuncOp) Name() string {
+	if f.OpName == "" {
+		return "func"
+	}
+	return f.OpName
+}
+
+// Process implements Operator.
+func (f *FuncOp) Process(port int, t *Tuple, emit Emit) {
+	if f.OnTuple != nil {
+		f.OnTuple(port, t, emit)
+	}
+}
+
+// Flush implements Operator.
+func (f *FuncOp) Flush(emit Emit) {
+	if f.OnFlush != nil {
+		f.OnFlush(emit)
+	}
+}
+
+// Collect is a sink operator accumulating everything it receives; tests and
+// examples read .Tuples afterwards.
+type Collect struct {
+	OpName string
+	Tuples []*Tuple
+}
+
+// Name implements Operator.
+func (c *Collect) Name() string {
+	if c.OpName == "" {
+		return "collect"
+	}
+	return c.OpName
+}
+
+// Process implements Operator.
+func (c *Collect) Process(_ int, t *Tuple, _ Emit) { c.Tuples = append(c.Tuples, t) }
+
+// Flush implements Operator.
+func (c *Collect) Flush(Emit) {}
+
+// Reset clears collected tuples.
+func (c *Collect) Reset() { c.Tuples = nil }
+
+// String renders the collected tuples.
+func (c *Collect) String() string {
+	s := ""
+	for _, t := range c.Tuples {
+		s += fmt.Sprintln(t.Format())
+	}
+	return s
+}

@@ -1,0 +1,159 @@
+package stream
+
+import "fmt"
+
+// WindowSpec describes a window policy. Exactly one of Count or Duration
+// must be positive.
+type WindowSpec struct {
+	// Count > 0 selects a tumbling count window of that many tuples (the
+	// Table 2 workload: tumbling windows of 100 tuples).
+	Count int
+	// Duration > 0 selects a time window of that many Time units.
+	Duration Time
+	// Sliding, for time windows, emits at every Slide step while retaining
+	// Duration of history ([Range x seconds] with periodic Rstream
+	// evaluation). Zero means tumbling.
+	Slide Time
+}
+
+// Validate panics on contradictory specs; used by operator constructors.
+func (w WindowSpec) Validate() {
+	if (w.Count > 0) == (w.Duration > 0) {
+		panic(fmt.Sprintf("stream: window must set exactly one of Count/Duration: %+v", w))
+	}
+	if w.Slide < 0 || (w.Count > 0 && w.Slide != 0) {
+		panic("stream: Slide applies only to time windows")
+	}
+}
+
+// WindowFunc folds a full window of tuples into zero or more output tuples.
+// The window-end timestamp is provided for output stamping (Rstream
+// semantics: results carry the instant the window closed).
+type WindowFunc func(window []*Tuple, end Time, emit Emit)
+
+// windowOp buffers tuples per the spec and applies fn when windows close.
+type windowOp struct {
+	name string
+	spec WindowSpec
+	fn   WindowFunc
+
+	buf      []*Tuple
+	started  bool
+	winStart Time
+	lastTS   Time
+}
+
+// NewWindow creates a windowing operator. For count windows fn fires every
+// Count tuples; for tumbling time windows it fires when a tuple at or past
+// the boundary arrives (and on Flush); sliding time windows fire every Slide
+// with the tuples inside [end-Duration, end).
+func NewWindow(name string, spec WindowSpec, fn WindowFunc) Operator {
+	spec.Validate()
+	return &windowOp{name: name, spec: spec, fn: fn}
+}
+
+func (o *windowOp) Name() string { return o.name }
+
+func (o *windowOp) Process(_ int, t *Tuple, emit Emit) {
+	o.lastTS = t.TS
+	if o.spec.Count > 0 {
+		o.buf = append(o.buf, t)
+		if len(o.buf) >= o.spec.Count {
+			o.fn(o.buf, t.TS, emit)
+			o.buf = o.buf[:0]
+		}
+		return
+	}
+	if !o.started {
+		o.started = true
+		o.winStart = t.TS
+	}
+	if o.spec.Slide == 0 {
+		// Tumbling time window: close every Duration.
+		for t.TS >= o.winStart+o.spec.Duration {
+			end := o.winStart + o.spec.Duration
+			o.fn(o.buf, end, emit)
+			o.buf = o.buf[:0]
+			o.winStart = end
+		}
+		o.buf = append(o.buf, t)
+		return
+	}
+	// Sliding time window.
+	for t.TS >= o.winStart+o.spec.Slide {
+		end := o.winStart + o.spec.Slide
+		o.emitSlide(end, emit)
+		o.winStart = end
+	}
+	o.buf = append(o.buf, t)
+}
+
+func (o *windowOp) emitSlide(end Time, emit Emit) {
+	lo := end - o.spec.Duration
+	// Evict tuples older than the range.
+	keep := o.buf[:0]
+	var window []*Tuple
+	for _, t := range o.buf {
+		if t.TS >= lo {
+			keep = append(keep, t)
+			if t.TS < end {
+				window = append(window, t)
+			}
+		}
+	}
+	o.buf = keep
+	o.fn(window, end, emit)
+}
+
+func (o *windowOp) Flush(emit Emit) {
+	if o.spec.Count > 0 {
+		if len(o.buf) > 0 {
+			o.fn(o.buf, o.lastTS, emit)
+			o.buf = o.buf[:0]
+		}
+		return
+	}
+	if len(o.buf) > 0 {
+		if o.spec.Slide == 0 {
+			o.fn(o.buf, o.winStart+o.spec.Duration, emit)
+		} else {
+			o.emitSlide(o.winStart+o.spec.Slide, emit)
+		}
+		o.buf = o.buf[:0]
+	}
+}
+
+// KeyFunc extracts a grouping key from a tuple.
+type KeyFunc func(*Tuple) string
+
+// GroupFunc folds one group's tuples into zero or more outputs.
+type GroupFunc func(key string, group []*Tuple, end Time, emit Emit)
+
+// NewGroupWindow builds the Group By shape of Q1: a window (by spec) whose
+// contents are partitioned by key, with fn applied per group. Groups are
+// visited in key order for deterministic output.
+func NewGroupWindow(name string, spec WindowSpec, key KeyFunc, fn GroupFunc) Operator {
+	return NewWindow(name, spec, func(window []*Tuple, end Time, emit Emit) {
+		groups := make(map[string][]*Tuple)
+		var order []string
+		for _, t := range window {
+			k := key(t)
+			if _, seen := groups[k]; !seen {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], t)
+		}
+		sortStrings(order)
+		for _, k := range order {
+			fn(k, groups[k], end, emit)
+		}
+	})
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

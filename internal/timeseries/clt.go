@@ -1,0 +1,77 @@
+package timeseries
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// MeanCLT returns the asymptotic Gaussian distribution of the sample mean of
+// an MA(q) series per the Central Limit Theorem for time series (§5.1,
+// Brockwell & Davis): for a series of length n,
+//
+//	x̄ ≈ N( μ, σ²_LR / n ),  σ²_LR = γ(0) + 2 Σ_{k=1..q} γ(k),
+//
+// with the mean and autocovariances estimated from the sample itself. This
+// is how the radar T operator attaches uncertainty to averaged moment data
+// without fitting a full model: one mean scan plus one ACF scan.
+func MeanCLT(xs []float64, q int) dist.Normal {
+	n := len(xs)
+	if n == 0 {
+		return dist.NewNormal(0, 1e-9)
+	}
+	if q >= n {
+		q = n - 1
+	}
+	gamma := ACovF(xs, q)
+	lr := gamma[0]
+	for k := 1; k < len(gamma); k++ {
+		lr += 2 * gamma[k]
+	}
+	if lr <= 0 {
+		// Strongly negatively correlated samples can push the truncated
+		// long-run variance estimate below zero; floor at the white-noise
+		// variance scaled down (the estimate is noisy, not the process).
+		lr = math.Max(gamma[0]*0.01, 1e-18)
+	}
+	return dist.NewNormal(Mean(xs), math.Sqrt(lr/float64(n)))
+}
+
+// MeanCLTAuto identifies the MA order from the data (Bartlett cutoff) and
+// applies MeanCLT with it. Returns the distribution and the order used.
+func MeanCLTAuto(xs []float64, maxLag int) (dist.Normal, int) {
+	q, ok := IdentifyMA(xs, maxLag, 0)
+	if !ok {
+		q = maxLag
+	}
+	return MeanCLT(xs, q), q
+}
+
+// SumCLT returns the asymptotic distribution of the *sum* of the series
+// (mean scaled by n): N(n μ, n σ²_LR).
+func SumCLT(xs []float64, q int) dist.Normal {
+	m := MeanCLT(xs, q)
+	n := float64(len(xs))
+	return m.ScaleShift(n, 0)
+}
+
+// ModelMeanDist returns the exact finite-n distribution of the sample mean
+// under a known MA model: Gaussian with mean C and variance
+// (1/n²) Σ_{s,t} γ(s−t) computed from the model autocovariances.
+func ModelMeanDist(m MA, n int) dist.Normal {
+	if n <= 0 {
+		return dist.NewNormal(m.C, 1e-9)
+	}
+	q := m.Q()
+	var v float64
+	// Σ_{s,t} γ(s−t) = n γ(0) + 2 Σ_{k=1..min(q,n−1)} (n−k) γ(k).
+	v = float64(n) * m.Autocovariance(0)
+	for k := 1; k <= q && k < n; k++ {
+		v += 2 * float64(n-k) * m.Autocovariance(k)
+	}
+	v /= float64(n) * float64(n)
+	if v <= 0 {
+		v = 1e-18
+	}
+	return dist.NewNormal(m.C, math.Sqrt(v))
+}
