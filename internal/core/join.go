@@ -20,6 +20,33 @@ func EqualProb(x, y dist.Dist, tol float64) float64 {
 	if tol <= 0 {
 		return 0
 	}
+	// Degenerate inputs (σ = 0 fits of collapsed particle clouds) have step
+	// CDFs and zero densities, which quadrature cannot see: collapse them to
+	// point masses so they take the closed-form paths below.
+	if x.Std() == 0 {
+		x = dist.PointMass{V: x.Mean()}
+	}
+	if y.Std() == 0 {
+		y = dist.PointMass{V: y.Mean()}
+	}
+	// Mixtures decompose by linearity: P(|X−Y| <= tol) = Σ wᵢ·P(|Xᵢ−Y| <= tol).
+	// This routes atom components (the Bernoulli-gated existence pattern)
+	// onto the closed-form paths below — their mass is invisible to density
+	// quadrature.
+	if mx, ok := x.(*dist.Mixture); ok {
+		var p float64
+		for i, c := range mx.Components {
+			p += mx.Weights[i] * EqualProb(c, y, tol)
+		}
+		return mathx.Clamp(p, 0, 1)
+	}
+	if my, ok := y.(*dist.Mixture); ok {
+		var p float64
+		for i, c := range my.Components {
+			p += my.Weights[i] * EqualProb(x, c, tol)
+		}
+		return mathx.Clamp(p, 0, 1)
+	}
 	// Point masses (certain attributes) have exact closed forms and defeat
 	// quadrature with their step CDFs — handle both orientations first.
 	if px, ok := x.(dist.PointMass); ok {
@@ -34,12 +61,17 @@ func EqualProb(x, y dist.Dist, tol float64) float64 {
 	if py, ok := y.(dist.PointMass); ok {
 		return x.CDF(py.V+tol) - x.CDF(py.V-tol)
 	}
-	lo, hi := x.Support()
-	if math.IsInf(lo, -1) {
-		lo = x.Quantile(1e-9)
-	}
-	if math.IsInf(hi, 1) {
-		hi = x.Quantile(1 - 1e-9)
+	// The integrand vanishes outside x's mass and wherever the CDF window
+	// is flat, i.e. outside y's effective range widened by tol. Clipping to
+	// the intersection keeps the overlap bump a sizable fraction of the
+	// integration interval, which adaptive subdivision needs to find it
+	// (far-apart inputs otherwise sample only zeros and return 0 early).
+	lo, hi := dist.EffectiveRange(x, 1e-9)
+	ylo, yhi := dist.EffectiveRange(y, 1e-9)
+	lo = math.Max(lo, ylo-tol)
+	hi = math.Min(hi, yhi+tol)
+	if hi <= lo {
+		return 0
 	}
 	p := mathx.Integrate(func(v float64) float64 {
 		return x.PDF(v) * (y.CDF(v+tol) - y.CDF(v-tol))

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestEqualProbDegenerateNormal(t *testing.T) {
+	// A σ=0 Normal (a collapsed particle-cloud fit) must behave like a
+	// point mass, not vanish from the quadrature.
+	y := dist.NewNormal(5, 1)
+	got := EqualProb(dist.NewNormal(5, 0), y, 0.5)
+	want := y.CDF(5.5) - y.CDF(4.5)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("EqualProb(N(5,0), N(5,1), 0.5) = %g, want %g", got, want)
+	}
+}
+
+func TestEqualProbMixtureAtoms(t *testing.T) {
+	// Bernoulli-gated mixtures carry an atom at 0 that density quadrature
+	// cannot see; decomposition by linearity must recover its contribution.
+	x := dist.NewMixture([]float64{0.5, 0.5},
+		[]dist.Dist{dist.PointMass{V: 0}, dist.NewNormal(5, 1)})
+	y := dist.NewNormal(0, 0.1)
+	got := EqualProb(x, y, 0.5)
+	want := 0.5 * (y.CDF(0.5) - y.CDF(-0.5)) // the Normal(5,1) half contributes ~0
+	if math.Abs(got-want) > 1e-4 {
+		t.Errorf("EqualProb(gated, N(0,0.1), 0.5) = %g, want ~%g", got, want)
+	}
+	// Symmetric orientation.
+	if got2 := EqualProb(y, x, 0.5); math.Abs(got2-got) > 1e-4 {
+		t.Errorf("asymmetric: %g vs %g", got2, got)
+	}
+}
+
+func TestTruncatedEmpiricalThroughSelect(t *testing.T) {
+	// Selecting on a raw particle-cloud attribute must keep the conditional
+	// mean inside the selected region.
+	e := dist.NewEmpirical([]float64{1, 2, 3, 4, 5}, nil)
+	u := NewUTuple(0, []string{"v"}, []dist.Dist{e})
+	sel := SelectGreater(u, "v", 2.5, 0)
+	if sel == nil {
+		t.Fatal("selection dropped a 60% tuple")
+	}
+	if math.Abs(sel.Exist-0.6) > 1e-9 {
+		t.Errorf("existence = %g, want 0.6", sel.Exist)
+	}
+	if m := sel.Attr("v").Mean(); math.Abs(m-4) > 1e-9 {
+		t.Errorf("conditional mean = %g, want 4", m)
+	}
+}

@@ -1,0 +1,198 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/rng"
+)
+
+// PointMass is the degenerate distribution of a certain value — how the
+// system represents exact attributes (registered weights, known sensor
+// positions) so that certain and uncertain data flow through the same
+// operators.
+type PointMass struct {
+	V float64
+}
+
+// Mean returns the value.
+func (p PointMass) Mean() float64 { return p.V }
+
+// Variance is 0.
+func (p PointMass) Variance() float64 { return 0 }
+
+// Std is 0.
+func (p PointMass) Std() float64 { return 0 }
+
+// PDF reports 0 everywhere: the density is a Dirac delta, which callers
+// that care (joins, selections) special-case through the CDF instead.
+func (p PointMass) PDF(x float64) float64 { return 0 }
+
+// CDF is the unit step at V.
+func (p PointMass) CDF(x float64) float64 {
+	if x < p.V {
+		return 0
+	}
+	return 1
+}
+
+// Quantile is V for every p.
+func (p PointMass) Quantile(float64) float64 { return p.V }
+
+// Sample returns V.
+func (p PointMass) Sample(*rng.RNG) float64 { return p.V }
+
+// CF is exp(itV).
+func (p PointMass) CF(t float64) complex128 {
+	return cmplx.Exp(complex(0, t*p.V))
+}
+
+// Support is the single point {V}.
+func (p PointMass) Support() (float64, float64) { return p.V, p.V }
+
+// String formats the distribution for diagnostics.
+func (p PointMass) String() string { return fmt.Sprintf("δ(%.4g)", p.V) }
+
+// Uniform is the continuous uniform distribution on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns U(a, b), swapping the endpoints if reversed.
+func NewUniform(a, b float64) Uniform {
+	if b < a {
+		a, b = b, a
+	}
+	return Uniform{A: a, B: b}
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Variance returns (B−A)²/12.
+func (u Uniform) Variance() float64 {
+	w := u.B - u.A
+	return w * w / 12
+}
+
+// Std returns (B−A)/√12.
+func (u Uniform) Std() float64 { return (u.B - u.A) / math.Sqrt(12) }
+
+// PDF is 1/(B−A) inside the support.
+func (u Uniform) PDF(x float64) float64 {
+	if x < u.A || x > u.B || u.B <= u.A {
+		return 0
+	}
+	return 1 / (u.B - u.A)
+}
+
+// CDF is linear on the support.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Quantile is the linear inverse.
+func (u Uniform) Quantile(p float64) float64 {
+	if p <= 0 {
+		return u.A
+	}
+	if p >= 1 {
+		return u.B
+	}
+	return u.A + p*(u.B-u.A)
+}
+
+// Sample draws uniformly from [A, B).
+func (u Uniform) Sample(g *rng.RNG) float64 { return g.Uniform(u.A, u.B) }
+
+// CF is exp(it(A+B)/2)·sinc(t(B−A)/2), the numerically stable centered form.
+func (u Uniform) CF(t float64) complex128 {
+	half := t * (u.B - u.A) / 2
+	return cmplx.Exp(complex(0, t*(u.A+u.B)/2)) * complex(sinc(half), 0)
+}
+
+// Support returns [A, B].
+func (u Uniform) Support() (float64, float64) { return u.A, u.B }
+
+// String formats the distribution for diagnostics.
+func (u Uniform) String() string { return fmt.Sprintf("U(%.4g, %.4g)", u.A, u.B) }
+
+// sinc is sin(x)/x with the removable singularity handled by its series.
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-6 {
+		return 1 - x*x/6
+	}
+	return math.Sin(x) / x
+}
+
+// Exponential is the exponential distribution with the given rate λ
+// (mean 1/λ).
+type Exponential struct {
+	Rate float64
+}
+
+// NewExponential returns Exp(rate); the rate must be positive.
+func NewExponential(rate float64) Exponential {
+	if rate <= 0 {
+		panic("dist: exponential rate must be positive")
+	}
+	return Exponential{Rate: rate}
+}
+
+// Mean returns 1/λ.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+// Variance returns 1/λ².
+func (e Exponential) Variance() float64 { return 1 / (e.Rate * e.Rate) }
+
+// Std returns 1/λ.
+func (e Exponential) Std() float64 { return 1 / e.Rate }
+
+// PDF is λ·exp(−λx) for x >= 0.
+func (e Exponential) PDF(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return e.Rate * math.Exp(-e.Rate*x)
+}
+
+// CDF is 1 − exp(−λx).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile is −ln(1−p)/λ.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log1p(-p) / e.Rate
+}
+
+// Sample draws from Exp(Rate).
+func (e Exponential) Sample(g *rng.RNG) float64 { return g.Exponential(e.Rate) }
+
+// CF is λ/(λ − it).
+func (e Exponential) CF(t float64) complex128 {
+	return complex(e.Rate, 0) / complex(e.Rate, -t)
+}
+
+// Support is [0, ∞).
+func (e Exponential) Support() (float64, float64) { return 0, math.Inf(1) }
+
+// String formats the distribution for diagnostics.
+func (e Exponential) String() string { return fmt.Sprintf("Exp(%.4g)", e.Rate) }

@@ -1,0 +1,159 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// Empirical is a weighted sample distribution — the raw form of a particle
+// cloud before §4.3's tuple-level compression (KL Gaussian fit or
+// AIC-selected mixture). The CDF is the weighted empirical step function;
+// the PDF is a Gaussian kernel estimate so the type still satisfies the
+// full Dist contract.
+type Empirical struct {
+	// xs are the sample locations, sorted ascending.
+	xs []float64
+	// ws are the matching normalized weights.
+	ws []float64
+	// cum[i] is the total weight of samples 0..i.
+	cum []float64
+	// mean/variance/bw cache the weighted moments and KDE bandwidth.
+	mean, variance, bw float64
+}
+
+// NewEmpirical builds a weighted empirical distribution. A nil or
+// mismatched weight slice means uniform weights; negative weights are
+// treated as zero. At least one sample with positive weight is required.
+func NewEmpirical(xs, ws []float64) *Empirical {
+	if len(xs) == 0 {
+		panic("dist: empirical needs samples")
+	}
+	n := len(xs)
+	type pair struct{ x, w float64 }
+	ps := make([]pair, n)
+	uniform := len(ws) != n
+	for i, x := range xs {
+		w := 1.0
+		if !uniform && ws[i] > 0 {
+			w = ws[i]
+		} else if !uniform {
+			w = 0
+		}
+		ps[i] = pair{x: x, w: w}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+
+	e := &Empirical{
+		xs:  make([]float64, n),
+		ws:  make([]float64, n),
+		cum: make([]float64, n),
+	}
+	var total float64
+	for _, p := range ps {
+		total += p.w
+	}
+	if total <= 0 {
+		// All weights vanished: fall back to uniform.
+		for i := range ps {
+			ps[i].w = 1
+		}
+		total = float64(n)
+	}
+	var acc, sumSq float64
+	for i, p := range ps {
+		e.xs[i] = p.x
+		e.ws[i] = p.w / total
+		acc += e.ws[i]
+		e.cum[i] = acc
+		sumSq += e.ws[i] * e.ws[i]
+	}
+	e.cum[n-1] = 1
+
+	e.mean, e.variance = mathx.WeightedMeanVar(e.xs, e.ws)
+	// Silverman bandwidth on the effective sample size (Σw)²/Σw² = 1/Σŵ².
+	neff := 1.0
+	if sumSq > 0 {
+		neff = 1 / sumSq
+	}
+	sd := math.Sqrt(math.Max(e.variance, 0))
+	if sd <= 0 {
+		sd = 1e-9
+	}
+	e.bw = 1.06 * sd * math.Pow(neff, -0.2)
+	return e
+}
+
+// N returns the sample count.
+func (e *Empirical) N() int { return len(e.xs) }
+
+// Mean returns the weighted sample mean.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// Variance returns the weighted sample variance.
+func (e *Empirical) Variance() float64 { return e.variance }
+
+// Std returns the weighted sample standard deviation.
+func (e *Empirical) Std() float64 { return math.Sqrt(math.Max(e.variance, 0)) }
+
+// PDF is a Gaussian kernel density estimate at Silverman bandwidth.
+func (e *Empirical) PDF(x float64) float64 {
+	var f float64
+	for i, xi := range e.xs {
+		f += e.ws[i] * mathx.NormalPDF((x-xi)/e.bw)
+	}
+	return f / e.bw
+}
+
+// CDF is the weighted empirical step function.
+func (e *Empirical) CDF(x float64) float64 {
+	i := sort.SearchFloat64s(e.xs, x)
+	// SearchFloat64s finds the first index with xs[i] >= x; include ties.
+	for i < len(e.xs) && e.xs[i] <= x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return e.cum[i-1]
+}
+
+// Quantile returns the smallest sample whose cumulative weight reaches p.
+func (e *Empirical) Quantile(p float64) float64 {
+	if p <= 0 {
+		return e.xs[0]
+	}
+	if p >= 1 {
+		return e.xs[len(e.xs)-1]
+	}
+	i := sort.SearchFloat64s(e.cum, p)
+	if i >= len(e.xs) {
+		i = len(e.xs) - 1
+	}
+	return e.xs[i]
+}
+
+// Sample draws a stored sample proportionally to weight.
+func (e *Empirical) Sample(g *rng.RNG) float64 { return e.Quantile(g.Float64()) }
+
+// CF is the exact weighted sum Σ ŵᵢ·exp(it·xᵢ).
+func (e *Empirical) CF(t float64) complex128 {
+	var re, im float64
+	for i, x := range e.xs {
+		s, c := math.Sincos(t * x)
+		re += e.ws[i] * c
+		im += e.ws[i] * s
+	}
+	return complex(re, im)
+}
+
+// Support returns the sample range.
+func (e *Empirical) Support() (float64, float64) { return e.xs[0], e.xs[len(e.xs)-1] }
+
+// String formats the distribution for diagnostics.
+func (e *Empirical) String() string {
+	return fmt.Sprintf("Emp(n=%d, μ=%.4g, σ=%.4g)", len(e.xs), e.mean, e.Std())
+}

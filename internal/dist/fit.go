@@ -1,0 +1,248 @@
+package dist
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// FitNormal is §4.3's closed-form tuple compression: the KL-divergence-
+// minimizing Gaussian for a given distribution is the one matching its first
+// two moments — one pass over a particle cloud, no iteration.
+func FitNormal(d Dist) Normal {
+	return NewNormal(d.Mean(), d.Std())
+}
+
+// Criterion scores a fitted model for selection: lower is better. logLik is
+// the data log-likelihood, nParams the free parameter count, n the sample
+// count.
+type Criterion func(logLik float64, nParams, n int) float64
+
+// AIC is the Akaike information criterion 2k − 2·lnL — the model-selection
+// rule of §4.3 for choosing between the single Gaussian and a mixture when
+// a particle cloud straddles locations.
+func AIC(logLik float64, nParams, n int) float64 {
+	return 2*float64(nParams) - 2*logLik
+}
+
+// BIC is the Bayesian information criterion k·ln(n) − 2·lnL, a stricter
+// alternative for larger clouds.
+func BIC(logLik float64, nParams, n int) float64 {
+	return float64(nParams)*math.Log(math.Max(float64(n), 1)) - 2*logLik
+}
+
+// FitMixtureOptions tunes the weighted EM fit.
+type FitMixtureOptions struct {
+	// Seed drives the restart jitter (default 1).
+	Seed int64
+	// MaxIter bounds EM iterations per restart (default 60).
+	MaxIter int
+	// Tol is the relative log-likelihood convergence threshold
+	// (default 1e-8).
+	Tol float64
+	// Restarts is the number of EM initializations tried (default 2: one
+	// deterministic quantile split plus one jittered).
+	Restarts int
+}
+
+func (o FitMixtureOptions) withDefaults() FitMixtureOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 60
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 2
+	}
+	return o
+}
+
+// FitGaussianMixture fits a k-component Gaussian mixture to a weighted
+// sample by EM, returning the fit and its (count-scaled) log-likelihood.
+// Initialization splits the sorted samples into k equal-mass quantile
+// blocks, which is deterministic; additional restarts jitter the means.
+func FitGaussianMixture(e *Empirical, k int, opts FitMixtureOptions) (*Mixture, float64) {
+	opts = opts.withDefaults()
+	if k < 1 {
+		k = 1
+	}
+	sd := e.Std()
+	if sd <= 0 {
+		sd = 1e-9
+	}
+	floor := math.Max(1e-6*sd, 1e-12)
+	g := rng.New(opts.Seed)
+
+	var bestPi, bestMu, bestSigma []float64
+	bestLL := math.Inf(-1)
+	for r := 0; r < opts.Restarts; r++ {
+		pi, mu, sigma := quantileInit(e, k, floor)
+		if r > 0 {
+			for j := range mu {
+				mu[j] += g.Normal(0, 0.5*sd)
+			}
+		}
+		ll := emIterate(e, pi, mu, sigma, floor, opts)
+		if ll > bestLL {
+			bestLL = ll
+			bestPi, bestMu, bestSigma = pi, mu, sigma
+		}
+	}
+	return NewGaussianMixture(bestPi, bestMu, bestSigma), bestLL
+}
+
+// quantileInit seeds EM from k equal-mass blocks of the sorted samples.
+func quantileInit(e *Empirical, k int, floor float64) (pi, mu, sigma []float64) {
+	pi = make([]float64, k)
+	mu = make([]float64, k)
+	sigma = make([]float64, k)
+	start := 0
+	for j := 0; j < k; j++ {
+		target := float64(j+1) / float64(k)
+		end := start
+		var mass, m1 float64
+		for end < len(e.xs) && (e.cum[end] <= target || end == start) {
+			mass += e.ws[end]
+			m1 += e.ws[end] * e.xs[end]
+			end++
+		}
+		if mass <= 0 {
+			pi[j] = 1e-9
+			mu[j] = e.mean
+			sigma[j] = floor
+			start = end
+			continue
+		}
+		mean := m1 / mass
+		var m2 float64
+		for i := start; i < end; i++ {
+			d := e.xs[i] - mean
+			m2 += e.ws[i] * d * d
+		}
+		pi[j] = mass
+		mu[j] = mean
+		sigma[j] = math.Max(math.Sqrt(m2/mass), floor)
+		start = end
+	}
+	return pi, mu, sigma
+}
+
+// emIterate runs weighted EM in place and returns the final count-scaled
+// log-likelihood.
+func emIterate(e *Empirical, pi, mu, sigma []float64, floor float64, opts FitMixtureOptions) float64 {
+	n := len(e.xs)
+	k := len(pi)
+	scale := float64(n) // count-scaled weights: Σ Wᵢ = n
+	resp := make([]float64, k)
+	sumW := make([]float64, k)
+	sumWX := make([]float64, k)
+	sumWXX := make([]float64, k)
+
+	ll := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for j := 0; j < k; j++ {
+			sumW[j], sumWX[j], sumWXX[j] = 0, 0, 0
+		}
+		var newLL float64
+		for i, x := range e.xs {
+			wi := scale * e.ws[i]
+			if wi <= 0 {
+				continue
+			}
+			var total float64
+			for j := 0; j < k; j++ {
+				f := pi[j] * mathx.NormalPDF((x-mu[j])/sigma[j]) / sigma[j]
+				resp[j] = f
+				total += f
+			}
+			if total <= 0 {
+				// Point unexplained by every component; assign uniformly to
+				// avoid NaN propagation.
+				for j := 0; j < k; j++ {
+					resp[j] = 1 / float64(k)
+				}
+				total = 1e-300
+			} else {
+				for j := 0; j < k; j++ {
+					resp[j] /= total
+				}
+			}
+			newLL += wi * math.Log(math.Max(total, 1e-300))
+			for j := 0; j < k; j++ {
+				rw := wi * resp[j]
+				sumW[j] += rw
+				sumWX[j] += rw * x
+				sumWXX[j] += rw * x * x
+			}
+		}
+		for j := 0; j < k; j++ {
+			if sumW[j] <= 1e-12 {
+				pi[j] = 1e-9
+				sigma[j] = floor
+				continue
+			}
+			pi[j] = sumW[j] / scale
+			mu[j] = sumWX[j] / sumW[j]
+			v := sumWXX[j]/sumW[j] - mu[j]*mu[j]
+			sigma[j] = math.Max(math.Sqrt(math.Max(v, 0)), floor)
+		}
+		if newLL-ll < opts.Tol*(1+math.Abs(newLL)) && iter > 0 {
+			return newLL
+		}
+		ll = newLL
+	}
+	return ll
+}
+
+// gaussianLogLik is the count-scaled log-likelihood of the single-Gaussian
+// moment fit.
+func gaussianLogLik(e *Empirical) float64 {
+	n := FitNormal(e)
+	sigma := math.Max(n.Sigma, 1e-12)
+	scale := float64(len(e.xs))
+	var ll float64
+	for i, x := range e.xs {
+		z := (x - n.Mu) / sigma
+		ll += scale * e.ws[i] * (mathx.NormalLogPDF(z) - math.Log(sigma))
+	}
+	return ll
+}
+
+// SelectMixture performs §4.3's model selection: fit k = 1..maxK Gaussian
+// mixtures to the weighted cloud, score each with the criterion (e.g. AIC),
+// and return the winner — a plain Normal when one component suffices (the
+// fast path's output type), a *Mixture otherwise — together with the chosen
+// component count.
+func SelectMixture(e *Empirical, maxK int, crit Criterion, opts FitMixtureOptions) (Dist, int) {
+	if maxK < 1 {
+		maxK = 1
+	}
+	n := len(e.xs)
+	if n == 0 {
+		return PointMass{V: 0}, 1
+	}
+	if e.Std() <= 0 || maxK == 1 {
+		return FitNormal(e), 1
+	}
+	bestK := 1
+	bestScore := crit(gaussianLogLik(e), 2, n)
+	var bestMix *Mixture
+	for k := 2; k <= maxK; k++ {
+		mix, ll := FitGaussianMixture(e, k, opts)
+		score := crit(ll, 3*k-1, n)
+		if score < bestScore {
+			bestScore = score
+			bestK = k
+			bestMix = mix
+		}
+	}
+	if bestK == 1 {
+		return FitNormal(e), 1
+	}
+	return bestMix, bestK
+}

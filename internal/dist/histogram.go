@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Histogram is an equi-width binned distribution on [Lo, Hi]: the
+// representation of Ge & Zdonik's baseline [25], the output of CF inversion,
+// and the collection format of the Monte Carlo strategies. The density is
+// piecewise-uniform: mass Probs[i] spread evenly over bin i, so the CDF is
+// piecewise-linear and every moment has a closed form.
+type Histogram struct {
+	Lo, Hi float64
+	// Probs are the per-bin masses, normalized to sum to 1.
+	Probs []float64
+	// cum[i] is the total mass of bins 0..i.
+	cum []float64
+}
+
+// NewHistogram builds a histogram from (possibly unnormalized, possibly
+// raw-count) bin masses on [lo, hi]. Negative masses are clamped to zero —
+// CF inversion ringing below machine scale shows up here — and the result
+// is normalized to total mass 1.
+func NewHistogram(lo, hi float64, masses []float64) *Histogram {
+	if len(masses) == 0 {
+		masses = []float64{1}
+	}
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	probs := make([]float64, len(masses))
+	var total float64
+	for i, m := range masses {
+		if m > 0 {
+			probs[i] = m
+			total += m
+		}
+	}
+	if total <= 0 {
+		// Degenerate input: fall back to a uniform density.
+		for i := range probs {
+			probs[i] = 1
+		}
+		total = float64(len(probs))
+	}
+	cum := make([]float64, len(probs))
+	var acc float64
+	for i := range probs {
+		probs[i] /= total
+		acc += probs[i]
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // pin the top against rounding drift
+	return &Histogram{Lo: lo, Hi: hi, Probs: probs, cum: cum}
+}
+
+// NBins returns the bin count.
+func (h *Histogram) NBins() int { return len(h.Probs) }
+
+// BinWidth returns the common bin width.
+func (h *Histogram) BinWidth() float64 { return (h.Hi - h.Lo) / float64(len(h.Probs)) }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.BinWidth()
+}
+
+// Mean returns the exact mean of the piecewise-uniform density.
+func (h *Histogram) Mean() float64 {
+	var m float64
+	for i, p := range h.Probs {
+		m += p * h.BinCenter(i)
+	}
+	return m
+}
+
+// Variance returns the exact variance of the piecewise-uniform density
+// (each bin contributes its within-bin uniform variance w²/12).
+func (h *Histogram) Variance() float64 {
+	mean := h.Mean()
+	w := h.BinWidth()
+	var s float64
+	for i, p := range h.Probs {
+		c := h.BinCenter(i)
+		s += p * (c*c + w*w/12)
+	}
+	v := s - mean*mean
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Std returns the standard deviation.
+func (h *Histogram) Std() float64 { return math.Sqrt(h.Variance()) }
+
+// PDF returns the bin density Probs[i]/width (0 outside [Lo, Hi]).
+func (h *Histogram) PDF(x float64) float64 {
+	if x < h.Lo || x > h.Hi {
+		return 0
+	}
+	i := h.binOf(x)
+	return h.Probs[i] / h.BinWidth()
+}
+
+// CDF interpolates linearly inside bins.
+func (h *Histogram) CDF(x float64) float64 {
+	if x <= h.Lo {
+		return 0
+	}
+	if x >= h.Hi {
+		return 1
+	}
+	w := h.BinWidth()
+	pos := (x - h.Lo) / w
+	i := int(pos)
+	if i >= len(h.Probs) {
+		i = len(h.Probs) - 1
+	}
+	var before float64
+	if i > 0 {
+		before = h.cum[i-1]
+	}
+	return before + (pos-float64(i))*h.Probs[i]
+}
+
+// Quantile inverts the piecewise-linear CDF.
+func (h *Histogram) Quantile(p float64) float64 {
+	if p <= 0 {
+		return h.Lo
+	}
+	if p >= 1 {
+		return h.Hi
+	}
+	i := sort.SearchFloat64s(h.cum, p)
+	if i >= len(h.Probs) {
+		i = len(h.Probs) - 1
+	}
+	var before float64
+	if i > 0 {
+		before = h.cum[i-1]
+	}
+	frac := 0.0
+	if h.Probs[i] > 0 {
+		frac = (p - before) / h.Probs[i]
+	}
+	return h.Lo + (float64(i)+frac)*h.BinWidth()
+}
+
+// Sample draws by inverse-CDF, matching the linear within-bin semantics.
+func (h *Histogram) Sample(g *rng.RNG) float64 { return h.Quantile(g.Float64()) }
+
+// CF is the exact characteristic function of the piecewise-uniform density:
+// Σ pᵢ · exp(it·cᵢ) · sinc(t·w/2).
+func (h *Histogram) CF(t float64) complex128 {
+	w := h.BinWidth()
+	s := complex(sinc(t*w/2), 0)
+	var out complex128
+	for i, p := range h.Probs {
+		if p == 0 {
+			continue
+		}
+		out += complex(p, 0) * cmplx.Exp(complex(0, t*h.BinCenter(i)))
+	}
+	return out * s
+}
+
+// Support returns [Lo, Hi].
+func (h *Histogram) Support() (float64, float64) { return h.Lo, h.Hi }
+
+// String formats the distribution for diagnostics.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Hist[%.4g, %.4g]×%d", h.Lo, h.Hi, len(h.Probs))
+}
+
+// binOf maps x (inside the support) to its bin index.
+func (h *Histogram) binOf(x float64) int {
+	i := int((x - h.Lo) / h.BinWidth())
+	if i < 0 {
+		return 0
+	}
+	if i >= len(h.Probs) {
+		return len(h.Probs) - 1
+	}
+	return i
+}
+
+// Discretize converts any distribution into an equi-width histogram over its
+// effective support by exact CDF differencing — the per-tuple preprocessing
+// step of the Histogram baseline. Mass is conserved by construction (the
+// masses are CDF increments, renormalized over the covered range).
+func Discretize(d Dist, bins int) *Histogram {
+	if bins <= 0 {
+		bins = 32
+	}
+	if h, ok := d.(*Histogram); ok && h.NBins() == bins {
+		// Copy rather than alias so callers may treat the result as scratch.
+		return NewHistogram(h.Lo, h.Hi, h.Probs)
+	}
+	lo, hi := EffectiveRange(d, 1e-9)
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	w := (hi - lo) / float64(bins)
+	masses := make([]float64, bins)
+	// Seed at 0, not d.CDF(lo): an atom sitting exactly at the lower bound
+	// (the Bernoulli gate's δ(0) under a positive-valued attribute) is
+	// included in CDF(lo) and would otherwise be renormalized away. Bin 0
+	// therefore absorbs the ≤eps tail below lo together with any such atom.
+	prev := 0.0
+	for i := 0; i < bins; i++ {
+		next := d.CDF(lo + float64(i+1)*w)
+		masses[i] = math.Max(0, next-prev)
+		prev = next
+	}
+	return NewHistogram(lo, hi, masses)
+}

@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// Normal is the Gaussian distribution N(Mu, Sigma²) — the closed-form
+// KL-minimizing tuple compression of §4.3 and the output family of the CF
+// approximation and CLT aggregation strategies.
+type Normal struct {
+	Mu, Sigma float64
+}
+
+// NewNormal returns N(mu, sigma²). A negative sigma is folded to its
+// magnitude so moment-derived callers need not guard the sign.
+func NewNormal(mu, sigma float64) Normal {
+	if sigma < 0 {
+		sigma = -sigma
+	}
+	return Normal{Mu: mu, Sigma: sigma}
+}
+
+// ConvolveNormals returns the exact distribution of the sum of independent
+// Gaussians: means and variances add.
+func ConvolveNormals(ns ...Normal) Normal {
+	var mu, variance float64
+	for _, n := range ns {
+		mu += n.Mu
+		variance += n.Sigma * n.Sigma
+	}
+	return Normal{Mu: mu, Sigma: math.Sqrt(variance)}
+}
+
+// ScaleShift returns the distribution of a·X + b.
+func (n Normal) ScaleShift(a, b float64) Normal {
+	return Normal{Mu: a*n.Mu + b, Sigma: math.Abs(a) * n.Sigma}
+}
+
+// Mean returns Mu.
+func (n Normal) Mean() float64 { return n.Mu }
+
+// Variance returns Sigma².
+func (n Normal) Variance() float64 { return n.Sigma * n.Sigma }
+
+// Std returns Sigma.
+func (n Normal) Std() float64 { return n.Sigma }
+
+// PDF evaluates the Gaussian density.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return 0
+	}
+	return mathx.NormalPDF((x-n.Mu)/n.Sigma) / n.Sigma
+}
+
+// CDF evaluates Φ((x−μ)/σ).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mu {
+			return 0
+		}
+		return 1
+	}
+	return mathx.NormalCDF((x - n.Mu) / n.Sigma)
+}
+
+// Quantile inverts the CDF.
+func (n Normal) Quantile(p float64) float64 {
+	if n.Sigma <= 0 {
+		return n.Mu // degenerate: avoid 0·(±Inf) = NaN at p = 0 or 1
+	}
+	return n.Mu + n.Sigma*mathx.NormalQuantile(mathx.Clamp(p, 0, 1))
+}
+
+// Sample draws from N(Mu, Sigma²).
+func (n Normal) Sample(g *rng.RNG) float64 { return g.Normal(n.Mu, n.Sigma) }
+
+// CF is the closed form exp(iμt − σ²t²/2).
+func (n Normal) CF(t float64) complex128 {
+	return cmplx.Exp(complex(-0.5*n.Sigma*n.Sigma*t*t, n.Mu*t))
+}
+
+// Support is the effective support μ ± 12σ — the same convention CF
+// inversion grids use; the mass beyond it (~2e-33) is below double
+// precision, so bounded-range consumers (delivery bounds, order statistics,
+// join quadrature) can use the bounds directly.
+func (n Normal) Support() (float64, float64) {
+	return n.Mu - 12*n.Sigma, n.Mu + 12*n.Sigma
+}
+
+// String formats the distribution for diagnostics.
+func (n Normal) String() string { return fmt.Sprintf("N(%.4g, %.4g²)", n.Mu, n.Sigma) }

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// TestNormalCFClosedForm checks the Gaussian characteristic function against
+// its definition: φ(t) = E[exp(itX)] evaluated by quadrature over the
+// effective support must match exp(iμt − σ²t²/2) for random parameters.
+func TestNormalCFClosedForm(t *testing.T) {
+	f := func(muRaw, sigmaRaw, tRaw float64) bool {
+		if math.IsNaN(muRaw) || math.IsNaN(sigmaRaw) || math.IsNaN(tRaw) {
+			return true
+		}
+		mu := math.Mod(muRaw, 10)
+		sigma := 0.2 + math.Abs(math.Mod(sigmaRaw, 3))
+		tv := math.Mod(tRaw, 4)
+		n := NewNormal(mu, sigma)
+		got := n.CF(tv)
+
+		lo, hi := mu-12*sigma, mu+12*sigma
+		opts := mathx.QuadOptions{AbsTol: 1e-12, RelTol: 1e-10}
+		re := mathx.Integrate(func(x float64) float64 { return math.Cos(tv*x) * n.PDF(x) }, lo, hi, opts)
+		im := mathx.Integrate(func(x float64) float64 { return math.Sin(tv*x) * n.PDF(x) }, lo, hi, opts)
+		return cmplx.Abs(got-complex(re, im)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCFAxioms: φ(0) = 1, |φ(t)| <= 1, and φ(−t) = conj(φ(t)) for every
+// family.
+func TestCFAxioms(t *testing.T) {
+	dists := []Dist{
+		NewNormal(2, 1.5),
+		PointMass{V: -3},
+		NewUniform(-1, 4),
+		NewExponential(0.7),
+		Discretize(NewNormal(0, 2), 64),
+		NewGaussianMixture([]float64{0.3, 0.7}, []float64{-2, 5}, []float64{1, 2}),
+		NewTruncated(NewNormal(0, 1), -1, 2),
+	}
+	for _, d := range dists {
+		if cmplx.Abs(d.CF(0)-1) > 1e-9 {
+			t.Errorf("%v: CF(0) = %v", d, d.CF(0))
+		}
+		for _, tv := range []float64{-3, -0.5, 0.9, 2.7} {
+			phi := d.CF(tv)
+			if cmplx.Abs(phi) > 1+1e-9 {
+				t.Errorf("%v: |CF(%g)| = %g > 1", d, tv, cmplx.Abs(phi))
+			}
+			if cmplx.Abs(phi-cmplx.Conj(d.CF(-tv))) > 1e-6 {
+				t.Errorf("%v: Hermitian symmetry broken at t=%g", d, tv)
+			}
+		}
+	}
+}
+
+// TestMixtureCFIsWeightedSum: the mixture CF must be exactly Σ wᵢφᵢ(t) —
+// the identity that lets Bernoulli-gated tuples use the closed-form CF
+// aggregation path.
+func TestMixtureCFIsWeightedSum(t *testing.T) {
+	a, b := NewNormal(1, 1), NewNormal(-2, 0.5)
+	m := NewMixture([]float64{0.25, 0.75}, []Dist{a, b})
+	for _, tv := range []float64{-2, 0, 0.3, 1.7} {
+		want := complex(0.25, 0)*a.CF(tv) + complex(0.75, 0)*b.CF(tv)
+		if cmplx.Abs(m.CF(tv)-want) > 1e-12 {
+			t.Errorf("mixture CF at t=%g: %v vs %v", tv, m.CF(tv), want)
+		}
+	}
+}
+
+// TestSamplingMatchesCDF: empirical CDFs of drawn samples must converge to
+// the analytic CDF for every family (Kolmogorov-Smirnov style bound).
+func TestSamplingMatchesCDF(t *testing.T) {
+	g := rng.New(11)
+	const n = 20000
+	for name, d := range map[string]Dist{
+		"normal":    NewNormal(1, 2),
+		"uniform":   NewUniform(-2, 3),
+		"exp":       NewExponential(1.5),
+		"mixture":   NewGaussianMixture([]float64{0.4, 0.6}, []float64{-4, 2}, []float64{1, 1}),
+		"histogram": Discretize(NewNormal(0, 1), 64),
+		"truncated": NewTruncated(NewNormal(0, 2), -1, 5),
+	} {
+		xs := SampleN(d, n, g)
+		var worst float64
+		for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			x := d.Quantile(q)
+			count := 0
+			for _, v := range xs {
+				if v <= x {
+					count++
+				}
+			}
+			diff := math.Abs(float64(count)/n - d.CDF(x))
+			if diff > worst {
+				worst = diff
+			}
+		}
+		if worst > 0.015 {
+			t.Errorf("%s: sampled CDF deviates by %g", name, worst)
+		}
+	}
+}
+
+// TestHistogramQuantileRoundTripProperty: for random histograms the CDF and
+// quantile must invert each other inside the support.
+func TestHistogramQuantileRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		masses := make([]float64, 16)
+		for i := range masses {
+			masses[i] = g.Float64()
+		}
+		h := NewHistogram(-3, 5, masses)
+		for _, p := range []float64{0.1, 0.33, 0.5, 0.77, 0.95} {
+			if math.Abs(h.CDF(h.Quantile(p))-p) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

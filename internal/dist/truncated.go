@@ -1,0 +1,189 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathx"
+	"repro/internal/rng"
+)
+
+// Truncated is a base distribution conditioned on Lo < X <= Hi, renormalized
+// by the covered mass — the conditional attribute distribution an uncertain
+// selection keeps (§5: "T.temp > 60℃" leaves the survivor carrying
+// p(temp | temp > 60) so downstream results stay exact).
+type Truncated struct {
+	Base   Dist
+	Lo, Hi float64
+	// flo and mass cache CDF(Lo) and CDF(Hi)−CDF(Lo).
+	flo, mass float64
+	// mean and variance are precomputed by quadrature at construction.
+	mean, variance float64
+}
+
+// NewTruncated conditions d on (lo, hi]. If the interval carries
+// (numerically) no mass the result degenerates to a point at the nearest
+// covered quantile.
+func NewTruncated(d Dist, lo, hi float64) Dist {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	flo, fhi := d.CDF(lo), d.CDF(hi)
+	mass := fhi - flo
+	if mass <= 1e-300 {
+		return PointMass{V: d.Quantile(mathx.Clamp((flo+fhi)/2, 0, 1))}
+	}
+	if d.Std() == 0 {
+		// An atom with mass in (lo, hi] is unchanged by the conditioning.
+		return PointMass{V: d.Mean()}
+	}
+	if m, ok := d.(*Mixture); ok {
+		// Truncation distributes over mixtures: the conditional is the
+		// mixture of per-component conditionals reweighted by each
+		// component's covered mass. Density quadrature on the joint would
+		// miss atom components (Bernoulli-gated existence), whose mass only
+		// the CDF sees.
+		var ws []float64
+		var comps []Dist
+		for i, c := range m.Components {
+			w := m.Weights[i] * (c.CDF(hi) - c.CDF(lo))
+			if w <= 0 {
+				continue
+			}
+			ws = append(ws, w)
+			comps = append(comps, NewTruncated(c, lo, hi))
+		}
+		switch len(comps) {
+		case 0:
+			return PointMass{V: d.Quantile(mathx.Clamp((flo+fhi)/2, 0, 1))}
+		case 1:
+			return comps[0]
+		}
+		return NewMixture(ws, comps)
+	}
+	if e, ok := d.(*Empirical); ok {
+		// An empirical base is a discrete sample whose kernel PDF disagrees
+		// with its step CDF; wrapping it would leave a density that does not
+		// integrate to 1 over the window. The exact conditional distribution
+		// is simply the reweighted sample restricted to (lo, hi].
+		var xs, ws []float64
+		for i, x := range e.xs {
+			if x > lo && x <= hi {
+				xs = append(xs, x)
+				ws = append(ws, e.ws[i])
+			}
+		}
+		if len(xs) == 0 {
+			return PointMass{V: mathx.Clamp(e.mean, lo, hi)}
+		}
+		return NewEmpirical(xs, ws)
+	}
+
+	t := &Truncated{Base: d, Lo: lo, Hi: hi, flo: flo, mass: mass}
+
+	// Continuous bases use density quadrature over effective finite bounds.
+	elo, ehi := lo, hi
+	if math.IsInf(elo, -1) {
+		elo = d.Quantile(flo + 1e-12*mass)
+	}
+	if math.IsInf(ehi, 1) {
+		ehi = d.Quantile(fhi - 1e-12*mass)
+	}
+	if ehi <= elo {
+		return PointMass{V: elo}
+	}
+	opts := mathx.QuadOptions{AbsTol: 1e-12, RelTol: 1e-10}
+	t.mean = mathx.Integrate(func(x float64) float64 {
+		return x * d.PDF(x)
+	}, elo, ehi, opts) / mass
+	m2 := mathx.Integrate(func(x float64) float64 {
+		dx := x - t.mean
+		return dx * dx * d.PDF(x)
+	}, elo, ehi, opts) / mass
+	t.variance = math.Max(m2, 0)
+	return t
+}
+
+// Mean returns the truncated mean.
+func (t *Truncated) Mean() float64 { return t.mean }
+
+// Variance returns the truncated variance.
+func (t *Truncated) Variance() float64 { return t.variance }
+
+// Std returns the truncated standard deviation.
+func (t *Truncated) Std() float64 { return math.Sqrt(t.variance) }
+
+// PDF is the renormalized base density inside (Lo, Hi].
+func (t *Truncated) PDF(x float64) float64 {
+	if x < t.Lo || x > t.Hi {
+		return 0
+	}
+	return t.Base.PDF(x) / t.mass
+}
+
+// CDF is the renormalized base CDF.
+func (t *Truncated) CDF(x float64) float64 {
+	if x <= t.Lo {
+		return 0
+	}
+	if x >= t.Hi {
+		return 1
+	}
+	return mathx.Clamp((t.Base.CDF(x)-t.flo)/t.mass, 0, 1)
+}
+
+// Quantile maps p through the base quantile on the covered CDF segment.
+func (t *Truncated) Quantile(p float64) float64 {
+	p = mathx.Clamp(p, 0, 1)
+	x := t.Base.Quantile(t.flo + p*t.mass)
+	return mathx.Clamp(x, t.Lo, t.Hi)
+}
+
+// Sample draws by inverse-CDF through the base quantile.
+func (t *Truncated) Sample(g *rng.RNG) float64 { return t.Quantile(g.Float64()) }
+
+// CF integrates e^{itx} against the truncated density numerically (no
+// closed form for a generic base) with a composite Simpson rule whose node
+// count scales with the oscillation count t·(hi−lo)/2π — adaptive
+// subdivision would alias fast oscillations its coarse initial samples
+// cannot see.
+func (t *Truncated) CF(tv float64) complex128 {
+	if tv == 0 {
+		return 1
+	}
+	lo, hi := EffectiveRange(t, 1e-12)
+	if hi <= lo {
+		return complex(math.Cos(tv*lo), math.Sin(tv*lo))
+	}
+	cycles := math.Abs(tv) * (hi - lo) / (2 * math.Pi)
+	segs := int(16*cycles) + 64
+	if segs > 1<<15 {
+		segs = 1 << 15
+	}
+	n := 2*segs + 1 // odd node count for Simpson
+	w := (hi - lo) / float64(n-1)
+	var re, im float64
+	for i := 0; i < n; i++ {
+		x := lo + float64(i)*w
+		coef := 4.0
+		switch {
+		case i == 0 || i == n-1:
+			coef = 1
+		case i%2 == 0:
+			coef = 2
+		}
+		f := t.PDF(x)
+		s, c := math.Sincos(tv * x)
+		re += coef * c * f
+		im += coef * s * f
+	}
+	return complex(re*w/3, im*w/3)
+}
+
+// Support returns the truncation bounds.
+func (t *Truncated) Support() (float64, float64) { return t.Lo, t.Hi }
+
+// String formats the distribution for diagnostics.
+func (t *Truncated) String() string {
+	return fmt.Sprintf("Trunc(%v | %.4g, %.4g)", t.Base, t.Lo, t.Hi)
+}
