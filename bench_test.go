@@ -9,6 +9,7 @@
 //	BenchmarkAggregationStrategies — §5.1 strategy ablation (incl. [9]'s n−1 integrals)
 //	BenchmarkTupleApproximation    — §4.3 Gaussian vs AIC-mixture tuple compression
 //	BenchmarkCorrelatedAggregation — §5.1 MA-CLT vs Monte Carlo on correlated series
+//	BenchmarkQ1SyncVsChan          — §3 compiled Q1 diagram: Push vs channel-parallel executor
 //
 // Absolute numbers are machine-dependent; the shape (who wins, by what
 // factor) is the reproduction target.
@@ -26,7 +27,9 @@ import (
 	"repro/internal/radar"
 	"repro/internal/rfid"
 	"repro/internal/rng"
+	"repro/internal/stream"
 	"repro/internal/timeseries"
+	"repro/internal/uop"
 )
 
 // BenchmarkTable1AveragingSweep measures the moment-generation + detection
@@ -261,6 +264,44 @@ func BenchmarkCFInversionGrid(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_ = core.Sum(window, core.CFInvert, core.AggOptions{GridN: gridN})
 			}
+		})
+	}
+}
+
+// BenchmarkQ1SyncVsChan runs the compiled Q1 diagram over one seeded
+// T-operator trace under both engine paths: the synchronous depth-first
+// Push and the per-box-goroutine channel executor. Alert output is
+// identical (the equivalence tests pin that); this measures what the
+// pipeline parallelism costs or buys at each buffer size.
+func BenchmarkQ1SyncVsChan(b *testing.B) {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 120, Seed: 51, MoveProb: -1})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{Events: 600, Seed: 52})
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: 53,
+	})
+	var lts []rfid.LocationTuple
+	for _, ev := range trace.Events {
+		lts = append(lts, tx.Process(ev)...)
+	}
+	cfg := uop.Q1Config{
+		WindowMS: 5 * stream.Second, ThresholdLbs: 200, AreaFt: 10,
+		Strategy: core.CFApprox, MinAlertProb: 0.5,
+	}
+	throughput := func(b *testing.B) {
+		b.ReportMetric(float64(len(lts)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+	}
+	b.Run("push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = uop.RunQ1(lts, w, cfg)
+		}
+		throughput(b)
+	})
+	for _, buffer := range []int{16, 256} {
+		b.Run(fmt.Sprintf("chan-buffer=%d", buffer), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = uop.RunQ1Chan(lts, w, cfg, buffer)
+			}
+			throughput(b)
 		})
 	}
 }

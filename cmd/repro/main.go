@@ -32,6 +32,8 @@ func main() {
 		printScalability()
 	case "adaptive":
 		printAdaptive()
+	case "queries":
+		printQueries()
 	case "all":
 		printTable1()
 		fmt.Println()
@@ -44,8 +46,10 @@ func main() {
 		printScalability()
 		fmt.Println()
 		printAdaptive()
+		fmt.Println()
+		printQueries()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown command %q\nusage: repro table1|table2|figure3a|figure3b|scalability|adaptive|all\n", cmd)
+		fmt.Fprintf(os.Stderr, "unknown command %q\nusage: repro table1|table2|figure3a|figure3b|scalability|adaptive|queries|all\n", cmd)
 		os.Exit(2)
 	}
 }
@@ -90,6 +94,16 @@ func printScalability() {
 	rows := experiments.RunScalability(experiments.DefaultScalabilityConfig())
 	for _, r := range rows {
 		fmt.Printf("%-32s | %7d | %12.3f\n", r.Variant, r.Objects, r.EventsPerSec)
+	}
+}
+
+func printQueries() {
+	fmt.Println("Compiled queries (§2.1 on the §3 engine): Q1/Q2 as box-arrow diagrams, sync vs channel-parallel")
+	fmt.Println("Query | Mode | Alerts | Input Tuples | Wall (ms) | Tuples/s")
+	rows := experiments.RunQueries(experiments.DefaultQueriesConfig())
+	for _, r := range rows {
+		fmt.Printf("%-5s | %-4s | %6d | %12d | %9.1f | %8.0f\n",
+			r.Query, r.Mode, r.Alerts, r.InputTuples, r.WallMS, r.TuplesPerS)
 	}
 }
 

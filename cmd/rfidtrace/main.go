@@ -3,7 +3,11 @@
 // followed by a final ground-truth record. Useful for feeding external
 // tools or inspecting what the T operator consumes.
 //
-// Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move]
+// With -q1, the trace is instead run end to end through the §3 pipeline —
+// T operator inference, then the compiled Q1 box-arrow diagram — and the
+// fire-code alerts stream out as JSON lines as each window closes.
+//
+// Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move] [-q1 [-threshold LBS]]
 package main
 
 import (
@@ -13,7 +17,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
 	"repro/internal/rfid"
+	"repro/internal/stream"
+	"repro/internal/uop"
 )
 
 type eventJSON struct {
@@ -29,11 +36,21 @@ type truthJSON struct {
 	Truth map[int64][2]float64 `json:"truth_final_xy"`
 }
 
+type alertJSON struct {
+	T          int64   `json:"t_ms"`
+	Area       string  `json:"area"`
+	TotalLbs   float64 `json:"total_lbs"`
+	TotalStd   float64 `json:"total_std"`
+	PViolation float64 `json:"p_violation"`
+}
+
 func main() {
 	objects := flag.Int("objects", 500, "number of tagged objects")
 	events := flag.Int("events", 2000, "number of scan events")
 	seed := flag.Int64("seed", 1, "random seed")
 	move := flag.Bool("move", false, "enable object movement between shelves")
+	q1 := flag.Bool("q1", false, "run the trace through the compiled Q1 diagram and emit alerts")
+	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds (with -q1)")
 	flag.Parse()
 
 	moveProb := -1.0
@@ -56,6 +73,12 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
+
+	if *q1 {
+		streamQ1(w, trace, *seed, *threshold, enc)
+		return
+	}
+
 	for _, ev := range trace.Events {
 		if err := enc.Encode(eventJSON{
 			T:       int64(ev.T),
@@ -78,4 +101,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "rfidtrace:", err)
 		os.Exit(1)
 	}
+}
+
+// streamQ1 pushes T-operator output through the compiled Q1 diagram event
+// by event, emitting each alert as its window closes — the full §3
+// architecture as a streaming CLI.
+func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float64, enc *json.Encoder) {
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: seed + 2,
+	})
+	compiled := uop.BuildQ1(uop.Q1Config{
+		WindowMS:     5 * stream.Second,
+		ThresholdLbs: threshold,
+		AreaFt:       10,
+		Strategy:     core.CFApprox,
+		MinAlertProb: 0.5,
+	}).Compile()
+	emit := func(ts []*stream.Tuple) {
+		for _, t := range ts {
+			u := core.Unwrap(t)
+			total := u.Attr("weight")
+			if err := enc.Encode(alertJSON{
+				T:          int64(t.TS),
+				Area:       t.Str("group"),
+				TotalLbs:   total.Mean(),
+				TotalStd:   total.Std(),
+				PViolation: t.Get("p").(float64),
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "rfidtrace:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			compiled.Push("locations", uop.LocationUTuple(lt, w))
+		}
+		emit(compiled.Results())
+	}
+	emit(compiled.Close())
 }

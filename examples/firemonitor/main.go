@@ -1,8 +1,9 @@
 // Fire-code monitoring (Q1 of §2.1): raw mobile-RFID readings are
 // transformed by the T operator into an object-location stream with
-// quantified uncertainty, then a windowed, probabilistic GROUP BY area /
-// SUM(weight) / HAVING flags floor cells whose total merchandise weight
-// probably violates the fire code.
+// quantified uncertainty, then the declarative query — windowed
+// probabilistic GROUP BY area / SUM(weight) / HAVING — is compiled to a
+// box-arrow dataflow diagram and fed tuple by tuple, flagging floor cells
+// whose total merchandise weight probably violates the fire code.
 //
 // Run: go run ./examples/firemonitor
 package main
@@ -14,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/rfid"
 	"repro/internal/stream"
+	"repro/internal/uop"
 )
 
 func main() {
@@ -40,14 +42,19 @@ func main() {
 
 	// Q1: 5-second windows, group by floor cell, sum weights, alert when
 	// P(total > threshold) is high. Cells are 10x10 ft so a shelf's load
-	// lands in one group.
-	alerts := core.RunQ1(locations, w, core.Q1Config{
+	// lands in one group. The fluent chain compiles to a box-arrow diagram
+	// that the stream engine executes.
+	cfg := uop.Q1Config{
 		WindowMS:     5 * stream.Second,
 		ThresholdLbs: 220,
 		AreaFt:       10,
 		Strategy:     core.CFInvert,
 		MinAlertProb: 0.5,
-	})
+	}
+	compiled := uop.BuildQ1(cfg).Compile()
+	fmt.Printf("\ncompiled Q1 diagram:\n%s", compiled.Describe())
+
+	alerts := uop.RunQ1(locations, w, cfg)
 
 	fmt.Printf("\n%d fire-code alerts (threshold 220 lbs, P >= 0.5):\n", len(alerts))
 	shown := 0

@@ -9,11 +9,11 @@ package main
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rfid"
 	"repro/internal/rng"
 	"repro/internal/stream"
+	"repro/internal/uop"
 )
 
 func main() {
@@ -44,7 +44,7 @@ func main() {
 		}
 	}
 	g := rng.New(10)
-	var temps []core.TempReading
+	var temps []uop.TempReading
 	for t := stream.Time(0); t < 1500*stream.Second; t += 5 * stream.Second {
 		for gx := 5.0; gx < w.Width; gx += 15 {
 			for gy := 5.0; gy < w.Depth; gy += 15 {
@@ -53,7 +53,7 @@ func main() {
 				if dx*dx+dy*dy < 100 {
 					mean = 75 // fire near the hot spot
 				}
-				temps = append(temps, core.TempReading{
+				temps = append(temps, uop.TempReading{
 					TS: t, X: gx, Y: gy,
 					Temp: dist.NewNormal(mean+g.Normal(0, 1), 4),
 				})
@@ -64,15 +64,20 @@ func main() {
 	fmt.Printf("hot spot planted at (%.0f, %.0f) near flammable tag %d\n",
 		hotSpot.Pos.X, hotSpot.Pos.Y, hotSpot.ID)
 
-	alerts := core.RunQ2(locations, temps, w, core.Q2Config{
+	// The query compiles to a two-source diagram (certain flammability
+	// filter ⋈ uncertain hot filter) and runs on the channel-parallel
+	// executor: one goroutine per box.
+	cfg := uop.Q2Config{
 		RangeMS:       3 * stream.Second,
 		TempThreshold: 60,
 		LocTolFt:      6,
 		MinProb:       0.10,
-	})
+	}
+	fmt.Printf("\ncompiled Q2 diagram:\n%s", uop.BuildQ2(w, cfg).Compile().Describe())
+	alerts := uop.RunQ2Chan(locations, temps, w, cfg, 64)
 
 	// Aggregate alerts per tag (the same pair can match in many windows).
-	best := map[int64]core.Q2Alert{}
+	best := map[int64]uop.Q2Alert{}
 	for _, a := range alerts {
 		if cur, ok := best[a.TagID]; !ok || a.P > cur.P {
 			best[a.TagID] = a

@@ -183,21 +183,13 @@ func Avg(ds []dist.Dist, strat Strategy, opts AggOptions) dist.Dist {
 	return scaleDist(sum, 1/float64(len(ds)), opts)
 }
 
-// scaleDist returns the distribution of a·X for the concrete types the
-// aggregation strategies produce.
+// scaleDist returns the distribution of a·X: closed forms via dist.Scale
+// for the families the aggregation strategies produce, CF inversion for
+// anything exotic (where the moment-matched fallback would lose shape).
 func scaleDist(d dist.Dist, a float64, opts AggOptions) dist.Dist {
-	switch v := d.(type) {
-	case dist.Normal:
-		return v.ScaleShift(a, 0)
-	case *dist.Histogram:
-		// Rescale the support, keep masses.
-		lo, hi := v.Lo*a, v.Hi*a
-		if hi < lo {
-			lo, hi = hi, lo
-		}
-		return dist.NewHistogram(lo, hi, append([]float64(nil), v.Probs...))
-	case dist.PointMass:
-		return dist.PointMass{V: v.V * a}
+	switch d.(type) {
+	case dist.Normal, *dist.Histogram, dist.PointMass, dist.Uniform, *dist.Mixture:
+		return dist.Scale(d, a)
 	default:
 		// Generic path: invert the scaled CF.
 		return cf.Invert(cf.Scale(d.CF, a), cf.InvertOptions{N: opts.withDefaults().GridN})

@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/lineage"
@@ -47,6 +48,11 @@ type UTuple struct {
 	attrs []dist.Dist
 	Exist float64     // P(tuple exists); 1.0 until a probabilistic op reduces it
 	Lin   lineage.Set // base tuples this tuple derives from
+	// Keys are certain identity-valued attributes (tag ids, sensor ids):
+	// exact integers that must never round-trip through a float64 point
+	// mass. Selections and clones carry them along; joins merge them
+	// explicitly (left side wins on clashes).
+	Keys map[string]int64
 }
 
 // NewUTuple builds a base tuple with existence 1 and its own ID as lineage.
@@ -120,9 +126,39 @@ func (u *UTuple) SetAttr(name string, d dist.Dist) {
 	u.attrs = append(u.attrs, d)
 }
 
+// SetKey attaches a certain integer-valued key (e.g. a tag id).
+func (u *UTuple) SetKey(name string, v int64) {
+	if u.Keys == nil {
+		u.Keys = make(map[string]int64, 1)
+	}
+	u.Keys[name] = v
+}
+
+// Key returns the named certain key; wiring errors fail loudly.
+func (u *UTuple) Key(name string) int64 {
+	v, ok := u.Keys[name]
+	if !ok {
+		panic(fmt.Sprintf("core: unknown key %q (have %v)", name, u.Keys))
+	}
+	return v
+}
+
+// HasKey reports whether the tuple carries the certain key.
+func (u *UTuple) HasKey(name string) bool {
+	_, ok := u.Keys[name]
+	return ok
+}
+
 // Clone returns a copy (attribute distributions are immutable by convention
 // and shared).
 func (u *UTuple) Clone() *UTuple {
+	var keys map[string]int64
+	if len(u.Keys) > 0 {
+		keys = make(map[string]int64, len(u.Keys))
+		for k, v := range u.Keys {
+			keys[k] = v
+		}
+	}
 	return &UTuple{
 		TS:    u.TS,
 		ID:    u.ID,
@@ -130,6 +166,7 @@ func (u *UTuple) Clone() *UTuple {
 		attrs: append([]dist.Dist(nil), u.attrs...),
 		Exist: u.Exist,
 		Lin:   u.Lin,
+		Keys:  keys,
 	}
 }
 
@@ -139,6 +176,14 @@ func (u *UTuple) Mean(name string) float64 { return u.Attr(name).Mean() }
 // String renders the tuple.
 func (u *UTuple) String() string {
 	s := fmt.Sprintf("U@%d{p=%.3g", u.TS, u.Exist)
+	keys := make([]string, 0, len(u.Keys))
+	for k := range u.Keys {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(", %s#%d", k, u.Keys[k])
+	}
 	for i, n := range u.names {
 		s += fmt.Sprintf(", %s=%v", n, u.attrs[i])
 	}

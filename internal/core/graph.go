@@ -34,12 +34,25 @@ func Unwrap(t *stream.Tuple) *UTuple {
 
 // NewSelectOp builds a stream operator applying an uncertain selection
 // (e.g. a closure over SelectGreater) to each tuple; nil results are
-// dropped.
+// dropped. Extra certain columns riding alongside the payload (a group
+// key, a having probability) pass through untouched, so selections
+// compose after grouped stages.
 func NewSelectOp(name string, sel func(*UTuple) *UTuple) stream.Operator {
 	return stream.NewSelect(name, func(t *stream.Tuple) *stream.Tuple {
-		out := sel(Unwrap(t))
+		in := Unwrap(t)
+		out := sel(in)
 		if out == nil {
 			return nil
+		}
+		if out == in {
+			return t // pure filter: the carrier is already right
+		}
+		if s := t.Schema(); s != nil && len(s.Names) > 1 {
+			fields := append([]stream.Value(nil), t.Fields...)
+			fields[s.MustIndex("u")] = out
+			nt := stream.NewTuple(s, out.TS, fields...)
+			nt.ID = out.ID
+			return nt
 		}
 		return Wrap(out)
 	})
@@ -63,11 +76,37 @@ func NewSumOp(name string, spec stream.WindowSpec, attr string, strat Strategy, 
 	})
 }
 
+// GroupSumOpConfig parameterizes the probabilistic GROUP BY box.
+type GroupSumOpConfig struct {
+	// Window is the (tumbling/sliding/count) window policy.
+	Window stream.WindowSpec
+	// DedupKey, when set, keeps only the latest tuple per certain key
+	// within each window before grouping — one contribution per object per
+	// window (a reader reports a tag many times in 5 s; the latest
+	// posterior has seen strictly more evidence).
+	DedupKey string
+	// Attr is the summed uncertain attribute.
+	Attr string
+	// Member assigns tuples to candidate groups with probabilities.
+	Member Membership
+	// Strategy/Agg select the aggregation algorithm.
+	Strategy Strategy
+	Agg      AggOptions
+}
+
 // NewGroupSumOp builds the probabilistic GROUP BY box (Q1's shape) on the
 // stream engine: windows per spec, membership-weighted group sums, one
 // output tuple per group with the group name attached as an attribute tag.
 func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Membership, strat Strategy, opts AggOptions) stream.Operator {
-	return stream.NewWindow(name, spec, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+	return NewGroupSumWindowOp(name, GroupSumOpConfig{
+		Window: spec, Attr: attr, Member: member, Strategy: strat, Agg: opts,
+	})
+}
+
+// NewGroupSumWindowOp is NewGroupSumOp with the full configuration surface
+// (per-key dedup, aggregation options).
+func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	return stream.NewWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
 		if len(window) == 0 {
 			return
 		}
@@ -75,7 +114,10 @@ func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Memb
 		for i, t := range window {
 			us[i] = Unwrap(t)
 		}
-		for _, res := range GroupSum(us, attr, member, strat, opts) {
+		if cfg.DedupKey != "" {
+			us = dedupLatest(us, cfg.DedupKey)
+		}
+		for _, res := range GroupSum(us, cfg.Attr, cfg.Member, cfg.Strategy, cfg.Agg) {
 			out := res.Tuple
 			out.TS = end
 			wrapped := Wrap(out)
@@ -85,6 +127,25 @@ func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Memb
 			emit(grouped)
 		}
 	})
+}
+
+// dedupLatest keeps, per certain key, only the latest tuple (later arrival
+// wins timestamp ties), preserving arrival order of the survivors.
+func dedupLatest(us []*UTuple, key string) []*UTuple {
+	latest := make(map[int64]*UTuple, len(us))
+	for _, u := range us {
+		k := u.Key(key)
+		if cur, ok := latest[k]; !ok || u.TS >= cur.TS {
+			latest[k] = u
+		}
+	}
+	out := make([]*UTuple, 0, len(latest))
+	for _, u := range us {
+		if latest[u.Key(key)] == u {
+			out = append(out, u)
+		}
+	}
+	return out
 }
 
 // groupedSchema extends the carrier schema with the group key.
@@ -98,7 +159,18 @@ func GroupOf(t *stream.Tuple) string { return t.Str("group") }
 // (right) match when their JoinProb clears minProb.
 func NewJoinOp(name string, rangeMS stream.Time, locAttrs []string, tol, minProb float64) stream.Operator {
 	return stream.NewJoin(name, rangeMS,
-		func(l, r *stream.Tuple) bool { return true }, // probability decided in the emitter
+		// The window predicate re-checks the time distance explicitly: under
+		// channel execution the two input ports drain from independent
+		// upstream goroutines, so a slow side can present pairs the eviction
+		// horizon alone would have excluded. Match probability is decided in
+		// the emitter.
+		func(l, r *stream.Tuple) bool {
+			dt := l.TS - r.TS
+			if dt < 0 {
+				dt = -dt
+			}
+			return dt <= rangeMS
+		},
 		func(l, r *stream.Tuple) *stream.Tuple {
 			out := JoinProb(Unwrap(l), Unwrap(r), locAttrs, tol, minProb)
 			if out == nil {

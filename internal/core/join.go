@@ -129,6 +129,17 @@ func JoinProb(l, r *UTuple, locAttrs []string, tol, minProb float64) *UTuple {
 		}
 		out.SetAttr(name, r.Attr(n))
 	}
+	// Certain keys merge like attributes: the left side's identity wins,
+	// right-side clashes are prefixed.
+	for k, v := range l.Keys {
+		out.SetKey(k, v)
+	}
+	for k, v := range r.Keys {
+		if out.HasKey(k) {
+			k = "r_" + k
+		}
+		out.SetKey(k, v)
+	}
 	out.Exist = exist
 	return out
 }

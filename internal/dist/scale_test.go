@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+// momentsMatch asserts E[kX] = k·E[X] and Std(kX) = |k|·Std(X).
+func momentsMatch(t *testing.T, d Dist, k float64, tol float64) {
+	t.Helper()
+	s := Scale(d, k)
+	if math.Abs(s.Mean()-k*d.Mean()) > tol {
+		t.Errorf("Scale(%v, %g) mean = %g, want %g", d, k, s.Mean(), k*d.Mean())
+	}
+	if math.Abs(s.Std()-math.Abs(k)*d.Std()) > tol {
+		t.Errorf("Scale(%v, %g) std = %g, want %g", d, k, s.Std(), math.Abs(k)*d.Std())
+	}
+}
+
+func TestScaleClosedForms(t *testing.T) {
+	for _, k := range []float64{2, 0.25, -3} {
+		momentsMatch(t, NewNormal(4, 2), k, 1e-12)
+		momentsMatch(t, PointMass{V: 7}, k, 1e-12)
+		momentsMatch(t, NewUniform(-1, 3), k, 1e-12)
+		momentsMatch(t, NewGaussianMixture(
+			[]float64{0.4, 0.6}, []float64{0, 5}, []float64{1, 2}), k, 1e-9)
+	}
+	momentsMatch(t, NewExponential(0.5), 4, 1e-12)
+
+	// Types stay in their family so downstream dispatch keeps closed forms.
+	if _, ok := Scale(NewNormal(0, 1), 2).(Normal); !ok {
+		t.Error("scaled Normal is not Normal")
+	}
+	if _, ok := Scale(NewUniform(0, 1), -2).(Uniform); !ok {
+		t.Error("scaled Uniform is not Uniform")
+	}
+	if _, ok := Scale(NewExponential(1), 3).(Exponential); !ok {
+		t.Error("scaled Exponential is not Exponential")
+	}
+}
+
+func TestScaleIdentityAndZero(t *testing.T) {
+	n := NewNormal(1, 2)
+	if Scale(n, 1) != Dist(n) {
+		t.Error("Scale(d, 1) should return d unchanged")
+	}
+	z := Scale(n, 0)
+	if p, ok := z.(PointMass); !ok || p.V != 0 {
+		t.Errorf("Scale(d, 0) = %v, want δ(0)", z)
+	}
+}
+
+func TestScaleHistogramCDF(t *testing.T) {
+	h := NewHistogram(0, 4, []float64{1, 2, 3, 4})
+	for _, k := range []float64{2, -2} {
+		s := Scale(h, k)
+		// P(kX <= kx) must equal P(X <= x) for k > 0 and P(X >= x) for k < 0.
+		for _, x := range []float64{0.5, 1.5, 2.5, 3.7} {
+			want := h.CDF(x)
+			if k < 0 {
+				want = 1 - h.CDF(x)
+			}
+			if got := s.CDF(k * x); math.Abs(got-want) > 1e-9 {
+				t.Errorf("k=%g: CDF(%g) = %g, want %g", k, k*x, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleNegativeExponentialFallsBack(t *testing.T) {
+	// Reflected exponentials have no closed form here: moments must still
+	// match.
+	momentsMatch(t, NewExponential(2), -1, 1e-9)
+}
+
+func TestScaleTruncated(t *testing.T) {
+	tr := NewTruncated(NewNormal(0, 1), 0.5, 3)
+	s := Scale(tr, 2)
+	lo, hi := s.Support()
+	if lo < 1-1e-9 || hi > 6+1e-9 {
+		t.Errorf("scaled truncated support [%g, %g], want within [1, 6]", lo, hi)
+	}
+	if math.Abs(s.Mean()-2*tr.Mean()) > 1e-6 {
+		t.Errorf("scaled truncated mean %g, want %g", s.Mean(), 2*tr.Mean())
+	}
+}
+
+func TestScaleFallbackMomentMatched(t *testing.T) {
+	e := NewEmpirical([]float64{1, 2, 3, 4}, nil)
+	momentsMatch(t, e, 3, 1e-9)
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rfid"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+// QueriesConfig parameterizes the compiled-query execution comparison: the
+// §2.1 reference queries run as box-arrow diagrams under the synchronous
+// Push path and the per-box-goroutine channel executor.
+type QueriesConfig struct {
+	// Objects / Events size the RFID substrate.
+	Objects, Events int
+	// Particles per object for the T operator.
+	Particles int
+	// Buffer is the channel executor's per-arrow buffer.
+	Buffer int
+	Seed   int64
+}
+
+// DefaultQueriesConfig sizes the workload for an interactive run.
+func DefaultQueriesConfig() QueriesConfig {
+	return QueriesConfig{Objects: 150, Events: 1500, Particles: 50, Buffer: 128, Seed: 61}
+}
+
+// QueriesRow is one (query, execution mode) measurement.
+type QueriesRow struct {
+	Query  string
+	Mode   string
+	Alerts int
+	// InputTuples counts source tuples pushed through the diagram.
+	InputTuples int
+	WallMS      float64
+	TuplesPerS  float64
+}
+
+// RunQueries compiles Q1 and Q2 and executes each under both engine paths
+// on the same seeded trace, reporting alert counts (which must agree) and
+// throughput.
+func RunQueries(cfg QueriesConfig) []QueriesRow {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{
+		NumObjects: cfg.Objects, Seed: cfg.Seed, FlammableFrac: 0.2, MoveProb: -1,
+	})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{Events: cfg.Events, Seed: cfg.Seed + 1})
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: cfg.Particles, UseIndex: true, NegativeEvidence: true, Seed: cfg.Seed + 2,
+	})
+	var lts []rfid.LocationTuple
+	for _, ev := range trace.Events {
+		lts = append(lts, tx.Process(ev)...)
+	}
+
+	// A temperature grid with a hot spot near the first flammable object.
+	var hotSpot *rfid.Object
+	for _, o := range w.Objects {
+		if o.Type == "flammable" {
+			hotSpot = o
+			break
+		}
+	}
+	var temps []uop.TempReading
+	if hotSpot != nil {
+		var end stream.Time
+		if n := len(lts); n > 0 {
+			end = lts[n-1].T
+		}
+		for ts := stream.Time(0); ts <= end; ts += 5 * stream.Second {
+			temps = append(temps,
+				uop.TempReading{TS: ts, X: hotSpot.Pos.X, Y: hotSpot.Pos.Y, Temp: dist.NewNormal(78, 5)},
+				uop.TempReading{TS: ts, X: hotSpot.Pos.X + 15, Y: hotSpot.Pos.Y, Temp: dist.NewNormal(24, 3)},
+			)
+		}
+	}
+
+	q1 := uop.Q1Config{WindowMS: 5 * stream.Second, ThresholdLbs: 200, AreaFt: 10,
+		Strategy: core.CFApprox, MinAlertProb: 0.5}
+	q2 := uop.Q2Config{RangeMS: 3 * stream.Second, TempThreshold: 60, LocTolFt: 6, MinProb: 0.1}
+
+	var rows []QueriesRow
+	measure := func(query, mode string, inputs int, run func() int) {
+		start := time.Now()
+		alerts := run()
+		wall := time.Since(start)
+		rows = append(rows, QueriesRow{
+			Query: query, Mode: mode, Alerts: alerts, InputTuples: inputs,
+			WallMS:     float64(wall.Microseconds()) / 1000,
+			TuplesPerS: float64(inputs) / wall.Seconds(),
+		})
+	}
+	measure("Q1", "push", len(lts), func() int { return len(uop.RunQ1(lts, w, q1)) })
+	measure("Q1", "chan", len(lts), func() int { return len(uop.RunQ1Chan(lts, w, q1, cfg.Buffer)) })
+	q2Inputs := len(lts) + len(temps)
+	measure("Q2", "push", q2Inputs, func() int { return len(uop.RunQ2(lts, temps, w, q2)) })
+	measure("Q2", "chan", q2Inputs, func() int { return len(uop.RunQ2Chan(lts, temps, w, q2, cfg.Buffer)) })
+	return rows
+}

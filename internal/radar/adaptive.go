@@ -161,16 +161,19 @@ func mergeRows(rows [][]MomentCell) []MomentCell {
 				hasDist = false
 			}
 		}
+		if hasDist {
+			// The coarse velocity is the scaled sum (1/k)·ΣVᵢ; scaling the
+			// summed distribution keeps the Normal closed form.
+			sum := newNormalSafe(c.V, math.Sqrt(varSum))
+			c.VDist = dist.Scale(sum, 1/k).(dist.Normal)
+			c.HasDist = true
+		}
 		c.AzRad /= k
 		c.V /= k
 		c.Z /= k
 		c.W /= k
 		c.SNR /= k
 		c.RangeM = rows[0][gate].RangeM
-		if hasDist {
-			c.VDist = newNormalSafe(c.V, math.Sqrt(varSum)/k)
-			c.HasDist = true
-		}
 		out[gate] = c
 	}
 	return out

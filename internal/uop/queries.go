@@ -1,0 +1,277 @@
+// The reference queries of §2.1, expressed in the builder API and executed
+// as compiled box-arrow diagrams. RunQ1/RunQ2 are thin batch wrappers kept
+// as the reference API; BuildQ1/BuildQ2 expose the query chains for callers
+// that want to push live streams or run channel-parallel.
+package uop
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rfid"
+	"repro/internal/stream"
+)
+
+// LocationUTuple lifts an RFID T-operator output into an uncertain tuple
+// with attributes x, y, z and the registered (certain) weight — the inner
+// Select-From of Q1, which "simply adds two attributes to each tuple". The
+// tag id rides as a typed certain key, never as a float64.
+func LocationUTuple(lt rfid.LocationTuple, w *rfid.Warehouse) *core.UTuple {
+	u := core.NewUTuple(lt.T,
+		[]string{"x", "y", "z", "weight"},
+		[]dist.Dist{lt.X, lt.Y, lt.Z, dist.PointMass{V: w.Weight(lt.TagID)}})
+	u.SetKey("tag", lt.TagID)
+	return u
+}
+
+// Q1Config parameterizes the fire-code query of §2.1.
+type Q1Config struct {
+	// WindowMS is the Range window (paper: 5 seconds).
+	WindowMS stream.Time
+	// ThresholdLbs is the Having threshold (paper: 200 pounds).
+	ThresholdLbs float64
+	// MinAreaMass prunes negligible area memberships (default 0.01).
+	MinAreaMass float64
+	// MinAlertProb is the confidence floor for reporting (default 0.5).
+	MinAlertProb float64
+	// AreaFt is the grouping cell size in feet (paper: per square foot;
+	// larger cells make demos readable — default 1).
+	AreaFt float64
+	// Strategy/Agg select the aggregation algorithm.
+	Strategy core.Strategy
+	Agg      core.AggOptions
+}
+
+func (c Q1Config) withDefaults() Q1Config {
+	if c.WindowMS <= 0 {
+		c.WindowMS = 5 * stream.Second
+	}
+	if c.ThresholdLbs <= 0 {
+		c.ThresholdLbs = 200
+	}
+	if c.MinAreaMass <= 0 {
+		c.MinAreaMass = 0.01
+	}
+	if c.MinAlertProb <= 0 {
+		c.MinAlertProb = 0.5
+	}
+	if c.AreaFt <= 0 {
+		c.AreaFt = 1
+	}
+	return c
+}
+
+// Q1Alert is one reported fire-code violation with quantified uncertainty.
+type Q1Alert struct {
+	TS   stream.Time
+	Area string
+	// Total is the full distribution of the group's summed weight.
+	Total dist.Dist
+	// PViolation is P(total weight > threshold).
+	PViolation float64
+}
+
+// q1Member builds Q1's probabilistic group assignment: the uncertain
+// location, rescaled into grouping-cell units, spread over the floor cells
+// it intersects.
+func q1Member(cfg Q1Config) core.Membership {
+	return func(u *core.UTuple) []core.GroupMass {
+		x := dist.Scale(u.Attr("x"), 1/cfg.AreaFt)
+		y := dist.Scale(u.Attr("y"), 1/cfg.AreaFt)
+		ms := rfid.AreaMasses(x, y, cfg.MinAreaMass)
+		out := make([]core.GroupMass, len(ms))
+		for i, m := range ms {
+			out[i] = core.GroupMass{Group: m.Area, P: m.P}
+		}
+		return out
+	}
+}
+
+// BuildQ1 compiles Q1 — tumbling windows, one contribution per tag per
+// window, probabilistic GROUP BY area, SUM(weight) with full result
+// distributions, confidence-annotated HAVING — as a query chain over the
+// source stream "locations".
+func BuildQ1(cfg Q1Config) *Query {
+	cfg = cfg.withDefaults()
+	return From("locations").
+		Window(cfg.WindowMS).
+		DedupLatest("tag").
+		GroupBy(q1Member(cfg)).
+		Sum("weight", cfg.Strategy, cfg.Agg).
+		Having(Greater(cfg.ThresholdLbs, cfg.MinAlertProb))
+}
+
+// q1Alerts converts collected alert tuples into the reference shape.
+func q1Alerts(ts []*stream.Tuple) []Q1Alert {
+	var out []Q1Alert
+	for _, t := range ts {
+		u := core.Unwrap(t)
+		out = append(out, Q1Alert{
+			TS: t.TS, Area: t.Str("group"),
+			Total: u.Attr("weight"), PViolation: t.Get("p").(float64),
+		})
+	}
+	return out
+}
+
+// RunQ1 evaluates Q1 over a location-tuple batch through the compiled
+// diagram's synchronous Push path.
+func RunQ1(lts []rfid.LocationTuple, w *rfid.Warehouse, cfg Q1Config) []Q1Alert {
+	c := BuildQ1(cfg).Compile()
+	for _, lt := range lts {
+		c.Push("locations", LocationUTuple(lt, w))
+	}
+	return q1Alerts(c.Close())
+}
+
+// RunQ1Chan evaluates Q1 through the channel-parallel executor: one
+// goroutine per box, pipeline parallelism across boxes.
+func RunQ1Chan(lts []rfid.LocationTuple, w *rfid.Warehouse, cfg Q1Config, buffer int) []Q1Alert {
+	c := BuildQ1(cfg).Compile()
+	out := c.RunChan(buffer, func(inject Inject) {
+		for _, lt := range lts {
+			inject("locations", LocationUTuple(lt, w))
+		}
+	})
+	return q1Alerts(out)
+}
+
+// TempReading is one tuple of Q2's temperature stream: (time, (x, y, z),
+// temp^p) — the sensor location is known, the reading uncertain.
+type TempReading struct {
+	TS      stream.Time
+	X, Y, Z float64
+	Temp    dist.Dist
+}
+
+// TempUTuple lifts a temperature reading into an uncertain tuple.
+func TempUTuple(tr TempReading) *core.UTuple {
+	return core.NewUTuple(tr.TS,
+		[]string{"x", "y", "temp"},
+		[]dist.Dist{dist.PointMass{V: tr.X}, dist.PointMass{V: tr.Y}, tr.Temp})
+}
+
+// Q2Config parameterizes the flammable-object alert query of §2.1.
+type Q2Config struct {
+	// RangeMS is each side's join window (paper: 3 seconds).
+	RangeMS stream.Time
+	// TempThreshold in °C (paper: 60).
+	TempThreshold float64
+	// LocTolFt is the co-location tolerance defining loc_equals.
+	LocTolFt float64
+	// MinProb drops alerts with existence below this.
+	MinProb float64
+}
+
+func (c Q2Config) withDefaults() Q2Config {
+	if c.RangeMS <= 0 {
+		c.RangeMS = 3 * stream.Second
+	}
+	if c.TempThreshold == 0 {
+		c.TempThreshold = 60
+	}
+	if c.LocTolFt <= 0 {
+		c.LocTolFt = 3
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.05
+	}
+	return c
+}
+
+// Q2Alert is one flammable-object/high-temperature co-location alert.
+type Q2Alert struct {
+	TS    stream.Time
+	TagID int64
+	// P is the alert probability: P(flammable tuple exists) × P(temp > θ)
+	// × P(co-located).
+	P float64
+	// Temp is the conditional temperature distribution given temp > θ.
+	Temp dist.Dist
+	// X, Y are the object's location distributions.
+	X, Y dist.Dist
+}
+
+// BuildQ2 compiles Q2 as a two-source diagram: the certain flammability
+// filter over "locations" joined on probabilistic co-location with the
+// uncertain hot filter over "temps".
+func BuildQ2(w *rfid.Warehouse, cfg Q2Config) *Query {
+	cfg = cfg.withDefaults()
+	flam := From("locations").Where("σ(type=flammable)", func(u *core.UTuple) bool {
+		return w.ObjectType(u.Key("tag")) == "flammable"
+	})
+	hot := From("temps").WhereGreater("temp", cfg.TempThreshold, cfg.MinProb)
+	return flam.JoinProb(hot, cfg.RangeMS, []string{"x", "y"}, cfg.LocTolFt, cfg.MinProb)
+}
+
+// q2Alerts converts joined tuples into the reference shape, sorted
+// deterministically (join emission order depends on arrival interleaving
+// under channel execution; the set of matches does not).
+func q2Alerts(ts []*stream.Tuple) []Q2Alert {
+	var out []Q2Alert
+	for _, t := range ts {
+		u := core.Unwrap(t)
+		out = append(out, Q2Alert{
+			TS: u.TS, TagID: u.Key("tag"), P: u.Exist,
+			Temp: u.Attr("temp"), X: u.Attr("x"), Y: u.Attr("y"),
+		})
+	}
+	sortQ2Alerts(out)
+	return out
+}
+
+// sortQ2Alerts orders alerts deterministically by (time, tag, probability,
+// conditional temperature).
+func sortQ2Alerts(out []Q2Alert) {
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TagID != b.TagID {
+			return a.TagID < b.TagID
+		}
+		if a.P != b.P {
+			return a.P > b.P
+		}
+		return a.Temp.Mean() < b.Temp.Mean()
+	})
+}
+
+// feedQ2 streams both inputs into the diagram merged in timestamp order
+// (sources are sorted per side first, as the symmetric window join
+// expects approximately time-ordered inputs).
+func feedQ2(lts []rfid.LocationTuple, temps []TempReading, w *rfid.Warehouse, inject Inject) {
+	lts = append([]rfid.LocationTuple(nil), lts...)
+	temps = append([]TempReading(nil), temps...)
+	sort.SliceStable(lts, func(i, j int) bool { return lts[i].T < lts[j].T })
+	sort.SliceStable(temps, func(i, j int) bool { return temps[i].TS < temps[j].TS })
+	i, j := 0, 0
+	for i < len(lts) || j < len(temps) {
+		if j >= len(temps) || (i < len(lts) && lts[i].T <= temps[j].TS) {
+			inject("locations", LocationUTuple(lts[i], w))
+			i++
+		} else {
+			inject("temps", TempUTuple(temps[j]))
+			j++
+		}
+	}
+}
+
+// RunQ2 evaluates Q2 over batches through the compiled diagram's
+// synchronous Push path.
+func RunQ2(lts []rfid.LocationTuple, temps []TempReading, w *rfid.Warehouse, cfg Q2Config) []Q2Alert {
+	c := BuildQ2(w, cfg).Compile()
+	feedQ2(lts, temps, w, func(source string, u *core.UTuple) { c.Push(source, u) })
+	return q2Alerts(c.Close())
+}
+
+// RunQ2Chan evaluates Q2 through the channel-parallel executor.
+func RunQ2Chan(lts []rfid.LocationTuple, temps []TempReading, w *rfid.Warehouse, cfg Q2Config, buffer int) []Q2Alert {
+	c := BuildQ2(w, cfg).Compile()
+	out := c.RunChan(buffer, func(inject Inject) {
+		feedQ2(lts, temps, w, inject)
+	})
+	return q2Alerts(out)
+}

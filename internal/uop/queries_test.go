@@ -1,9 +1,10 @@
-package core
+package uop
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rfid"
 	"repro/internal/stream"
@@ -35,7 +36,7 @@ func TestRunQ1DetectsOverweightArea(t *testing.T) {
 		WindowMS:     10 * stream.Second,
 		ThresholdLbs: 100,
 		AreaFt:       10,
-		Strategy:     CFInvert,
+		Strategy:     core.CFInvert,
 		MinAlertProb: 0.5,
 	})
 	if len(alerts) == 0 {
@@ -60,7 +61,7 @@ func TestRunQ1NoFalseAlertsWhenLight(t *testing.T) {
 		WindowMS:     10 * stream.Second,
 		ThresholdLbs: 5000,
 		AreaFt:       10,
-		Strategy:     CFApprox,
+		Strategy:     core.CFApprox,
 		MinAlertProb: 0.3,
 	})
 	if len(alerts) != 0 {
@@ -75,11 +76,11 @@ func TestRunQ1UncertainLocationSoftensAlerts(t *testing.T) {
 	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 30, Seed: 23})
 	tight := RunQ1(syntheticLocations(w, 30, 0.2), w, Q1Config{
 		WindowMS: 10 * stream.Second, ThresholdLbs: 60, AreaFt: 10,
-		Strategy: CFInvert, MinAlertProb: 0.05, MinAreaMass: 0.001,
+		Strategy: core.CFInvert, MinAlertProb: 0.05, MinAreaMass: 0.001,
 	})
 	loose := RunQ1(syntheticLocations(w, 30, 8), w, Q1Config{
 		WindowMS: 10 * stream.Second, ThresholdLbs: 60, AreaFt: 10,
-		Strategy: CFInvert, MinAlertProb: 0.05, MinAreaMass: 0.001,
+		Strategy: core.CFInvert, MinAlertProb: 0.05, MinAreaMass: 0.001,
 	})
 	maxP := func(as []Q1Alert) float64 {
 		var m float64
@@ -186,8 +187,12 @@ func TestLocationUTupleCarriesWeightAndTag(t *testing.T) {
 	if u.Mean("weight") != w.Weight(3) {
 		t.Error("weight lookup wrong")
 	}
-	if int64(u.Mean("tag")) != 3 {
-		t.Error("tag attribute wrong")
+	// The tag id is a typed certain key, not a float64 attribute.
+	if u.Key("tag") != 3 {
+		t.Error("tag key wrong")
+	}
+	if u.HasAttr("tag") {
+		t.Error("tag must not round-trip through a float64 attribute")
 	}
 	if math.Abs(u.Mean("x")-1) > 1e-12 {
 		t.Error("x attr wrong")

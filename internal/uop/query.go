@@ -1,0 +1,284 @@
+package uop
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// Query is a fluent, side-effect-free description of a continuous query
+// over uncertain streams. Each clause returns a new value, so prefixes can
+// be shared and composed; Compile turns the finished chain into a
+// stream.Graph box-arrow diagram runnable via Push or RunChan.
+//
+//	q := uop.From("locations").
+//		Window(5 * stream.Second).
+//		DedupLatest("tag").
+//		GroupBy(areaFn).
+//		Sum("weight", core.CFInvert, core.AggOptions{}).
+//		Having(uop.Greater(200, 0.5))
+//	c := q.Compile()
+type Query struct {
+	source      string
+	parent      *Query
+	left, right *Query
+	makeOp      func() stream.Operator
+
+	// Pending clauses accumulated by Window/DedupLatest/GroupBy and
+	// consumed by the next aggregate stage.
+	win    *stream.WindowSpec
+	dedup  string
+	member core.Membership
+	// aggAttr is the attribute of the most recent aggregate, for Having.
+	aggAttr string
+}
+
+// From starts a query over the named source stream. Queries built from the
+// same source name share one source box when compiled together (a join's
+// two branches may both read "locations").
+func From(name string) *Query {
+	if name == "" {
+		panic("uop: source name must be non-empty")
+	}
+	return &Query{source: name}
+}
+
+// with returns a copy with a pending-clause mutation applied.
+func (q *Query) with(mut func(*Query)) *Query {
+	c := *q
+	mut(&c)
+	return &c
+}
+
+// stage returns a new downstream node wrapping an operator factory.
+// Pending clauses ride along until an aggregate consumes them, so
+// Window(w).Where(f).Sum(...) windows the filtered stream rather than
+// silently dropping the Window.
+func (q *Query) stage(makeOp func() stream.Operator) *Query {
+	return &Query{
+		parent: q, makeOp: makeOp, aggAttr: q.aggAttr,
+		win: q.win, dedup: q.dedup, member: q.member,
+	}
+}
+
+// Select appends a projection/extension stage.
+func (q *Query) Select(name string, fn func(*core.UTuple) *core.UTuple) *Query {
+	return q.stage(func() stream.Operator { return USelect(name, fn) })
+}
+
+// Where appends a certain-predicate selection stage.
+func (q *Query) Where(name string, pred func(*core.UTuple) bool) *Query {
+	return q.stage(func() stream.Operator { return UFilter(name, pred) })
+}
+
+// WhereGreater appends an uncertain-predicate selection stage
+// (attr > threshold, survivors keep truncated conditionals).
+func (q *Query) WhereGreater(attr string, threshold, minProb float64) *Query {
+	return q.stage(func() stream.Operator {
+		return UFilterGreater(fmt.Sprintf("σ(%s>%g)", attr, threshold), attr, threshold, minProb)
+	})
+}
+
+// Window sets a pending tumbling time window of the given duration,
+// consumed by the next aggregate clause.
+func (q *Query) Window(d stream.Time) *Query {
+	return q.WindowSpec(stream.WindowSpec{Duration: d})
+}
+
+// WindowSpec sets an arbitrary pending window policy (count, sliding).
+func (q *Query) WindowSpec(spec stream.WindowSpec) *Query {
+	spec.Validate()
+	return q.with(func(c *Query) { c.win = &spec })
+}
+
+// DedupLatest keeps, per window and per certain key, only the latest tuple
+// — one contribution per object per window.
+func (q *Query) DedupLatest(key string) *Query {
+	return q.with(func(c *Query) { c.dedup = key })
+}
+
+// GroupBy sets the pending probabilistic group assignment for the next
+// aggregate clause.
+func (q *Query) GroupBy(member core.Membership) *Query {
+	return q.with(func(c *Query) { c.member = member })
+}
+
+// Sum materializes the pending Window/DedupLatest/GroupBy clauses into an
+// aggregation box summing the named uncertain attribute. With a GroupBy it
+// compiles to the probabilistic GROUP BY box; without one, to a plain
+// windowed sum.
+func (q *Query) Sum(attr string, strat core.Strategy, opts core.AggOptions) *Query {
+	if q.win == nil {
+		panic("uop: Sum requires a preceding Window")
+	}
+	win, dedup, member := *q.win, q.dedup, q.member
+	if member == nil && dedup != "" {
+		panic("uop: DedupLatest without GroupBy is not supported")
+	}
+	s := q.stage(func() stream.Operator {
+		if member == nil {
+			return core.NewSumOp(fmt.Sprintf("Σ(%s)", attr), win, attr, strat, opts)
+		}
+		return UGroupWindow(fmt.Sprintf("γΣ(%s)", attr), core.GroupSumOpConfig{
+			Window: win, DedupKey: dedup, Attr: attr,
+			Member: member, Strategy: strat, Agg: opts,
+		})
+	})
+	s.aggAttr = attr
+	s.win, s.dedup, s.member = nil, "", nil // clauses consumed
+	return s
+}
+
+// HavingClause is a confidence-annotated aggregate predicate.
+type HavingClause struct {
+	// Threshold is the aggregate bound; MinProb the confidence floor for
+	// reporting.
+	Threshold, MinProb float64
+}
+
+// Greater builds the clause "aggregate > threshold with P >= minProb".
+func Greater(threshold, minProb float64) HavingClause {
+	return HavingClause{Threshold: threshold, MinProb: minProb}
+}
+
+// Having appends the confidence-annotated HAVING stage over the most
+// recent aggregate.
+func (q *Query) Having(h HavingClause) *Query {
+	attr := q.aggAttr
+	if attr == "" {
+		panic("uop: Having requires a preceding aggregate")
+	}
+	return q.stage(func() stream.Operator {
+		return UHaving(fmt.Sprintf("having(P(%s>%g)≥%g)", attr, h.Threshold, h.MinProb),
+			attr, h.Threshold, h.MinProb)
+	})
+}
+
+// JoinProb joins this query (left, port 0) with another (right, port 1) on
+// probabilistic co-location of the named attributes within ±rangeMS.
+func (q *Query) JoinProb(r *Query, rangeMS stream.Time, locAttrs []string, tol, minProb float64) *Query {
+	if q.win != nil || q.member != nil || q.dedup != "" || r.win != nil || r.member != nil || r.dedup != "" {
+		panic("uop: Window/GroupBy/DedupLatest must be consumed by an aggregate before a join")
+	}
+	attrs := append([]string(nil), locAttrs...)
+	return &Query{
+		left: q, right: r,
+		makeOp: func() stream.Operator {
+			return UJoinProb(fmt.Sprintf("⋈(loc_equals±%g)", tol), rangeMS, attrs, tol, minProb)
+		},
+	}
+}
+
+// Inject feeds one uncertain tuple into a named source of a running graph.
+type Inject func(source string, u *core.UTuple)
+
+// Compiled is a query compiled to a box-arrow diagram, with a Collect sink
+// attached after the final stage. A Compiled carries window/join state and
+// is therefore single-use: compile again for a fresh run.
+type Compiled struct {
+	// Graph is the underlying diagram (for Describe, stats, custom wiring).
+	Graph   *stream.Graph
+	sink    *stream.Collect
+	sources map[string]*stream.Box
+}
+
+// Compile builds the dataflow graph for the query chain.
+func (q *Query) Compile() *Compiled {
+	if q.win != nil || q.member != nil || q.dedup != "" {
+		panic("uop: Window/GroupBy/DedupLatest without a consuming aggregate")
+	}
+	g := stream.NewGraph()
+	c := &Compiled{Graph: g, sink: &stream.Collect{OpName: "results"}, sources: map[string]*stream.Box{}}
+	memo := map[*Query]*stream.Box{}
+	top := q.build(g, c.sources, memo)
+	sb := g.AddBox(c.sink)
+	g.Connect(top, sb, 0)
+	return c
+}
+
+// build recursively adds this node's boxes to the graph (parents first, so
+// Close flushes in topological order) and returns the node's box.
+func (q *Query) build(g *stream.Graph, sources map[string]*stream.Box, memo map[*Query]*stream.Box) *stream.Box {
+	if b, ok := memo[q]; ok {
+		return b
+	}
+	var b *stream.Box
+	switch {
+	case q.source != "":
+		if sb, ok := sources[q.source]; ok {
+			b = sb
+			break
+		}
+		b = g.AddBox(stream.NewSelect("src:"+q.source, func(t *stream.Tuple) *stream.Tuple { return t }))
+		sources[q.source] = b
+	case q.left != nil:
+		lb := q.left.build(g, sources, memo)
+		rb := q.right.build(g, sources, memo)
+		b = g.AddBox(q.makeOp())
+		g.Connect(lb, b, 0)
+		g.Connect(rb, b, 1)
+	default:
+		pb := q.parent.build(g, sources, memo)
+		b = g.AddBox(q.makeOp())
+		g.Connect(pb, b, 0)
+	}
+	memo[q] = b
+	return b
+}
+
+// srcBox resolves a source name; "" selects the sole source of
+// single-source queries.
+func (c *Compiled) srcBox(name string) *stream.Box {
+	if name == "" {
+		if len(c.sources) != 1 {
+			panic(fmt.Sprintf("uop: query has %d sources, name one explicitly", len(c.sources)))
+		}
+		for _, b := range c.sources {
+			return b
+		}
+	}
+	b, ok := c.sources[name]
+	if !ok {
+		panic(fmt.Sprintf("uop: unknown source %q", name))
+	}
+	return b
+}
+
+// Push injects one uncertain tuple synchronously; processing cascades
+// depth-first through the diagram.
+func (c *Compiled) Push(source string, u *core.UTuple) {
+	c.Graph.Push(c.srcBox(source), 0, core.Wrap(u))
+}
+
+// Results drains and returns the tuples the sink has collected so far —
+// streaming consumers call it between pushes to pick up alerts as windows
+// close. Not safe during RunChan (the sink drains only after it returns).
+func (c *Compiled) Results() []*stream.Tuple {
+	out := c.sink.Tuples
+	c.sink.Reset()
+	return out
+}
+
+// Close flushes the diagram (draining open windows) and returns everything
+// the sink collected.
+func (c *Compiled) Close() []*stream.Tuple {
+	c.Graph.Close()
+	return c.Results()
+}
+
+// RunChan executes the diagram with one goroutine per box (the paper's
+// pipeline-parallel reading); feed injects source tuples and returns when
+// the input is exhausted. RunChan blocks until every box has flushed, then
+// returns the collected results.
+func (c *Compiled) RunChan(buffer int, feed func(Inject)) []*stream.Tuple {
+	c.Graph.RunChan(buffer, func(inject func(*stream.Box, int, *stream.Tuple)) {
+		feed(func(source string, u *core.UTuple) {
+			inject(c.srcBox(source), 0, core.Wrap(u))
+		})
+	})
+	return c.Results()
+}
+
+// Describe renders the compiled diagram topology.
+func (c *Compiled) Describe() string { return c.Graph.Describe() }

@@ -1,9 +1,10 @@
-package core
+package uop
 
 import (
 	"math"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/rfid"
 	"repro/internal/stream"
@@ -25,7 +26,7 @@ func TestQ1StrategyConsistency(t *testing.T) {
 			Z:     dist.PointMass{V: o.Z},
 		})
 	}
-	run := func(strat Strategy) map[string]float64 {
+	run := func(strat core.Strategy) map[string]float64 {
 		out := map[string]float64{}
 		for _, a := range RunQ1(lts, w, Q1Config{
 			WindowMS:     60 * stream.Second,
@@ -38,8 +39,8 @@ func TestQ1StrategyConsistency(t *testing.T) {
 		}
 		return out
 	}
-	exact := run(CFInvert)
-	approx := run(CFApprox)
+	exact := run(core.CFInvert)
+	approx := run(core.CFApprox)
 	if len(exact) == 0 {
 		t.Fatal("no alerts in exact run")
 	}
