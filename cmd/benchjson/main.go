@@ -1,0 +1,77 @@
+// Command benchjson converts `go test -bench` output on stdin into JSON on
+// stdout, so CI can persist benchmark results in a machine-readable form
+// (BENCH_PR3.json tracks the incremental-aggregation perf trajectory).
+//
+// Usage:
+//
+//	go test -bench 'SlidingWindowIncremental|Q1SyncVsChan' -benchmem -run '^$' . | go run ./cmd/benchjson > BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: the name, iteration count, and every
+// reported metric keyed by its unit (ns/op, B/op, allocs/op, custom
+// ReportMetric units like tuples/s).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole run: environment header lines plus results.
+type Output struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+func main() {
+	out := Output{Env: map[string]string{}, Benchmarks: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, k+":"); ok {
+				out.Env[k] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		// The remainder alternates value/unit.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -17,10 +17,7 @@ import (
 // almost zero").
 func ApproxGaussianSum(ds []dist.Dist) dist.Normal {
 	mean, variance := SumMoments(ds)
-	if variance <= 0 {
-		variance = 1e-18
-	}
-	return dist.NewNormal(mean, math.Sqrt(variance))
+	return GaussianFromCumulants(Cumulants{K1: mean, K2: variance})
 }
 
 // ApproxGaussianMean is the CLT approximation for the average of n

@@ -1,0 +1,162 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// bernoulliGateRef mirrors core.BernoulliGate (a point mass at 0 mixed with
+// the value distribution) without importing core (which imports cf).
+func bernoulliGateRef(d dist.Dist, p float64) dist.Dist {
+	if p >= 1 {
+		return d
+	}
+	if p <= 0 {
+		return dist.PointMass{V: 0}
+	}
+	return dist.NewMixture([]float64{1 - p, p}, []dist.Dist{dist.PointMass{V: 0}, d})
+}
+
+// TestGatedCumulantsBitIdentical pins the contract the incremental path
+// rests on: the closed-form gated cumulants equal — bit for bit, not
+// approximately — the moments read off the constructed gate mixture. If
+// this drifts, incremental and recompute aggregation stop producing
+// byte-identical alerts.
+func TestGatedCumulantsBitIdentical(t *testing.T) {
+	g := rng.New(7)
+	check := func(d dist.Dist, p float64) {
+		t.Helper()
+		ref := bernoulliGateRef(d, p)
+		wantM, wantV := ref.Mean(), ref.Variance()
+		got := GatedCumulants(d.Mean(), d.Variance(), p)
+		if got.K1 != wantM || got.K2 != wantV {
+			t.Errorf("GatedCumulants(%v, p=%g) = (%.17g, %.17g), mixture gives (%.17g, %.17g)",
+				d, p, got.K1, got.K2, wantM, wantV)
+		}
+	}
+	ps := []float64{0, 1e-300, 1e-17, 0.1, 0.25, 1.0 / 3, 0.5, 0.75, 1 - 1e-16, 1, 1.5, -0.2}
+	for _, p := range ps {
+		check(dist.NewNormal(150, 30), p)
+		check(dist.PointMass{V: 42.5}, p)
+		check(dist.NewNormal(-3.7, 0.01), p)
+	}
+	for i := 0; i < 500; i++ {
+		d := dist.NewNormal(g.Normal(0, 100), math.Abs(g.Normal(0, 10))+1e-6)
+		check(d, g.Float64())
+	}
+	// Mixture-valued inputs (posteriors of moved objects) gate through the
+	// same closed form: the gated moments only consume Mean/Variance.
+	mix := dist.NewGaussianMixture([]float64{0.4, 0.6}, []float64{0, 10}, []float64{1, 2})
+	for _, p := range ps {
+		check(mix, p)
+	}
+}
+
+func TestGaussianFromCumulantsMatchesApproxSum(t *testing.T) {
+	ds := []dist.Dist{
+		dist.NewNormal(5, 2), dist.NewNormal(-1, 0.5), dist.PointMass{V: 3},
+	}
+	mean, variance := SumMoments(ds)
+	got := GaussianFromCumulants(Cumulants{K1: mean, K2: variance})
+	want := ApproxGaussianSum(ds)
+	if got != want {
+		t.Errorf("GaussianFromCumulants = %v, ApproxGaussianSum = %v", got, want)
+	}
+	// Degenerate: all point masses must not produce a NaN sigma.
+	pm := GaussianFromCumulants(Cumulants{K1: 7})
+	if math.IsNaN(pm.Std()) || pm.Std() <= 0 {
+		t.Errorf("degenerate sigma = %g", pm.Std())
+	}
+}
+
+// TestPaneStackSlidingExact drives the two-stacks aggregator through a long
+// sliding-window simulation with exactly representable values, where
+// floating-point addition is exact: every Total must equal the true sum of
+// the live window exactly. (A subtract-based running sum would also be
+// exact here; the inexact-value drift comparison is the next test.)
+func TestPaneStackSlidingExact(t *testing.T) {
+	var s PaneStack
+	var live []Cumulants
+	g := rng.New(11)
+	for i := 0; i < 5000; i++ {
+		c := Cumulants{K1: float64(g.Intn(1 << 20)), K2: float64(g.Intn(1 << 20))}
+		s.Push(c)
+		live = append(live, c)
+		for len(live) > 64 {
+			got := s.Pop()
+			if got != live[0] {
+				t.Fatalf("step %d: Pop = %+v, want %+v", i, got, live[0])
+			}
+			live = live[1:]
+		}
+		var want Cumulants
+		for _, c := range live {
+			want.K1 += c.K1
+			want.K2 += c.K2
+		}
+		if tot := s.Total(); tot.K1 != want.K1 || tot.K2 != want.K2 {
+			t.Fatalf("step %d: Total = %+v, want %+v (len %d)", i, tot, want, s.Len())
+		}
+		if s.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, want %d", i, s.Len(), len(live))
+		}
+	}
+}
+
+// TestPaneStackNoSubtractDrift compares the two eviction disciplines on
+// adversarial magnitudes: a running sum that evicts by subtraction is left
+// with pure cancellation noise once a huge transient contribution passes
+// through the window, while the two-stacks total — which only ever adds
+// live contributions — stays at refold accuracy.
+func TestPaneStackNoSubtractDrift(t *testing.T) {
+	var s PaneStack
+	var running float64
+	var live []float64
+	push := func(v float64) {
+		s.Push(Cumulants{K1: v})
+		running += v
+		live = append(live, v)
+	}
+	pop := func() {
+		c := s.Pop()
+		running -= c.K1
+		live = live[1:]
+	}
+	// Small steady-state values around a short-lived 1e18 spike.
+	for i := 0; i < 32; i++ {
+		push(1.0 / 3)
+	}
+	push(1e18)
+	for i := 0; i < 64; i++ {
+		push(1.0 / 3)
+		pop()
+		pop()
+		push(1.0 / 3)
+	}
+	var refold float64
+	for _, v := range live {
+		refold += v
+	}
+	paneErr := math.Abs(s.Total().K1 - refold)
+	runErr := math.Abs(running - refold)
+	if paneErr > 1e-9*math.Abs(refold) {
+		t.Errorf("pane total drifted: |err| = %g on refold %g", paneErr, refold)
+	}
+	if runErr < 1 {
+		t.Errorf("expected the subtract-based running sum to lose the small terms entirely "+
+			"(got err %g); if this starts passing, the drift rationale in the docs is stale", runErr)
+	}
+}
+
+func TestPaneStackPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty PaneStack should panic")
+		}
+	}()
+	var s PaneStack
+	s.Pop()
+}

@@ -118,10 +118,7 @@ func Sum(ds []dist.Dist, strat Strategy, opts AggOptions) dist.Dist {
 		return cf.ApproxGaussianSum(ds)
 	case CLT:
 		mean, variance := cf.SumMoments(ds)
-		if variance <= 0 {
-			variance = 1e-18
-		}
-		return dist.NewNormal(mean, math.Sqrt(variance))
+		return cf.GaussianFromCumulants(cf.Cumulants{K1: mean, K2: variance})
 	case HistogramSampling:
 		return histogramSamplingSum(ds, opts)
 	case MonteCarlo:
@@ -259,15 +256,19 @@ func orderStat(ds []dist.Dist, gridN int, cdf func(float64) float64) dist.Dist {
 // probabilistic window: a sum of independent Bernoullis (Poisson-binomial),
 // computed exactly by dynamic programming.
 func Count(tuples []*UTuple) dist.Dist {
-	probs := []float64{1} // P(count = k) vector
+	// One buffer, updated in place back-to-front (probs[k] depends on the
+	// previous iteration's probs[k] and probs[k−1], both still untouched
+	// when walking k downward) — a fresh slice per tuple would make the DP
+	// O(n²) in allocations for an O(n²) compute.
+	probs := make([]float64, 1, len(tuples)+1) // P(count = k) vector
+	probs[0] = 1
 	for _, u := range tuples {
 		p := mathx.Clamp(u.Exist, 0, 1)
-		next := make([]float64, len(probs)+1)
-		for k, pk := range probs {
-			next[k] += pk * (1 - p)
-			next[k+1] += pk * p
+		probs = append(probs, 0)
+		for k := len(probs) - 1; k >= 1; k-- {
+			probs[k] = probs[k-1]*p + probs[k]*(1-p)
 		}
-		probs = next
+		probs[0] *= 1 - p
 	}
 	n := len(probs)
 	// Represent as a histogram with one bin per integer.

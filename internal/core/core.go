@@ -77,16 +77,20 @@ func NewUTuple(ts stream.Time, names []string, attrs []dist.Dist) *UTuple {
 // operator can reconstruct correlations).
 func Derive(ts stream.Time, names []string, attrs []dist.Dist, parents ...*UTuple) *UTuple {
 	u := NewUTuple(ts, names, attrs)
-	lin := lineage.NewSet()
+	if len(parents) == 0 {
+		return u
+	}
+	// One k-way union instead of a pairwise fold: windowed aggregates derive
+	// from every window tuple, and the fold's intermediate copies made each
+	// emission O(k²) in the group size.
+	sets := make([]lineage.Set, len(parents))
 	exist := 1.0
-	for _, p := range parents {
-		lin = lin.Union(p.Lin)
+	for i, p := range parents {
+		sets[i] = p.Lin
 		exist *= p.Exist
 	}
-	if len(parents) > 0 {
-		u.Lin = lin
-		u.Exist = exist
-	}
+	u.Lin = lineage.UnionAll(sets...)
+	u.Exist = exist
 	return u
 }
 

@@ -58,10 +58,23 @@ func NewSelectOp(name string, sel func(*UTuple) *UTuple) stream.Operator {
 	})
 }
 
-// NewSumOp builds a windowed aggregation box: tumbling windows per spec,
-// summing the named uncertain attribute with the given strategy. Each
-// window emits one derived tuple carrying the full result distribution.
+// NewSumOp builds a windowed aggregation box summing the named uncertain
+// attribute with the given strategy. Each window emits one derived tuple
+// carrying the full result distribution. Sliding time windows take the
+// incremental delta path automatically (per-tuple O(1) maintenance instead
+// of a per-slide rescan); tumbling and count windows recompute per window,
+// where a rescan is the natural cost.
 func NewSumOp(name string, spec stream.WindowSpec, attr string, strat Strategy, opts AggOptions) stream.Operator {
+	if spec.Slide > 0 {
+		return newIncSumOp(name, spec, attr, strat, opts)
+	}
+	return NewSumRescanOp(name, spec, attr, strat, opts)
+}
+
+// NewSumRescanOp is the recompute form of NewSumOp: every window emission
+// re-aggregates the full buffer. It is the reference the incremental path
+// is tested against and the benchmark baseline.
+func NewSumRescanOp(name string, spec stream.WindowSpec, attr string, strat Strategy, opts AggOptions) stream.Operator {
 	return stream.NewWindow(name, spec, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
 		if len(window) == 0 {
 			return
@@ -92,6 +105,14 @@ type GroupSumOpConfig struct {
 	// Strategy/Agg select the aggregation algorithm.
 	Strategy Strategy
 	Agg      AggOptions
+	// Recompute forces the rescan path even for window shapes the
+	// incremental path covers — the reference semantics, and the baseline
+	// arm of the incremental-aggregation benchmarks.
+	Recompute bool
+	// Workers bounds the per-group worker pool of the incremental path's
+	// emission (0 = GOMAXPROCS, 1 = sequential). Output order is group-name
+	// order regardless.
+	Workers int
 }
 
 // NewGroupSumOp builds the probabilistic GROUP BY box (Q1's shape) on the
@@ -104,8 +125,16 @@ func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Memb
 }
 
 // NewGroupSumWindowOp is NewGroupSumOp with the full configuration surface
-// (per-key dedup, aggregation options).
+// (per-key dedup, aggregation options, incremental/recompute selection).
+// Sliding time windows take the incremental delta path automatically —
+// per-group SumState accumulators fed by window deltas, with membership and
+// gating evaluated once per tuple instead of once per slide — unless
+// cfg.Recompute pins the rescan path. Both paths produce byte-identical
+// output on the same input (equivalence tests pin this).
 func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	if cfg.Window.Slide > 0 && !cfg.Recompute {
+		return newIncGroupSumOp(name, cfg)
+	}
 	return stream.NewWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
 		if len(window) == 0 {
 			return

@@ -1,0 +1,548 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cf"
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/stream"
+)
+
+// This file is the incremental sliding-window aggregation path: instead of
+// re-scanning the window buffer, rebuilding the group map, re-evaluating
+// membership and re-gating every tuple on every slide (O(n·R/s) work per
+// tuple for range R and slide s), the boxes below consume per-slide deltas
+// from stream.NewDeltaWindow and maintain per-group state — membership,
+// gating, moment extraction and lineage insertion happen exactly once per
+// tuple, and each emission touches only cached state: a cumulant refold (or
+// pooled strategy run) for groups that changed, a cache hit for groups that
+// did not. The recompute boxes in graph.go remain as the reference
+// semantics and the fallback for window shapes the delta path does not
+// cover; equivalence tests pin byte-identical alerts between the two.
+//
+// The per-tuple bookkeeping is deliberately map-free on the hot path: a
+// tuple's contributions are recorded in a FIFO deque aligned with the
+// window ring (evictions pop the front), contribution refs hold the group
+// state pointer and an O(1) log handle, and only keyed dedup consults a map
+// (key → record). The incremental path has to win against a recompute whose
+// marginal cost per slide is just a few map appends and a mixture gate —
+// every hash lookup here is a real fraction of that budget.
+
+// contribRef locates one contribution: the group state it landed in and the
+// accumulator handle to withdraw it with.
+type contribRef struct {
+	st     *groupState
+	handle uint64
+}
+
+// tupleRec tracks one window-resident tuple's contributions. Records are
+// created for every arrival — including dedup losers and no-membership
+// tuples, which hold no refs — so the record deque stays aligned one-to-one
+// with the stream window ring and evictions pop the front without a lookup.
+type tupleRec struct {
+	tupID  uint64
+	u      *UTuple
+	key    int64
+	hasKey bool
+	lost   bool // superseded by a newer same-key reading; never contributes
+	nref   int32
+	refs   [3]contribRef
+	spill  []contribRef // overflow beyond the inline refs (wide memberships)
+}
+
+func (r *tupleRec) addRef(ref contribRef) {
+	if int(r.nref) < len(r.refs) {
+		r.refs[r.nref] = ref
+		r.nref++
+		return
+	}
+	r.spill = append(r.spill, ref)
+	r.nref++
+}
+
+// groupState is one group's accumulator plus incrementally-maintained
+// lineage and an emission cache: a group untouched since its last emission
+// reuses the cached result distribution and lineage set (for CFInvert that
+// skips a whole FFT inversion) — in slide-heavy configurations many groups
+// are unchanged between consecutive slides.
+type groupState struct {
+	sum    SumState
+	lins   idMultiset
+	dirty  bool
+	result dist.Dist
+	lin    lineage.Set
+}
+
+// refresh re-derives the cached result and lineage if the group changed.
+func (st *groupState) refresh() {
+	if st.dirty || st.result == nil {
+		st.result = st.sum.Result()
+		st.lin = st.lins.Snapshot()
+		st.dirty = false
+	}
+}
+
+// incGroupSum is the incremental probabilistic GROUP BY + SUM box state.
+type incGroupSum struct {
+	cfg    GroupSumOpConfig
+	states map[string]*groupState
+
+	// recs is the FIFO record deque mirroring the window ring; recBase is
+	// the absolute sequence number of recs[0] (record positions survive
+	// compaction), recHead the first unpopped record.
+	recs    []tupleRec
+	recHead int
+	recBase uint64
+
+	byKey map[int64]uint64 // dedup key value → live winner record seq
+
+	// recent is a tiny direct cache over states: consecutive tuples come
+	// from the same reader event and land in the same handful of cells, so
+	// most group lookups hit here instead of hashing the name.
+	recent [4]struct {
+		name string
+		st   *groupState
+	}
+	recentNext int
+
+	outNames []string        // shared schema of emitted tuples: {attr, "group"}
+	names    []string        // emission scratch
+	outs     []*stream.Tuple // emission scratch
+}
+
+// groupFor resolves a group name to its state, creating it on first use.
+func (b *incGroupSum) groupFor(name string) *groupState {
+	for i := range b.recent {
+		if b.recent[i].st != nil && b.recent[i].name == name {
+			return b.recent[i].st
+		}
+	}
+	st := b.states[name]
+	if st == nil {
+		st = &groupState{sum: NewSumState(b.cfg.Strategy, b.cfg.Agg)}
+		b.states[name] = st
+	}
+	b.recent[b.recentNext] = struct {
+		name string
+		st   *groupState
+	}{name, st}
+	b.recentNext = (b.recentNext + 1) % len(b.recent)
+	return st
+}
+
+// newIncGroupSumOp builds the delta-driven group-sum box. The window spec
+// must be a sliding time window (the builder falls back to the rescan box
+// otherwise).
+func newIncGroupSumOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	b := &incGroupSum{
+		cfg:      cfg,
+		states:   make(map[string]*groupState),
+		outNames: []string{cfg.Attr, "group"},
+	}
+	if cfg.DedupKey != "" {
+		// Pre-size: the key population is the live object set, and growing
+		// a map through its doubling stages re-hashes every resident key.
+		b.byKey = make(map[int64]uint64, 1024)
+	}
+	return stream.NewDeltaWindow(name, cfg.Window, b.onSlide)
+}
+
+func (b *incGroupSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {
+	// Evictions first: a tuple that both replaces a keyed predecessor and
+	// arrives as the predecessor leaves must observe the departure.
+	for _, t := range evicted {
+		b.evict(t.ID)
+	}
+	// Arrivals in two phases: admit resolves latest-wins dedup across the
+	// batch and the resident window first, then contribute evaluates
+	// membership and gating only for the winners. A reading superseded
+	// before the slide ever closes — the common case when tags report many
+	// times per slide — never pays membership evaluation, exactly as it
+	// never reaches the recompute path's per-window dedup survivors.
+	batchStart := len(b.recs)
+	for _, t := range added {
+		b.admit(Unwrap(t))
+	}
+	for i := batchStart; i < len(b.recs); i++ {
+		b.contribute(i)
+	}
+	b.emitGroups(end, emit)
+}
+
+func (b *incGroupSum) evict(tupID uint64) {
+	// Skip holes left by straggler evictions: their ring positions are
+	// already gone, so no future eviction will name them.
+	for b.recHead < len(b.recs) && b.recs[b.recHead].tupID == 0 {
+		b.recs[b.recHead] = tupleRec{}
+		b.recHead++
+	}
+	if b.recHead < len(b.recs) && b.recs[b.recHead].tupID == tupID {
+		b.withdrawAt(b.recBase + uint64(b.recHead))
+		b.recs[b.recHead] = tupleRec{}
+		b.recHead++
+		b.compactRecs()
+		return
+	}
+	// Straggler: the evicted tuple is not at the front (out-of-timestamp-
+	// order arrival). Withdraw it in place and leave a hole — shifting the
+	// deque would invalidate the absolute sequences byKey holds.
+	for i := b.recHead; i < len(b.recs); i++ {
+		if b.recs[i].tupID == tupID {
+			b.withdrawAt(b.recBase + uint64(i))
+			b.recs[i].tupID = 0
+			b.recs[i].u = nil
+			b.recs[i].hasKey = false
+			return
+		}
+	}
+}
+
+// withdrawAt withdraws the record at the absolute sequence seq. byKey is
+// left alone: stale entries are detected by sequence comparison at admit
+// time, which keeps the eviction path free of map operations.
+func (b *incGroupSum) withdrawAt(seq uint64) {
+	r := &b.recs[seq-b.recBase]
+	n := int(r.nref)
+	for i := 0; i < n; i++ {
+		var ref contribRef
+		if i < len(r.refs) {
+			ref = r.refs[i]
+		} else {
+			ref = r.spill[i-len(r.refs)]
+		}
+		ref.st.sum.Remove(ref.handle)
+		ref.st.lins.RemoveIDs(r.u.Lin.IDs())
+		ref.st.dirty = true
+	}
+	r.nref = 0
+	r.spill = nil
+}
+
+func (b *incGroupSum) compactRecs() {
+	if b.recHead == len(b.recs) {
+		b.recBase += uint64(len(b.recs))
+		b.recs = b.recs[:0]
+		b.recHead = 0
+		return
+	}
+	if b.recHead > 64 && b.recHead*2 >= len(b.recs) {
+		n := copy(b.recs, b.recs[b.recHead:])
+		for i := n; i < len(b.recs); i++ {
+			b.recs[i] = tupleRec{}
+		}
+		b.recs = b.recs[:n]
+		b.recBase += uint64(b.recHead)
+		b.recHead = 0
+	}
+}
+
+// admit records an arrival and resolves latest-wins dedup. Contributions
+// are NOT added here — contribute does that for the batch's winners once
+// the whole slide has been admitted.
+func (b *incGroupSum) admit(u *UTuple) {
+	seq := b.recBase + uint64(len(b.recs))
+	b.recs = append(b.recs, tupleRec{tupID: u.ID, u: u})
+	r := &b.recs[len(b.recs)-1]
+	if b.cfg.DedupKey == "" {
+		return
+	}
+	key := u.Key(b.cfg.DedupKey)
+	r.key = key
+	r.hasKey = true
+	// A byKey entry is live only while its record is still resident (its
+	// sequence at or past the deque head) and not a straggler hole —
+	// evictions never touch the map, so stale winners are recognized here.
+	if prevSeq, ok := b.byKey[key]; ok && prevSeq >= b.recBase+uint64(b.recHead) &&
+		b.recs[prevSeq-b.recBase].tupID != 0 {
+		prev := &b.recs[prevSeq-b.recBase]
+		if u.TS < prev.u.TS {
+			// The resident tuple is newer. This one loses every window both
+			// appear in, and — evictions being ordered by timestamp — can
+			// never outlive the winner into a window of its own, so it never
+			// contributes. The record stays as a position placeholder for
+			// its eventual eviction.
+			r.lost = true
+			return
+		}
+		// Latest wins (arrival order breaks timestamp ties): withdraw the
+		// predecessor's contributions (a no-op for an in-batch predecessor,
+		// which never contributed) and take over the key.
+		b.withdrawAt(prevSeq)
+		prev.lost = true
+	}
+	b.byKey[key] = seq
+}
+
+// contribute evaluates membership and gating for the record at index i if
+// it survived the batch dedup, inserting its contributions into the group
+// states.
+func (b *incGroupSum) contribute(i int) {
+	r := &b.recs[i]
+	if r.lost {
+		return // superseded within its own slide: never contributes
+	}
+	u := r.u
+	for _, gm := range b.cfg.Member(u) {
+		p := gm.P * u.Exist
+		if p <= 0 {
+			continue
+		}
+		st := b.groupFor(gm.Group)
+		h := st.sum.Add(u.Attr(b.cfg.Attr), p)
+		st.lins.AddIDs(u.Lin.IDs())
+		st.dirty = true
+		r.addRef(contribRef{st: st, handle: h})
+	}
+}
+
+// emitGroups derives one output tuple per non-empty group, in group-name
+// order. For the heavy strategies (CF inversion, GMM fits, sampling) the
+// per-group result derivation fans out across a worker pool; the cheap
+// moment refolds run inline, where pool synchronization would cost more
+// than the work. Each group's state is touched by exactly one worker and
+// emission stays sequential in name order, so output is deterministic
+// regardless of scheduling.
+func (b *incGroupSum) emitGroups(end stream.Time, emit stream.Emit) {
+	b.names = b.names[:0]
+	for g, st := range b.states {
+		if st.sum.Len() == 0 {
+			delete(b.states, g)
+			// Drop any cache entry for the deleted state: a later arrival
+			// must re-create the group through the map, not feed a ghost.
+			for i := range b.recent {
+				if b.recent[i].st == st {
+					b.recent[i].name = ""
+					b.recent[i].st = nil
+				}
+			}
+			continue
+		}
+		b.names = append(b.names, g)
+	}
+	if len(b.names) == 0 {
+		return
+	}
+	sort.Strings(b.names)
+	if cap(b.outs) < len(b.names) {
+		b.outs = make([]*stream.Tuple, len(b.names))
+	}
+	outs := b.outs[:len(b.names)]
+	workers := b.cfg.Workers
+	if workers <= 0 {
+		if heavyResult(b.cfg.Strategy) {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
+	}
+	if workers > len(b.names) {
+		workers = len(b.names)
+	}
+	if workers <= 1 {
+		for i, g := range b.names {
+			outs[i] = b.buildGroup(g, end)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(b.names) {
+						return
+					}
+					outs[i] = b.buildGroup(b.names[i], end)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, t := range outs {
+		emit(t)
+	}
+}
+
+// buildGroup assembles one group's output tuple from the cached (or just
+// refreshed) result distribution and lineage. The tuple is built directly —
+// the generic Derive would re-union lineage and re-scan parents the state
+// already maintains incrementally. The shape matches the rescan path's
+// derived tuple exactly: attributes {attr, "group"-marker}, existence 1,
+// lineage = union over live contributors, timestamp = window end.
+func (b *incGroupSum) buildGroup(g string, end stream.Time) *stream.Tuple {
+	st := b.states[g]
+	st.refresh()
+	u := &UTuple{
+		TS:    end,
+		ID:    stream.NextTupleID(),
+		names: b.outNames, // shared; len == cap, so a downstream SetAttr copies
+		attrs: []dist.Dist{st.result, dist.PointMass{V: 0}},
+		Exist: 1,
+		Lin:   st.lin,
+	}
+	out := stream.NewTuple(groupedSchema, end, u, g)
+	out.ID = u.ID
+	return out
+}
+
+// incSum is the incremental ungrouped windowed SUM box state. The moment
+// strategies ride a two-stacks cf.PaneStack — O(1) per emission with no
+// subtract drift (the window is pure FIFO here: no dedup, so no middle
+// removals) — while the remaining strategies pool the gated distributions
+// via distState exactly like the grouped path. Lineage over the window is
+// maintained as the same sorted multiset the grouped path uses.
+type incSum struct {
+	attr     string
+	strat    Strategy
+	opts     AggOptions
+	outNames []string
+
+	moment bool
+	stack  cf.PaneStack
+	// order mirrors the stack's live contributions front-to-back and backs
+	// the straggler rebuild.
+	order []sumEntry
+	head  int
+
+	state SumState // pooled path (nil on the moment path)
+	lins  idMultiset
+}
+
+type sumEntry struct {
+	id     uint64 // tuple ID
+	handle uint64 // accumulator handle (pooled path)
+	u      *UTuple
+	c      cf.Cumulants
+}
+
+// newIncSumOp builds the delta-driven ungrouped sum box.
+func newIncSumOp(name string, spec stream.WindowSpec, attr string, strat Strategy, opts AggOptions) stream.Operator {
+	s := &incSum{attr: attr, strat: strat, opts: opts, outNames: []string{attr}}
+	switch strat {
+	case CFApprox, CLT:
+		s.moment = true
+	default:
+		s.state = NewSumState(strat, opts)
+	}
+	return stream.NewDeltaWindow(name, spec, s.onSlide)
+}
+
+func (s *incSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {
+	if len(evicted) > 0 {
+		s.evictAll(evicted)
+	}
+	for _, t := range added {
+		u := Unwrap(t)
+		d := u.Attr(s.attr)
+		e := sumEntry{id: t.ID, u: u}
+		if s.moment {
+			e.c = cf.GatedCumulants(d.Mean(), d.Variance(), u.Exist)
+			s.stack.Push(e.c)
+		} else {
+			e.handle = s.state.Add(d, u.Exist)
+		}
+		s.order = append(s.order, e)
+		s.lins.AddIDs(u.Lin.IDs())
+	}
+	if len(s.order) == s.head {
+		return
+	}
+	var sum dist.Dist
+	if s.moment {
+		sum = cf.GaussianFromCumulants(s.stack.Total())
+	} else {
+		sum = s.state.Result()
+	}
+	out := &UTuple{
+		TS:    end,
+		ID:    stream.NextTupleID(),
+		names: s.outNames,
+		attrs: []dist.Dist{sum},
+		Exist: 1,
+		Lin:   s.lins.Snapshot(),
+	}
+	w := stream.NewTuple(utupleSchema, end, out)
+	w.ID = out.ID
+	emit(w)
+}
+
+// evictAll removes the departed tuples. The common case is a clean FIFO
+// prefix (timestamps nondecreasing), a sequence of O(1) pops; a straggler
+// eviction from the middle falls back to filtering the order and — on the
+// moment path — rebuilding the pane stack from the survivors (exact either
+// way; the rebuild is just a refold).
+func (s *incSum) evictAll(evicted []*stream.Tuple) {
+	fifo := true
+	for i, t := range evicted {
+		j := s.head + i
+		if j >= len(s.order) || s.order[j].id != t.ID {
+			fifo = false
+			break
+		}
+	}
+	if fifo {
+		for range evicted {
+			e := s.order[s.head]
+			if s.moment {
+				s.stack.Pop()
+			} else {
+				s.state.Remove(e.handle)
+			}
+			s.lins.RemoveIDs(e.u.Lin.IDs())
+			s.order[s.head] = sumEntry{}
+			s.head++
+		}
+		s.compact()
+		return
+	}
+	gone := make(map[uint64]bool, len(evicted))
+	for _, t := range evicted {
+		gone[t.ID] = true
+	}
+	w := s.head
+	for i := s.head; i < len(s.order); i++ {
+		e := s.order[i]
+		if gone[e.id] {
+			if !s.moment {
+				s.state.Remove(e.handle)
+			}
+			s.lins.RemoveIDs(e.u.Lin.IDs())
+			continue
+		}
+		s.order[w] = e
+		w++
+	}
+	for i := w; i < len(s.order); i++ {
+		s.order[i] = sumEntry{}
+	}
+	s.order = s.order[:w]
+	if s.moment {
+		s.stack.Reset()
+		for i := s.head; i < len(s.order); i++ {
+			s.stack.Push(s.order[i].c)
+		}
+	}
+	s.compact()
+}
+
+func (s *incSum) compact() {
+	if s.head == len(s.order) {
+		s.order = s.order[:0]
+		s.head = 0
+		return
+	}
+	if s.head > 64 && s.head*2 >= len(s.order) {
+		n := copy(s.order, s.order[s.head:])
+		for i := n; i < len(s.order); i++ {
+			s.order[i] = sumEntry{}
+		}
+		s.order = s.order[:n]
+		s.head = 0
+	}
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"repro/internal/cf"
+	"repro/internal/dist"
+	"repro/internal/lineage"
+)
+
+// SumState incrementally maintains the distribution of SUM over a changing
+// multiset of Bernoulli-gated contributions — the accumulator behind the
+// incremental sliding-window aggregation path. Add and Remove are O(1)
+// (amortized); Result derives the current sum distribution per the state's
+// strategy. Add returns a handle identifying the contribution, so keyed
+// dedup (latest-wins replace) and out-of-order eviction compose: Remove the
+// old contribution's handle, Add the new one. Handles index the state's
+// internal log directly — no id map on the per-tuple hot path.
+//
+// Determinism contract: Result depends only on the live contributions and
+// their insertion order, and reproduces the recompute path (GroupSum /
+// SumTuples over the same window) bit for bit — the equivalence tests pin
+// byte-identical alerts between the two paths. For the moment strategies
+// that means Result refolds the cached per-contribution cumulants
+// left-to-right in insertion order (two additions per live contribution;
+// the expensive part — membership, gating, moment extraction through the
+// dist interface — happened once at Add). The O(1) running totals
+// maintained alongside are exposed via RunningCumulants for monitoring;
+// they can drift from the refold by ulps after evictions (floating-point
+// subtraction), which is exactly why Result does not use them.
+type SumState interface {
+	// Add inserts a contribution — attribute distribution d gated by
+	// probability p (membership × existence) — and returns its handle.
+	Add(d dist.Dist, p float64) uint64
+	// Remove deletes a live contribution by handle (eviction or
+	// dedup-replace). Removing a handle twice, or one never issued, is a
+	// no-op.
+	Remove(handle uint64)
+	// Len is the number of live contributions.
+	Len() int
+	// Result derives the distribution of the sum of the live contributions.
+	Result() dist.Dist
+}
+
+// NewSumState builds the accumulator for a strategy. The moment strategies
+// (CFApprox, CLT) get O(1) cumulant maintenance; every other strategy gets
+// the pooled state that keeps the gated distributions in insertion order
+// and reruns the strategy once per emission over the pool (for CFInvert /
+// CFApproxGMM that is one CF-product inversion or fit per emission instead
+// of one per strategy-internal step; for the sampling strategies it
+// preserves their seeded draws exactly).
+func NewSumState(strat Strategy, opts AggOptions) SumState {
+	switch strat {
+	case CFApprox, CLT:
+		return &momentState{}
+	default:
+		return &distState{strat: strat, opts: opts}
+	}
+}
+
+// stateEntry is one contribution in insertion order. Removal marks the
+// entry dead in place (preserving the order of the survivors) and the dead
+// prefix is reclaimed lazily.
+type stateEntry struct {
+	c    cf.Cumulants // cached gated cumulants (moment strategies)
+	d    dist.Dist    // cached gated distribution (pooled strategies)
+	dead bool
+}
+
+// entryLog is the shared insertion-ordered entry store: a grow-at-the-back
+// slice with a dead prefix index. Handles are absolute sequence numbers,
+// kept valid across compaction by a base offset — O(1) add and remove with
+// no hashing.
+type entryLog struct {
+	entries []stateEntry
+	head    int    // first possibly-live entry
+	base    uint64 // sequence number of entries[0]
+	liveN   int
+}
+
+func (l *entryLog) add(e stateEntry) uint64 {
+	seq := l.base + uint64(len(l.entries))
+	l.entries = append(l.entries, e)
+	l.liveN++
+	return seq
+}
+
+// remove marks the handle's entry dead and returns it by value (compact may
+// shift the backing slice, so pointers into it would dangle). Stale or
+// foreign handles return ok == false.
+func (l *entryLog) remove(seq uint64) (stateEntry, bool) {
+	if seq < l.base {
+		return stateEntry{}, false
+	}
+	i := int(seq - l.base)
+	if i < l.head || i >= len(l.entries) || l.entries[i].dead {
+		return stateEntry{}, false
+	}
+	e := &l.entries[i]
+	out := *e
+	e.dead = true
+	e.d = nil
+	l.liveN--
+	l.compact()
+	return out, true
+}
+
+// compact advances past the dead prefix and reclaims storage once the dead
+// prefix dominates.
+func (l *entryLog) compact() {
+	for l.head < len(l.entries) && l.entries[l.head].dead {
+		l.head++
+	}
+	if l.head == len(l.entries) {
+		l.base += uint64(len(l.entries))
+		l.entries = l.entries[:0]
+		l.head = 0
+		return
+	}
+	if l.head > 64 && l.head*2 >= len(l.entries) {
+		n := copy(l.entries, l.entries[l.head:])
+		l.entries = l.entries[:n]
+		l.base += uint64(l.head)
+		l.head = 0
+	}
+}
+
+// momentState is the accumulator for the cumulant-matched strategies
+// (CFApprox, CLT): per contribution it caches the closed-form Bernoulli-
+// gated cumulants once, and maintains O(1) running totals alongside.
+type momentState struct {
+	log entryLog
+	run cf.Cumulants // O(1) running totals (see RunningCumulants)
+}
+
+func (s *momentState) Add(d dist.Dist, p float64) uint64 {
+	c := cf.GatedCumulants(d.Mean(), d.Variance(), p)
+	s.run.K1 += c.K1
+	s.run.K2 += c.K2
+	return s.log.add(stateEntry{c: c})
+}
+
+func (s *momentState) Remove(handle uint64) {
+	if e, ok := s.log.remove(handle); ok {
+		s.run.K1 -= e.c.K1
+		s.run.K2 -= e.c.K2
+	}
+}
+
+func (s *momentState) Len() int { return s.log.liveN }
+
+// Result refolds the cached cumulants left-to-right in insertion order —
+// the same fold the recompute path's SumMoments performs over the same
+// gated contributions, hence bit-identical output.
+func (s *momentState) Result() dist.Dist {
+	var total cf.Cumulants
+	for i := s.log.head; i < len(s.log.entries); i++ {
+		e := &s.log.entries[i]
+		if e.dead {
+			continue
+		}
+		total.K1 += e.c.K1
+		total.K2 += e.c.K2
+	}
+	return cf.GaussianFromCumulants(total)
+}
+
+// RunningCumulants returns the O(1)-maintained totals. They track the
+// refold to within accumulated rounding (ulps, not growing with window
+// length for same-scale contributions) but are not bit-stable under
+// Remove; Result is the deterministic view.
+func (s *momentState) RunningCumulants() cf.Cumulants { return s.run }
+
+// distState is the pooled accumulator for the strategies that need the full
+// gated distributions (CFInvert, CFApproxGMM, the sampling baselines, the
+// pairwise comparator): the gate is constructed once per contribution at
+// Add; Result reruns the strategy over the pooled live distributions in
+// insertion order, which for the CF strategies means a single product-CF
+// inversion or fit per emission.
+type distState struct {
+	strat Strategy
+	opts  AggOptions
+	log   entryLog
+	pool  []dist.Dist // scratch reused across emissions
+}
+
+func (s *distState) Add(d dist.Dist, p float64) uint64 {
+	return s.log.add(stateEntry{d: BernoulliGate(d, p)})
+}
+
+func (s *distState) Remove(handle uint64) { s.log.remove(handle) }
+
+func (s *distState) Len() int { return s.log.liveN }
+
+func (s *distState) Result() dist.Dist {
+	s.pool = s.pool[:0]
+	for i := s.log.head; i < len(s.log.entries); i++ {
+		e := &s.log.entries[i]
+		if e.dead {
+			continue
+		}
+		s.pool = append(s.pool, e.d)
+	}
+	return Sum(s.pool, s.strat, s.opts)
+}
+
+// heavyResult reports whether Result is expensive enough (an FFT inversion,
+// a simplex fit, a sampling run) that per-group emission should fan out to
+// the worker pool by default.
+func heavyResult(strat Strategy) bool {
+	switch strat {
+	case CFApprox, CLT:
+		return false
+	default:
+		return true
+	}
+}
+
+// idMultiset maintains a sorted multiset of base-tuple ids — the
+// incrementally-maintained lineage of a window aggregate. Contributions
+// insert their parents' lineage ids on Add and withdraw them on eviction or
+// dedup-replace; Snapshot materializes the current union as a lineage.Set
+// with a single copy, replacing the per-emission sort-and-dedup that made
+// every slide pay O(k log k) per group.
+//
+// Tuple ids are allocated monotonically and windows evict oldest-first, so
+// the common case is a deque: new ids append at the back, evicted ids pop
+// at the front — both O(1). Out-of-order inserts and mid-removals (derived
+// lineage, stragglers, dedup-replace) fall back to a memmove.
+type idMultiset struct {
+	ids    []uint64
+	counts []uint32
+	head   int
+}
+
+// search returns the position of id in ids[head:] (absolute index).
+func (m *idMultiset) search(id uint64) int {
+	lo, hi := m.head, len(m.ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AddIDs inserts each id (counting duplicates).
+func (m *idMultiset) AddIDs(ids []uint64) {
+	for _, id := range ids {
+		if n := len(m.ids); n == m.head || id > m.ids[n-1] {
+			m.ids = append(m.ids, id)
+			m.counts = append(m.counts, 1)
+			continue
+		}
+		i := m.search(id)
+		if i < len(m.ids) && m.ids[i] == id {
+			m.counts[i]++
+			continue
+		}
+		m.ids = append(m.ids, 0)
+		copy(m.ids[i+1:], m.ids[i:])
+		m.ids[i] = id
+		m.counts = append(m.counts, 0)
+		copy(m.counts[i+1:], m.counts[i:])
+		m.counts[i] = 1
+	}
+}
+
+// RemoveIDs withdraws each id, dropping it once its count reaches zero.
+func (m *idMultiset) RemoveIDs(ids []uint64) {
+	for _, id := range ids {
+		i := m.search(id)
+		if i >= len(m.ids) || m.ids[i] != id {
+			continue // unknown id: tolerated, mirroring SumState.Remove
+		}
+		m.counts[i]--
+		if m.counts[i] > 0 {
+			continue
+		}
+		if i == m.head {
+			m.head++
+			if m.head == len(m.ids) {
+				m.ids = m.ids[:0]
+				m.counts = m.counts[:0]
+				m.head = 0
+			} else if m.head > 64 && m.head*2 >= len(m.ids) {
+				n := copy(m.ids, m.ids[m.head:])
+				copy(m.counts, m.counts[m.head:])
+				m.ids = m.ids[:n]
+				m.counts = m.counts[:n]
+				m.head = 0
+			}
+			continue
+		}
+		m.ids = append(m.ids[:i], m.ids[i+1:]...)
+		m.counts = append(m.counts[:i], m.counts[i+1:]...)
+	}
+}
+
+// Snapshot returns the distinct ids as a lineage set (one copy, no sort).
+func (m *idMultiset) Snapshot() lineage.Set { return lineage.FromSorted(m.ids[m.head:]) }

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/rng"
+)
+
+// recomputeRef mirrors what the rescan path does with the same live
+// contributions: gate each in insertion order, then Sum.
+func recomputeRef(live []gatedInput, strat Strategy, opts AggOptions) dist.Dist {
+	ds := make([]dist.Dist, len(live))
+	for i, c := range live {
+		ds[i] = BernoulliGate(c.d, c.p)
+	}
+	return Sum(ds, strat, opts)
+}
+
+type gatedInput struct {
+	id uint64
+	d  dist.Dist
+	p  float64
+}
+
+// TestSumStateMatchesRecompute drives both accumulators through a random
+// insert/evict/replace workload and checks Result against a fresh recompute
+// over the surviving contributions after every step — bit-identical for the
+// moment state, and for the pooled state too (it reruns the same strategy
+// over the same ordered inputs).
+func TestSumStateMatchesRecompute(t *testing.T) {
+	for _, strat := range []Strategy{CFApprox, CLT, CFInvert} {
+		t.Run(strat.String(), func(t *testing.T) {
+			g := rng.New(21)
+			opts := AggOptions{GridN: 256}
+			st := NewSumState(strat, opts)
+			var live []gatedInput
+			for step := 0; step < 400; step++ {
+				switch {
+				case len(live) == 0 || g.Float64() < 0.55:
+					in := gatedInput{
+						d: dist.NewNormal(g.Normal(50, 20), math.Abs(g.Normal(0, 5))+0.1),
+						p: g.Float64(),
+					}
+					in.id = st.Add(in.d, in.p)
+					live = append(live, in)
+				case g.Float64() < 0.7:
+					// FIFO eviction.
+					st.Remove(live[0].id)
+					live = live[1:]
+				default:
+					// Keyed replace: remove from the middle.
+					i := g.Intn(len(live))
+					st.Remove(live[i].id)
+					live = append(live[:i], live[i+1:]...)
+				}
+				if st.Len() != len(live) {
+					t.Fatalf("step %d: Len = %d, want %d", step, st.Len(), len(live))
+				}
+				if len(live) == 0 {
+					continue
+				}
+				if step%7 != 0 { // Result is emission-time; don't call every step for CFInvert
+					continue
+				}
+				got := st.Result()
+				want := recomputeRef(live, strat, opts)
+				if gm, wm := got.Mean(), want.Mean(); gm != wm {
+					t.Fatalf("step %d: mean %.17g != recompute %.17g", step, gm, wm)
+				}
+				if gv, wv := got.Variance(), want.Variance(); gv != wv {
+					t.Fatalf("step %d: variance %.17g != recompute %.17g", step, gv, wv)
+				}
+				if gc, wc := got.CDF(55), want.CDF(55); gc != wc {
+					t.Fatalf("step %d: CDF(55) %.17g != recompute %.17g", step, gc, wc)
+				}
+			}
+		})
+	}
+}
+
+// TestMomentStateRunningCumulants checks the O(1) running totals track the
+// deterministic refold to rounding noise (they may differ in final ulps
+// after evictions — that is exactly why Result refolds).
+func TestMomentStateRunningCumulants(t *testing.T) {
+	g := rng.New(23)
+	st := NewSumState(CFApprox, AggOptions{}).(*momentState)
+	var live []gatedInput
+	for step := 0; step < 2000; step++ {
+		in := gatedInput{d: dist.NewNormal(g.Normal(100, 30), 5), p: g.Float64()}
+		in.id = st.Add(in.d, in.p)
+		live = append(live, in)
+		for len(live) > 50 {
+			st.Remove(live[0].id)
+			live = live[1:]
+		}
+	}
+	run := st.RunningCumulants()
+	want := st.Result()
+	if math.Abs(run.K1-want.Mean()) > 1e-6*math.Abs(want.Mean()) {
+		t.Errorf("running K1 %.17g far from refold %.17g", run.K1, want.Mean())
+	}
+	if math.Abs(run.K2-want.Variance()) > 1e-6*want.Variance() {
+		t.Errorf("running K2 %.17g far from refold %.17g", run.K2, want.Variance())
+	}
+}
+
+// TestEntryLogCompaction exercises the absolute-sequence bookkeeping across
+// the compaction thresholds.
+func TestEntryLogCompaction(t *testing.T) {
+	st := NewSumState(CFApprox, AggOptions{}).(*momentState)
+	d := dist.PointMass{V: 1}
+	// Long FIFO churn forces repeated compactions.
+	var handles []uint64
+	for i := 0; i < 1000; i++ {
+		handles = append(handles, st.Add(d, 1))
+		if i >= 10 {
+			st.Remove(handles[i-10])
+		}
+	}
+	if st.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", st.Len())
+	}
+	if got := st.Result().Mean(); got != 10 {
+		t.Errorf("Result mean = %g, want 10", got)
+	}
+	if len(st.log.entries) > 64+10 {
+		t.Errorf("entry log not compacted: %d entries for 10 live", len(st.log.entries))
+	}
+	// Removing unknown ids is a no-op.
+	st.Remove(99999)
+	if st.Len() != 10 {
+		t.Errorf("unknown Remove changed Len to %d", st.Len())
+	}
+}
+
+// TestCountReusesBuffer pins the O(n²)-allocation fix: the Poisson-binomial
+// DP must allocate a bounded number of times regardless of window size, and
+// still produce the exact distribution.
+func TestCountReusesBuffer(t *testing.T) {
+	mk := func(n int) []*UTuple {
+		us := make([]*UTuple, n)
+		for i := range us {
+			us[i] = NewUTuple(0, []string{"v"}, []dist.Dist{dist.PointMass{V: 1}})
+			us[i].Exist = 0.25 + 0.5*float64(i%3)/2
+		}
+		return us
+	}
+	// Correctness: against the closed binomial for equal probabilities.
+	eq := make([]*UTuple, 20)
+	for i := range eq {
+		eq[i] = NewUTuple(0, []string{"v"}, []dist.Dist{dist.PointMass{V: 1}})
+		eq[i].Exist = 0.3
+	}
+	d := Count(eq)
+	wantMean := 20 * 0.3
+	if math.Abs(d.Mean()-wantMean) > 1e-9 {
+		t.Errorf("Count mean = %g, want %g", d.Mean(), wantMean)
+	}
+	// The histogram representation spreads each integer's mass over a
+	// unit bin, adding width²/12 of within-bin variance.
+	wantVar := 20*0.3*0.7 + 1.0/12
+	if math.Abs(d.Variance()-wantVar) > 1e-9 {
+		t.Errorf("Count variance = %g, want %g", d.Variance(), wantVar)
+	}
+	small := mk(16)
+	large := mk(128)
+	allocsSmall := testing.AllocsPerRun(20, func() { _ = Count(small) })
+	allocsLarge := testing.AllocsPerRun(20, func() { _ = Count(large) })
+	// One DP buffer + histogram construction, independent of n. (The exact
+	// constant depends on NewHistogram internals; what must not happen is
+	// one allocation per tuple.)
+	if allocsLarge > allocsSmall+4 {
+		t.Errorf("Count allocations scale with window size: %g for n=16, %g for n=128",
+			allocsSmall, allocsLarge)
+	}
+	if allocsLarge > 16 {
+		t.Errorf("Count allocates %g times per call", allocsLarge)
+	}
+}
+
+func TestNewSumStateStrategySelection(t *testing.T) {
+	for strat, want := range map[Strategy]string{
+		CFApprox:          "*core.momentState",
+		CLT:               "*core.momentState",
+		CFInvert:          "*core.distState",
+		CFApproxGMM:       "*core.distState",
+		HistogramSampling: "*core.distState",
+	} {
+		if got := fmt.Sprintf("%T", NewSumState(strat, AggOptions{})); got != want {
+			t.Errorf("NewSumState(%v) = %s, want %s", strat, got, want)
+		}
+	}
+}

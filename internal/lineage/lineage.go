@@ -40,6 +40,50 @@ func (s Set) Contains(id uint64) bool {
 	return i < len(s.ids) && s.ids[i] == id
 }
 
+// FromSorted builds a set from ids that are already sorted and deduplicated
+// — the incremental aggregation path maintains per-group lineage as a
+// sorted multiset and snapshots it per emission, so re-sorting would waste
+// the maintenance. The slice is copied; the precondition is checked (O(n))
+// because a silently unsorted Set corrupts every downstream merge.
+func FromSorted(ids []uint64) Set {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			panic("lineage: FromSorted input not strictly increasing")
+		}
+	}
+	return Set{ids: append([]uint64(nil), ids...)}
+}
+
+// UnionAll returns the union of all the given sets in one pass — collect,
+// sort, dedup — instead of a pairwise fold, whose intermediate copies make
+// deriving an aggregate's lineage from k single-tuple parents O(k²). This
+// is the per-emission hot path of windowed aggregation.
+func UnionAll(sets ...Set) Set {
+	switch len(sets) {
+	case 0:
+		return Set{}
+	case 1:
+		return sets[0] // sets are immutable; sharing is safe
+	}
+	total := 0
+	for _, s := range sets {
+		total += len(s.ids)
+	}
+	out := make([]uint64, 0, total)
+	for _, s := range sets {
+		out = append(out, s.ids...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, v := range out {
+		if i == 0 || v != out[n-1] {
+			out[n] = v
+			n++
+		}
+	}
+	return Set{ids: out[:n]}
+}
+
 // Union returns s ∪ t.
 func (s Set) Union(t Set) Set {
 	out := make([]uint64, 0, len(s.ids)+len(t.ids))

@@ -3,7 +3,6 @@ package stream
 import (
 	"fmt"
 	"sync"
-	"time"
 )
 
 // Box is a node in the dataflow graph: an operator plus its outgoing arrows.
@@ -13,6 +12,7 @@ type Box struct {
 	id    int
 	outs  []arrow
 	stats Stats
+	emit  Emit // prebuilt synchronous emit; one closure per box, not per tuple
 }
 
 // arrow connects a box output to a (box, port) input.
@@ -21,14 +21,25 @@ type arrow struct {
 	port int
 }
 
-// Stats counts a box's traffic and processing time.
+// Stats counts a box's traffic. (Per-tuple wall-clock timing was measured
+// here once; two time.Now calls per tuple per box cost more than most
+// operators' Process bodies, so stats are counters only.)
 type Stats struct {
-	In, Out    uint64
-	Processing time.Duration
+	In, Out uint64
 }
 
 // Stats returns a copy of the box's counters.
 func (b *Box) Stats() Stats { return b.stats }
+
+// SoleConsumer returns the single (box, port) this box feeds, if it has
+// exactly one outgoing arrow — compilers use it to inject tuples past pure
+// fan-out boxes instead of paying a dispatch per tuple for an identity hop.
+func (b *Box) SoleConsumer() (*Box, int, bool) {
+	if len(b.outs) == 1 {
+		return b.outs[0].to, b.outs[0].port, true
+	}
+	return nil, 0, false
+}
 
 // Graph is a box-arrow diagram (§3, Figure 2). Build it with AddBox and
 // Connect, feed tuples with Push, and finish with Close. RunChan executes
@@ -45,6 +56,12 @@ func NewGraph() *Graph { return &Graph{} }
 // AddBox registers an operator and returns its box.
 func (g *Graph) AddBox(op Operator) *Box {
 	b := &Box{Op: op, id: len(g.boxes)}
+	b.emit = func(out *Tuple) {
+		b.stats.Out++
+		for _, a := range b.outs {
+			g.Push(a.to, a.port, out)
+		}
+	}
 	g.boxes = append(g.boxes, b)
 	return b
 }
@@ -58,26 +75,14 @@ func (g *Graph) Connect(src, dst *Box, port int) {
 // depth-first through the arrows.
 func (g *Graph) Push(b *Box, port int, t *Tuple) {
 	b.stats.In++
-	start := time.Now()
-	b.Op.Process(port, t, func(out *Tuple) {
-		b.stats.Out++
-		for _, a := range b.outs {
-			g.Push(a.to, a.port, out)
-		}
-	})
-	b.stats.Processing += time.Since(start)
+	b.Op.Process(port, t, b.emit)
 }
 
 // Close flushes every box in insertion order (sources first), cascading any
 // emitted tuples.
 func (g *Graph) Close() {
 	for _, b := range g.boxes {
-		b.Op.Flush(func(out *Tuple) {
-			b.stats.Out++
-			for _, a := range b.outs {
-				g.Push(a.to, a.port, out)
-			}
-		})
+		b.Op.Flush(b.emit)
 	}
 }
 
@@ -152,9 +157,7 @@ func (g *Graph) RunChan(buffer int, feed func(inject func(b *Box, port int, t *T
 			}
 			for pt := range chans[b.id] {
 				b.stats.In++
-				start := time.Now()
 				b.Op.Process(pt.port, pt.t, emit)
-				b.stats.Processing += time.Since(start)
 			}
 			b.Op.Flush(emit)
 			for _, a := range b.outs {

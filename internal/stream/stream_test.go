@@ -120,8 +120,30 @@ func TestSlidingTimeWindow(t *testing.T) {
 		op.Process(0, NewTuple(s, ts, 1.0), emit)
 	}
 	op.Flush(emit)
-	// Slides close at 5 ({0,2}), 10 ({0,2,6,8}), 15 ({6,8,12,14} via flush).
-	want := []string{"end=5 n=2", "end=10 n=4", "end=15 n=4"}
+	// Slides close at 5 ({0,2}), 10 ({0,2,6,8}); Flush drains the trailing
+	// buffer through every remaining window: 15 ({6,8,12,14}) and
+	// 20 ({12,14}). The all-evicted window at 25 is not emitted.
+	want := []string{"end=5 n=2", "end=10 n=4", "end=15 n=4", "end=20 n=2"}
+	if fmt.Sprint(snapshots) != fmt.Sprint(want) {
+		t.Errorf("snapshots = %v, want %v", snapshots, want)
+	}
+}
+
+// TestSlidingFlushDrainsMultipleSlides is the regression test for the flush
+// bug: trailing buffered tuples spanning more than one slide past winStart
+// used to appear only in the first flushed window.
+func TestSlidingFlushDrainsMultipleSlides(t *testing.T) {
+	s := NewSchema("v")
+	var snapshots []string
+	op := NewWindow("w", WindowSpec{Duration: 4, Slide: 1}, func(win []*Tuple, end Time, emit Emit) {
+		snapshots = append(snapshots, fmt.Sprintf("end=%d n=%d", end, len(win)))
+	})
+	emit := func(*Tuple) {}
+	op.Process(0, NewTuple(s, 0, 1.0), emit)
+	op.Flush(emit)
+	// A single tuple at 0 with range 4, slide 1 belongs to the windows
+	// ending at 1, 2, 3 and 4 — flush must emit all of them.
+	want := []string{"end=1 n=1", "end=2 n=1", "end=3 n=1", "end=4 n=1"}
 	if fmt.Sprint(snapshots) != fmt.Sprint(want) {
 		t.Errorf("snapshots = %v, want %v", snapshots, want)
 	}

@@ -1,6 +1,9 @@
 package stream
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // WindowSpec describes a window policy. Exactly one of Count or Duration
 // must be positive.
@@ -116,10 +119,31 @@ func (o *windowOp) Flush(emit Emit) {
 	if len(o.buf) > 0 {
 		if o.spec.Slide == 0 {
 			o.fn(o.buf, o.winStart+o.spec.Duration, emit)
-		} else {
-			o.emitSlide(o.winStart+o.spec.Slide, emit)
+			o.buf = o.buf[:0]
+			return
 		}
-		o.buf = o.buf[:0]
+		// Sliding: keep closing slides until the buffer drains, so trailing
+		// tuples spanning several slides appear in every window they belong
+		// to, not just the first. Eviction empties the buffer in at most
+		// ⌈Duration/Slide⌉ iterations; the final all-evicted slide is empty
+		// and is not emitted (no tuple ever arrived past its boundary).
+		for len(o.buf) > 0 {
+			end := o.winStart + o.spec.Slide
+			lo := end - o.spec.Duration
+			keep := o.buf[:0]
+			for _, t := range o.buf {
+				if t.TS >= lo {
+					keep = append(keep, t)
+				}
+			}
+			o.buf = keep
+			if len(o.buf) > 0 {
+				// Every buffered tuple has TS < end (appends happen after
+				// boundary processing), so the surviving buffer is the window.
+				o.fn(o.buf, end, emit)
+			}
+			o.winStart = end
+		}
 	}
 }
 
@@ -143,17 +167,9 @@ func NewGroupWindow(name string, spec WindowSpec, key KeyFunc, fn GroupFunc) Ope
 			}
 			groups[k] = append(groups[k], t)
 		}
-		sortStrings(order)
+		sort.Strings(order)
 		for _, k := range order {
 			fn(k, groups[k], end, emit)
 		}
 	})
-}
-
-func sortStrings(xs []string) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
-			xs[j], xs[j-1] = xs[j-1], xs[j]
-		}
-	}
 }

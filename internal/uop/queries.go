@@ -29,6 +29,16 @@ func LocationUTuple(lt rfid.LocationTuple, w *rfid.Warehouse) *core.UTuple {
 type Q1Config struct {
 	// WindowMS is the Range window (paper: 5 seconds).
 	WindowMS stream.Time
+	// SlideMS, when positive, evaluates the window as a sliding Rstream —
+	// [Range WindowMS] re-emitted every SlideMS — instead of tumbling.
+	// Sliding windows take the incremental aggregation path.
+	SlideMS stream.Time
+	// Recompute pins the per-window rescan path (the reference semantics)
+	// even for sliding windows; the benchmark baseline.
+	Recompute bool
+	// Workers bounds the incremental path's per-group emission pool
+	// (0 = GOMAXPROCS, 1 = sequential).
+	Workers int
 	// ThresholdLbs is the Having threshold (paper: 200 pounds).
 	ThresholdLbs float64
 	// MinAreaMass prunes negligible area memberships (default 0.01).
@@ -88,16 +98,23 @@ func q1Member(cfg Q1Config) core.Membership {
 	}
 }
 
-// BuildQ1 compiles Q1 — tumbling windows, one contribution per tag per
-// window, probabilistic GROUP BY area, SUM(weight) with full result
-// distributions, confidence-annotated HAVING — as a query chain over the
-// source stream "locations".
+// BuildQ1 compiles Q1 — tumbling (or, with SlideMS, sliding) windows, one
+// contribution per tag per window, probabilistic GROUP BY area, SUM(weight)
+// with full result distributions, confidence-annotated HAVING — as a query
+// chain over the source stream "locations".
 func BuildQ1(cfg Q1Config) *Query {
 	cfg = cfg.withDefaults()
-	return From("locations").
-		Window(cfg.WindowMS).
+	q := From("locations").
+		WindowSpec(stream.WindowSpec{Duration: cfg.WindowMS, Slide: cfg.SlideMS}).
 		DedupLatest("tag").
-		GroupBy(q1Member(cfg)).
+		GroupBy(q1Member(cfg))
+	if cfg.Recompute {
+		q = q.Recompute()
+	}
+	if cfg.Workers != 0 {
+		q = q.EmitWorkers(cfg.Workers)
+	}
+	return q.
 		Sum("weight", cfg.Strategy, cfg.Agg).
 		Having(Greater(cfg.ThresholdLbs, cfg.MinAlertProb))
 }

@@ -25,11 +25,13 @@ type Query struct {
 	left, right *Query
 	makeOp      func() stream.Operator
 
-	// Pending clauses accumulated by Window/DedupLatest/GroupBy and
-	// consumed by the next aggregate stage.
-	win    *stream.WindowSpec
-	dedup  string
-	member core.Membership
+	// Pending clauses accumulated by Window/DedupLatest/GroupBy/Recompute/
+	// EmitWorkers and consumed by the next aggregate stage.
+	win       *stream.WindowSpec
+	dedup     string
+	member    core.Membership
+	recompute bool
+	workers   int
 	// aggAttr is the attribute of the most recent aggregate, for Having.
 	aggAttr string
 }
@@ -59,6 +61,7 @@ func (q *Query) stage(makeOp func() stream.Operator) *Query {
 	return &Query{
 		parent: q, makeOp: makeOp, aggAttr: q.aggAttr,
 		win: q.win, dedup: q.dedup, member: q.member,
+		recompute: q.recompute, workers: q.workers,
 	}
 }
 
@@ -104,6 +107,20 @@ func (q *Query) GroupBy(member core.Membership) *Query {
 	return q.with(func(c *Query) { c.member = member })
 }
 
+// Recompute pins the next aggregate to the per-window rescan path even
+// when the window shape admits incremental maintenance — the reference
+// semantics and the baseline arm of the incremental benchmarks.
+func (q *Query) Recompute() *Query {
+	return q.with(func(c *Query) { c.recompute = true })
+}
+
+// EmitWorkers bounds the incremental group aggregate's per-group emission
+// worker pool (0 = GOMAXPROCS, 1 = sequential); output stays in group-name
+// order regardless.
+func (q *Query) EmitWorkers(n int) *Query {
+	return q.with(func(c *Query) { c.workers = n })
+}
+
 // Sum materializes the pending Window/DedupLatest/GroupBy clauses into an
 // aggregation box summing the named uncertain attribute. With a GroupBy it
 // compiles to the probabilistic GROUP BY box; without one, to a plain
@@ -113,20 +130,26 @@ func (q *Query) Sum(attr string, strat core.Strategy, opts core.AggOptions) *Que
 		panic("uop: Sum requires a preceding Window")
 	}
 	win, dedup, member := *q.win, q.dedup, q.member
+	recompute, workers := q.recompute, q.workers
 	if member == nil && dedup != "" {
 		panic("uop: DedupLatest without GroupBy is not supported")
 	}
 	s := q.stage(func() stream.Operator {
 		if member == nil {
+			if recompute {
+				return core.NewSumRescanOp(fmt.Sprintf("Σ(%s)", attr), win, attr, strat, opts)
+			}
 			return core.NewSumOp(fmt.Sprintf("Σ(%s)", attr), win, attr, strat, opts)
 		}
 		return UGroupWindow(fmt.Sprintf("γΣ(%s)", attr), core.GroupSumOpConfig{
 			Window: win, DedupKey: dedup, Attr: attr,
 			Member: member, Strategy: strat, Agg: opts,
+			Recompute: recompute, Workers: workers,
 		})
 	})
 	s.aggAttr = attr
 	s.win, s.dedup, s.member = nil, "", nil // clauses consumed
+	s.recompute, s.workers = false, 0
 	return s
 }
 
@@ -181,6 +204,16 @@ type Compiled struct {
 	Graph   *stream.Graph
 	sink    *stream.Collect
 	sources map[string]*stream.Box
+	// entry maps each source to its injection point. Single-consumer
+	// sources inject directly into the consumer box: the named source box
+	// only earns its dispatch cost as a fan-out point (a join reading one
+	// stream on both ports), and queries push every tuple through it.
+	entry map[string]srcEntry
+}
+
+type srcEntry struct {
+	box  *stream.Box
+	port int
 }
 
 // Compile builds the dataflow graph for the query chain.
@@ -194,6 +227,14 @@ func (q *Query) Compile() *Compiled {
 	top := q.build(g, c.sources, memo)
 	sb := g.AddBox(c.sink)
 	g.Connect(top, sb, 0)
+	c.entry = make(map[string]srcEntry, len(c.sources))
+	for name, b := range c.sources {
+		if to, port, ok := b.SoleConsumer(); ok {
+			c.entry[name] = srcEntry{to, port}
+		} else {
+			c.entry[name] = srcEntry{b, 0}
+		}
+	}
 	return c
 }
 
@@ -227,28 +268,38 @@ func (q *Query) build(g *stream.Graph, sources map[string]*stream.Box, memo map[
 	return b
 }
 
-// srcBox resolves a source name; "" selects the sole source of
-// single-source queries.
-func (c *Compiled) srcBox(name string) *stream.Box {
+// srcEntry resolves a source name to its injection point; "" selects the
+// sole source of single-source queries.
+func (c *Compiled) srcEntry(name string) srcEntry {
 	if name == "" {
-		if len(c.sources) != 1 {
-			panic(fmt.Sprintf("uop: query has %d sources, name one explicitly", len(c.sources)))
+		if len(c.entry) != 1 {
+			panic(fmt.Sprintf("uop: query has %d sources, name one explicitly", len(c.entry)))
 		}
-		for _, b := range c.sources {
-			return b
+		for _, e := range c.entry {
+			return e
 		}
 	}
-	b, ok := c.sources[name]
+	e, ok := c.entry[name]
 	if !ok {
 		panic(fmt.Sprintf("uop: unknown source %q", name))
 	}
-	return b
+	return e
 }
 
 // Push injects one uncertain tuple synchronously; processing cascades
 // depth-first through the diagram.
 func (c *Compiled) Push(source string, u *core.UTuple) {
-	c.Graph.Push(c.srcBox(source), 0, core.Wrap(u))
+	e := c.srcEntry(source)
+	c.Graph.Push(e.box, e.port, core.Wrap(u))
+}
+
+// PushTuple injects an already-wrapped carrier tuple (core.Wrap) — for
+// feeders that wrap once and replay, avoiding a fresh carrier per push.
+// Operators treat input tuples as immutable, so the same wrapped stream can
+// be replayed through multiple compiled graphs.
+func (c *Compiled) PushTuple(source string, t *stream.Tuple) {
+	e := c.srcEntry(source)
+	c.Graph.Push(e.box, e.port, t)
 }
 
 // Results drains and returns the tuples the sink has collected so far —
@@ -274,7 +325,8 @@ func (c *Compiled) Close() []*stream.Tuple {
 func (c *Compiled) RunChan(buffer int, feed func(Inject)) []*stream.Tuple {
 	c.Graph.RunChan(buffer, func(inject func(*stream.Box, int, *stream.Tuple)) {
 		feed(func(source string, u *core.UTuple) {
-			inject(c.srcBox(source), 0, core.Wrap(u))
+			e := c.srcEntry(source)
+			inject(e.box, e.port, core.Wrap(u))
 		})
 	})
 	return c.Results()
