@@ -1,5 +1,5 @@
 // Package repro's root benchmark suite regenerates the performance side of
-// every table and figure in the paper (see DESIGN.md §3 for the experiment
+// every table and figure in the paper (see DESIGN.md §4 for the experiment
 // index and EXPERIMENTS.md for paper-vs-measured numbers):
 //
 //	BenchmarkTable1AveragingSweep  — Table 1 (moment generation + detection per size)
@@ -356,6 +356,65 @@ func BenchmarkSlidingWindowIncremental(b *testing.B) {
 				b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
 			})
 		}
+	}
+}
+
+// BenchmarkQ1Sharded is the shard-parallel headline: the compiled Q1
+// diagram on a 3000-tag trace, tumbling Range 5 s, with the keyed group
+// aggregate either as one box (the single-goroutine baseline, under Push
+// and under the channel executor) or as P data-parallel shard instances
+// behind the Partition/Merge rewrite. The per-tuple heavy work — window
+// dedup, membership evaluation, Bernoulli gating, moment extraction — runs
+// inside the shards; the merge only refolds cached cumulants, so on a
+// multi-core host throughput scales with shards until the partitioner or
+// merge saturates a core. tuples/s is the comparable metric; interpret
+// scaling against GOMAXPROCS (a single-core host serializes the shards and
+// shows only the protocol overhead).
+func BenchmarkQ1Sharded(b *testing.B) {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 3000, Seed: 51, MoveProb: -1})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{Events: 1500, Seed: 52})
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: 53,
+	})
+	// Pre-build and pre-wrap the tuple stream once (timestamps compressed 8×
+	// as in BenchmarkSlidingWindowIncremental: window cost is tuples per
+	// window, not wall time).
+	var tuples []*stream.Tuple
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			lt.T /= 8
+			tuples = append(tuples, core.Wrap(uop.LocationUTuple(lt, w)))
+		}
+	}
+	mkCfg := func(shards int) uop.Q1Config {
+		return uop.Q1Config{
+			WindowMS: 5 * stream.Second, ThresholdLbs: 200, AreaFt: 10,
+			Strategy: core.CFApprox, MinAlertProb: 0.5, Shards: shards,
+		}
+	}
+	run := func(b *testing.B, cfg uop.Q1Config, chanBuf int) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := uop.BuildQ1(cfg).Compile()
+			if chanBuf > 0 {
+				c.RunChanTuples(chanBuf, func(inject func(string, *stream.Tuple)) {
+					for _, t := range tuples {
+						inject("locations", t)
+					}
+				})
+			} else {
+				for _, t := range tuples {
+					c.PushTuple("locations", t)
+				}
+				c.Close()
+			}
+		}
+		b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+	}
+	b.Run("push", func(b *testing.B) { run(b, mkCfg(0), 0) })
+	b.Run("chan-shards=0", func(b *testing.B) { run(b, mkCfg(0), 256) })
+	for _, p := range []int{1, 2, 4, 7} {
+		b.Run(fmt.Sprintf("chan-shards=%d", p), func(b *testing.B) { run(b, mkCfg(p), 256) })
 	}
 }
 

@@ -98,11 +98,11 @@ func printScalability() {
 }
 
 func printQueries() {
-	fmt.Println("Compiled queries (§2.1 on the §3 engine): Q1/Q2 as box-arrow diagrams, sync vs channel-parallel")
-	fmt.Println("Query | Mode | Alerts | Input Tuples | Wall (ms) | Tuples/s")
+	fmt.Println("Compiled queries (§2.1 on the §3 engine): Q1/Q2 as box-arrow diagrams — sync, channel-parallel, and shard-parallel (chan/P)")
+	fmt.Println("Query | Mode    | Alerts | Input Tuples | Wall (ms) | Tuples/s")
 	rows := experiments.RunQueries(experiments.DefaultQueriesConfig())
 	for _, r := range rows {
-		fmt.Printf("%-5s | %-4s | %6d | %12d | %9.1f | %8.0f\n",
+		fmt.Printf("%-5s | %-7s | %6d | %12d | %9.1f | %8.0f\n",
 			r.Query, r.Mode, r.Alerts, r.InputTuples, r.WallMS, r.TuplesPerS)
 	}
 }

@@ -8,6 +8,8 @@ package main
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 
 	"repro/internal/dist"
 	"repro/internal/rfid"
@@ -65,16 +67,41 @@ func main() {
 		hotSpot.Pos.X, hotSpot.Pos.Y, hotSpot.ID)
 
 	// The query compiles to a two-source diagram (certain flammability
-	// filter ⋈ uncertain hot filter) and runs on the channel-parallel
-	// executor: one goroutine per box.
+	// filter ⋈ uncertain hot filter) and runs shard-parallel on the channel
+	// executor: both filter stages replicate round-robin and the join runs
+	// as one instance per CPU (port 0 round-robin, port 1 broadcast), with
+	// one goroutine per box.
 	cfg := uop.Q2Config{
 		RangeMS:       3 * stream.Second,
 		TempThreshold: 60,
 		LocTolFt:      6,
 		MinProb:       0.10,
+		Shards:        runtime.NumCPU(),
 	}
-	fmt.Printf("\ncompiled Q2 diagram:\n%s", uop.BuildQ2(w, cfg).Compile().Describe())
-	alerts := uop.RunQ2Chan(locations, temps, w, cfg, 64)
+	compiled := uop.BuildQ2(w, cfg).Compile()
+	fmt.Printf("\ncompiled Q2 diagram (%d shards):\n%s", cfg.Shards, compiled.Describe())
+	feed := func(inject uop.Inject) {
+		var i, j int
+		for i < len(locations) || j < len(temps) {
+			if j >= len(temps) || (i < len(locations) && locations[i].T <= temps[j].TS) {
+				inject("locations", uop.LocationUTuple(locations[i], w))
+				i++
+			} else {
+				inject("temps", uop.TempUTuple(temps[j]))
+				j++
+			}
+		}
+	}
+	alerts := uop.Q2AlertsOf(compiled.RunChan(64, feed))
+
+	// Per-box traffic, shard instances included — the counters are atomics,
+	// so they are also readable while the graph is running.
+	fmt.Println("\nper-box stats (in -> out):")
+	for _, b := range compiled.Graph.Boxes() {
+		st := b.Stats()
+		pad := strings.Repeat(" ", max(1, 34-len([]rune(b.Op.Name()))))
+		fmt.Printf("  %s%s%7d -> %7d\n", b.Op.Name(), pad, st.In, st.Out)
+	}
 
 	// Aggregate alerts per tag (the same pair can match in many windows).
 	best := map[int64]uop.Q2Alert{}

@@ -132,6 +132,11 @@ func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Memb
 // cfg.Recompute pins the rescan path. Both paths produce byte-identical
 // output on the same input (equivalence tests pin this).
 func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	return &groupSumOp{Operator: newGroupSumInner(name, cfg), cfg: cfg}
+}
+
+// newGroupSumInner builds the unsharded realization of the group-sum box.
+func newGroupSumInner(name string, cfg GroupSumOpConfig) stream.Operator {
 	if cfg.Window.Slide > 0 && !cfg.Recompute {
 		return newIncGroupSumOp(name, cfg)
 	}
@@ -159,19 +164,35 @@ func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
 }
 
 // dedupLatest keeps, per certain key, only the latest tuple (later arrival
-// wins timestamp ties), preserving arrival order of the survivors.
+// wins timestamp ties), preserving arrival order of the survivors. Tuples
+// missing the key are never deduplicated: each one survives (and, in the
+// sharded plan, routes round-robin rather than panicking the partitioner).
+// dedupLatestTuples (shard.go) applies the same algorithm to carrier
+// tuples; both delegate to dedupLatestBy so the sharded and unsharded plans
+// can never drift apart.
 func dedupLatest(us []*UTuple, key string) []*UTuple {
-	latest := make(map[int64]*UTuple, len(us))
-	for _, u := range us {
+	return dedupLatestBy(us, key, func(u *UTuple) *UTuple { return u })
+}
+
+// dedupLatestBy is the one latest-wins dedup implementation, generic over
+// the element's UTuple accessor.
+func dedupLatestBy[T comparable](xs []T, key string, utuple func(T) *UTuple) []T {
+	latest := make(map[int64]T, len(xs))
+	for _, x := range xs {
+		u := utuple(x)
+		if !u.HasKey(key) {
+			continue
+		}
 		k := u.Key(key)
-		if cur, ok := latest[k]; !ok || u.TS >= cur.TS {
-			latest[k] = u
+		if cur, ok := latest[k]; !ok || u.TS >= utuple(cur).TS {
+			latest[k] = x
 		}
 	}
-	out := make([]*UTuple, 0, len(latest))
-	for _, u := range us {
-		if latest[u.Key(key)] == u {
-			out = append(out, u)
+	out := make([]T, 0, len(latest))
+	for _, x := range xs {
+		u := utuple(x)
+		if !u.HasKey(key) || latest[u.Key(key)] == x {
+			out = append(out, x)
 		}
 	}
 	return out

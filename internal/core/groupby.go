@@ -66,21 +66,31 @@ func GroupSum(tuples []*UTuple, attr string, member Membership, strat Strategy, 
 		cs := groups[g]
 		ds := make([]dist.Dist, len(cs))
 		parents := make([]*UTuple, len(cs))
-		var ts stream.Time
 		for i, c := range cs {
 			ds[i] = c.d
 			parents[i] = c.u
-			if c.u.TS > ts {
-				ts = c.u.TS
-			}
 		}
-		sum := Sum(ds, strat, opts)
-		tup := Derive(ts, []string{attr}, []dist.Dist{sum}, parents...)
-		tup.Exist = 1
-		tup.SetAttr("group", dist.PointMass{V: 0}) // marker; group name in result
-		out = append(out, GroupResult{Group: g, TS: ts, Dist: sum, Tuple: tup})
+		out = append(out, buildGroupResult(g, attr, ds, parents, strat, opts))
 	}
 	return out
+}
+
+// buildGroupResult derives one group's aggregate from its gated
+// contributions in insertion order — shared by the batch GroupSum and the
+// shard-merge finalizer so both produce bit-identical results by
+// construction.
+func buildGroupResult(g, attr string, ds []dist.Dist, parents []*UTuple, strat Strategy, opts AggOptions) GroupResult {
+	var ts stream.Time
+	for _, p := range parents {
+		if p.TS > ts {
+			ts = p.TS
+		}
+	}
+	sum := Sum(ds, strat, opts)
+	tup := Derive(ts, []string{attr}, []dist.Dist{sum}, parents...)
+	tup.Exist = 1
+	tup.SetAttr("group", dist.PointMass{V: 0}) // marker; group name in result
+	return GroupResult{Group: g, TS: ts, Dist: sum, Tuple: tup}
 }
 
 // Having filters group results by P(aggregate > threshold) >= minProb,

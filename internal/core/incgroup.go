@@ -247,8 +247,8 @@ func (b *incGroupSum) admit(u *UTuple) {
 	seq := b.recBase + uint64(len(b.recs))
 	b.recs = append(b.recs, tupleRec{tupID: u.ID, u: u})
 	r := &b.recs[len(b.recs)-1]
-	if b.cfg.DedupKey == "" {
-		return
+	if b.cfg.DedupKey == "" || !u.HasKey(b.cfg.DedupKey) {
+		return // keyless tuples are never deduplicated (mirrors dedupLatest)
 	}
 	key := u.Key(b.cfg.DedupKey)
 	r.key = key
@@ -339,34 +339,45 @@ func (b *incGroupSum) emitGroups(end stream.Time, emit stream.Emit) {
 			workers = 1
 		}
 	}
-	if workers > len(b.names) {
-		workers = len(b.names)
-	}
-	if workers <= 1 {
-		for i, g := range b.names {
-			outs[i] = b.buildGroup(g, end)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(b.names) {
-						return
-					}
-					outs[i] = b.buildGroup(b.names[i], end)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	runPool(workers, len(b.names), func(i int) {
+		outs[i] = b.buildGroup(b.names[i], end)
+	})
 	for _, t := range outs {
 		emit(t)
 	}
+}
+
+// runPool runs fn(0..n-1) across the given number of workers, claiming
+// indexes off an atomic counter; workers <= 1 runs inline. Each index is
+// claimed by exactly one worker, so fn may write disjoint slots of a shared
+// slice without locking. Shared by the incremental box's per-group emission
+// and the shard merge's finalize.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // buildGroup assembles one group's output tuple from the cached (or just

@@ -122,7 +122,7 @@ func TestIncGroupSumDedupEvictionInterplay(t *testing.T) {
 	}
 	us := []*UTuple{
 		mkTuple(0, 1, 10),
-		mkTuple(500, 1, 20),   // replaces the first reading in every shared window
+		mkTuple(500, 1, 20), // replaces the first reading in every shared window
 		mkTuple(900, 2, 7),
 		mkTuple(2500, 1, 30),  // replaces again in later windows
 		mkTuple(4100, 3, 100), // plain new tag

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -20,6 +22,8 @@ type QueriesConfig struct {
 	Particles int
 	// Buffer is the channel executor's per-arrow buffer.
 	Buffer int
+	// Shards sizes the shard-parallel arm (0 = one per CPU).
+	Shards int
 	Seed   int64
 }
 
@@ -97,5 +101,19 @@ func RunQueries(cfg QueriesConfig) []QueriesRow {
 	q2Inputs := len(lts) + len(temps)
 	measure("Q2", "push", q2Inputs, func() int { return len(uop.RunQ2(lts, temps, w, q2)) })
 	measure("Q2", "chan", q2Inputs, func() int { return len(uop.RunQ2Chan(lts, temps, w, q2, cfg.Buffer)) })
+	// The shard-parallel plans: same queries, keyed/round-robin partitioned
+	// across one shard instance per CPU. Alert counts must match the
+	// single-instance plans exactly (the merge reunifies deterministically).
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	sq1, sq2 := q1, q2
+	sq1.Shards, sq2.Shards = shards, shards
+	// ASCII mode tag: cmd/repro pads table cells with %-7s, which counts
+	// bytes, so a multi-byte rune would skew the column.
+	mode := fmt.Sprintf("chan/%d", shards)
+	measure("Q1", mode, len(lts), func() int { return len(uop.RunQ1Chan(lts, w, sq1, cfg.Buffer)) })
+	measure("Q2", mode, q2Inputs, func() int { return len(uop.RunQ2Chan(lts, temps, w, sq2, cfg.Buffer)) })
 	return rows
 }

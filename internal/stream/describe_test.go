@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+)
+
+// Describe had no direct test before the sharded form existed; these golden
+// strings pin the rendering for the three topology shapes the engine
+// compiles: a linear chain, a diamond, and a sharded stage.
+
+func TestDescribeLinearChain(t *testing.T) {
+	g := NewGraph()
+	a := g.AddBox(NewSelect("src", func(t *Tuple) *Tuple { return t }))
+	b := g.AddBox(NewFilter("keep", func(*Tuple) bool { return true }))
+	c := g.AddBox(&Collect{OpName: "sink"})
+	g.Connect(a, b, 0)
+	g.Connect(b, c, 0)
+	want := strings.TrimLeft(`
+[0] src -> [1]:0
+[1] keep -> [2]:0
+[2] sink ->
+`, "\n")
+	if got := g.Describe(); got != want {
+		t.Errorf("linear Describe mismatch:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestDescribeDiamond(t *testing.T) {
+	g := NewGraph()
+	src := g.AddBox(NewSelect("src", func(t *Tuple) *Tuple { return t }))
+	l := g.AddBox(NewSelect("left", func(t *Tuple) *Tuple { return t }))
+	r := g.AddBox(NewSelect("right", func(t *Tuple) *Tuple { return t }))
+	u := g.AddBox(NewUnion("union"))
+	sink := g.AddBox(&Collect{})
+	g.Connect(src, l, 0)
+	g.Connect(src, r, 0)
+	g.Connect(l, u, 0)
+	g.Connect(r, u, 1)
+	g.Connect(u, sink, 0)
+	want := strings.TrimLeft(`
+[0] src -> [1]:0 [2]:0
+[1] left -> [3]:0
+[2] right -> [3]:1
+[3] union -> [4]:0
+[4] collect ->
+`, "\n")
+	if got := g.Describe(); got != want {
+		t.Errorf("diamond Describe mismatch:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestDescribeShardedStage(t *testing.T) {
+	g := NewGraph()
+	part := g.AddBox(NewPartition("⇉2·f", 2, PartitionSpec{Watermarks: true}))
+	s0 := g.AddBox(NewStatelessShard(NewFilter("f", func(*Tuple) bool { return true }), 0, 2))
+	s1 := g.AddBox(NewStatelessShard(NewFilter("f", func(*Tuple) bool { return true }), 1, 2))
+	m := g.AddBox(NewSeqMerge("⋈seq·f", 2))
+	sink := g.AddBox(&Collect{})
+	g.Connect(part, s0, 0)
+	g.Connect(part, s1, 0)
+	g.Connect(s0, m, 0)
+	g.Connect(s1, m, 1)
+	g.Connect(m, sink, 0)
+	want := strings.TrimLeft(`
+[0] ⇉2·f -> [1]:0 [2]:0
+[1] f#0/2 -> [3]:0
+[2] f#1/2 -> [3]:1
+[3] ⋈seq·f -> [4]:0
+[4] collect ->
+`, "\n")
+	if got := g.Describe(); got != want {
+		t.Errorf("sharded Describe mismatch:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}

@@ -3,16 +3,20 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Box is a node in the dataflow graph: an operator plus its outgoing arrows.
+// Box is a node in the box-arrow diagram: an operator plus its outgoing arrows.
 type Box struct {
 	Op Operator
 
-	id    int
-	outs  []arrow
-	stats Stats
-	emit  Emit // prebuilt synchronous emit; one closure per box, not per tuple
+	id   int
+	outs []arrow
+	// Traffic counters are atomics: under RunChan each box increments its
+	// own counters from its goroutine while Stats() may be read from any
+	// other goroutine (monitoring, examples printing per-shard stats).
+	statIn, statOut atomic.Uint64
+	emit            Emit // prebuilt synchronous emit; one closure per box, not per tuple
 }
 
 // arrow connects a box output to a (box, port) input.
@@ -28,8 +32,11 @@ type Stats struct {
 	In, Out uint64
 }
 
-// Stats returns a copy of the box's counters.
-func (b *Box) Stats() Stats { return b.stats }
+// Stats returns a snapshot of the box's counters; safe to call while the
+// graph is executing on RunChan.
+func (b *Box) Stats() Stats {
+	return Stats{In: b.statIn.Load(), Out: b.statOut.Load()}
+}
 
 // SoleConsumer returns the single (box, port) this box feeds, if it has
 // exactly one outgoing arrow — compilers use it to inject tuples past pure
@@ -39,6 +46,18 @@ func (b *Box) SoleConsumer() (*Box, int, bool) {
 		return b.outs[0].to, b.outs[0].port, true
 	}
 	return nil, 0, false
+}
+
+// deliverTo resolves a routed tuple to a single arrow index, or -1 for
+// broadcast. Partition boxes stamp a route on their outputs; the engine
+// consumes (and clears) it at dispatch so a pass-through shard re-emitting
+// the same tuple over its single arrow is unaffected.
+func (b *Box) deliverTo(out *Tuple) int {
+	if r := int(out.route); r > 0 && r <= len(b.outs) {
+		out.route = 0
+		return r - 1
+	}
+	return -1
 }
 
 // Graph is a box-arrow diagram (§3, Figure 2). Build it with AddBox and
@@ -57,7 +76,12 @@ func NewGraph() *Graph { return &Graph{} }
 func (g *Graph) AddBox(op Operator) *Box {
 	b := &Box{Op: op, id: len(g.boxes)}
 	b.emit = func(out *Tuple) {
-		b.stats.Out++
+		b.statOut.Add(1)
+		if i := b.deliverTo(out); i >= 0 {
+			a := b.outs[i]
+			g.Push(a.to, a.port, out)
+			return
+		}
 		for _, a := range b.outs {
 			g.Push(a.to, a.port, out)
 		}
@@ -65,6 +89,10 @@ func (g *Graph) AddBox(op Operator) *Box {
 	g.boxes = append(g.boxes, b)
 	return b
 }
+
+// Boxes returns the graph's boxes in insertion order (for stats reporting
+// and diagram inspection).
+func (g *Graph) Boxes() []*Box { return g.boxes }
 
 // Connect draws an arrow from box src to input port of box dst.
 func (g *Graph) Connect(src, dst *Box, port int) {
@@ -74,7 +102,7 @@ func (g *Graph) Connect(src, dst *Box, port int) {
 // Push injects a tuple into a box input synchronously; processing cascades
 // depth-first through the arrows.
 func (g *Graph) Push(b *Box, port int, t *Tuple) {
-	b.stats.In++
+	b.statIn.Add(1)
 	b.Op.Process(port, t, b.emit)
 }
 
@@ -99,27 +127,59 @@ func (g *Graph) Describe() string {
 	return s
 }
 
-// portedTuple carries a tuple with its destination port through a channel.
-type portedTuple struct {
+// batch carries a run of tuples for one input port through a channel —
+// amortizing the per-send synchronization that dominated the channel
+// executor when every tuple was its own send.
+type batch struct {
 	port int
-	t    *Tuple
+	ts   []*Tuple
+}
+
+// batchSize caps how many tuples accumulate per destination before the
+// producer flushes the batch downstream.
+const batchSize = 32
+
+// batcher accumulates a producer's pending batches, one per outgoing arrow
+// (or per injection target for the feeder).
+type batcher struct {
+	chans []chan batch
+	// pending[i] is the open batch for arrow/target i.
+	pending [][]*Tuple
+}
+
+func (w *batcher) add(ch chan batch, port, i int, t *Tuple) {
+	w.pending[i] = append(w.pending[i], t)
+	if len(w.pending[i]) >= batchSize {
+		ch <- batch{port: port, ts: w.pending[i]}
+		w.pending[i] = nil // the consumer owns the flushed slice
+	}
 }
 
 // RunChan executes the graph with one goroutine per box communicating over
-// buffered channels; feed supplies source tuples via the returned inject
-// function and must call done() when finished. RunChan blocks until all
-// boxes have flushed.
+// buffered channels of tuple batches; feed supplies source tuples via the
+// returned inject function and must call done() when finished. RunChan
+// blocks until all boxes have flushed.
 //
 // Boxes process their inputs sequentially, so operators need no internal
-// locking — the concurrency is pipeline parallelism across boxes, matching
-// the paper's dataflow architecture.
+// locking — the concurrency is pipeline parallelism across boxes plus, for
+// compiled sharded stages, data parallelism across shard instances of the
+// same operator. Producers batch up to batchSize tuples per destination and
+// flush whenever their input momentarily drains, so batching never holds a
+// tuple while its producer blocks.
+//
+// The feeder's injections batch too, flushing at batchSize and when feed
+// returns — RunChan is a replay executor, not a live-source one. A feeder
+// that trickles tuples in real time would see entry latency of up to
+// batchSize−1 tuples; live streaming callers should use the synchronous
+// Push path (as cmd/rfidtrace -q1 does), which emits alerts as windows
+// close.
 func (g *Graph) RunChan(buffer int, feed func(inject func(b *Box, port int, t *Tuple))) {
 	if buffer <= 0 {
 		buffer = 128
 	}
-	chans := make([]chan portedTuple, len(g.boxes))
+	chans := make([]chan batch, len(g.boxes))
 	for i := range chans {
-		chans[i] = make(chan portedTuple, buffer)
+		chans[i] = make(chan batch, buffer)
 	}
 	// Per-box downstream counters to know when to close inputs: a box's
 	// channel closes when all its upstream producers (plus the feeder) are
@@ -149,26 +209,87 @@ func (g *Graph) RunChan(buffer int, feed func(inject func(b *Box, port int, t *T
 		wg.Add(1)
 		go func(b *Box) {
 			defer wg.Done()
-			emit := func(out *Tuple) {
-				b.stats.Out++
-				for _, a := range b.outs {
-					chans[a.to.id] <- portedTuple{port: a.port, t: out}
+			w := batcher{chans: chans, pending: make([][]*Tuple, len(b.outs))}
+			flushAll := func() {
+				for i, p := range w.pending {
+					if len(p) > 0 {
+						a := b.outs[i]
+						chans[a.to.id] <- batch{port: a.port, ts: p}
+						w.pending[i] = nil
+					}
 				}
 			}
-			for pt := range chans[b.id] {
-				b.stats.In++
-				b.Op.Process(pt.port, pt.t, emit)
+			emit := func(out *Tuple) {
+				b.statOut.Add(1)
+				if i := b.deliverTo(out); i >= 0 {
+					a := b.outs[i]
+					w.add(chans[a.to.id], a.port, i, out)
+					return
+				}
+				for i, a := range b.outs {
+					w.add(chans[a.to.id], a.port, i, out)
+				}
+			}
+			process := func(bt batch) {
+				for _, t := range bt.ts {
+					b.statIn.Add(1)
+					b.Op.Process(bt.port, t, emit)
+				}
+			}
+			in := chans[b.id]
+			open := true
+			for open {
+				bt, ok := <-in
+				if !ok {
+					break
+				}
+				process(bt)
+				// Drain whatever is already queued without blocking, then
+				// flush open batches downstream before the next blocking
+				// receive — a pending tuple must never wait on a producer
+				// that is itself waiting for input.
+			drain:
+				for {
+					select {
+					case bt, ok := <-in:
+						if !ok {
+							open = false
+							break drain
+						}
+						process(bt)
+					default:
+						break drain
+					}
+				}
+				flushAll()
 			}
 			b.Op.Flush(emit)
+			flushAll()
 			for _, a := range b.outs {
 				release(a.to.id)
 			}
 		}(b)
 	}
 
+	fw := batcher{chans: chans, pending: make([][]*Tuple, 0)}
+	// The feeder batches per (box, port) injection target.
+	targets := map[[2]int]int{}
 	feed(func(b *Box, port int, t *Tuple) {
-		chans[b.id] <- portedTuple{port: port, t: t}
+		key := [2]int{b.id, port}
+		i, ok := targets[key]
+		if !ok {
+			i = len(fw.pending)
+			targets[key] = i
+			fw.pending = append(fw.pending, nil)
+		}
+		fw.add(chans[b.id], port, i, t)
 	})
+	for key, i := range targets {
+		if len(fw.pending[i]) > 0 {
+			chans[key[0]] <- batch{port: key[1], ts: fw.pending[i]}
+			fw.pending[i] = nil
+		}
+	}
 	// Feeder finished: release its producer slot on every box. Boxes with
 	// no other upstream close immediately; closure then propagates along
 	// the topology as upstream goroutines drain and flush.

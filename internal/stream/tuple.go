@@ -87,6 +87,15 @@ type Tuple struct {
 	TS     Time
 	Fields []Value
 
+	// Seq is the global arrival sequence stamped by a Partition box on its
+	// private copy of each routed tuple; ordered Merge boxes use it to
+	// restore the pre-partition stream order. Zero outside a shard envelope.
+	Seq uint64
+	// route, when positive, directs the engine to deliver the tuple along
+	// outgoing arrow route−1 only instead of broadcasting to every arrow
+	// (Partition sets it; the engine clears it at dispatch).
+	route int32
+
 	schema *Schema
 }
 

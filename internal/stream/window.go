@@ -34,16 +34,114 @@ func (w WindowSpec) Validate() {
 // semantics: results carry the instant the window closed).
 type WindowFunc func(window []*Tuple, end Time, emit Emit)
 
-// windowOp buffers tuples per the spec and applies fn when windows close.
-type windowOp struct {
-	name string
-	spec WindowSpec
-	fn   WindowFunc
-
-	buf      []*Tuple
+// windowClock is the window-lifecycle decision logic of windowOp, factored
+// out so a Partition box can replicate the exact close sequence of the
+// unsharded operator and broadcast it to shard instances as punctuations.
+// It holds no tuples — only the boundary state — and its decisions depend
+// only on the observed timestamp sequence, which is the same stream the
+// unsharded operator would see.
+type windowClock struct {
+	spec     WindowSpec
 	started  bool
 	winStart Time
+	fill     int  // count-window fill since the last close
+	buffered bool // tumbling: any tuple admitted since the last close
+	maxTS    Time // sliding: max timestamp ever observed (retention bound)
 	lastTS   Time
+}
+
+// observe records one arriving tuple timestamp, appending to ends the
+// window ends that close BEFORE the tuple is admitted, and reporting via
+// post whether a close fires immediately AFTER admitting it (count windows
+// close on their Nth tuple, with that tuple's timestamp as the end).
+func (c *windowClock) observe(ts Time, ends []Time) (pre []Time, post bool) {
+	c.lastTS = ts
+	if c.spec.Count > 0 {
+		c.fill++
+		if c.fill >= c.spec.Count {
+			c.fill = 0
+			return ends, true
+		}
+		return ends, false
+	}
+	if !c.started {
+		c.started = true
+		c.winStart = ts
+		c.maxTS = ts
+	}
+	if ts > c.maxTS {
+		c.maxTS = ts
+	}
+	step := c.spec.Duration
+	if c.spec.Slide > 0 {
+		step = c.spec.Slide
+	}
+	for ts >= c.winStart+step {
+		end := c.winStart + step
+		ends = append(ends, end)
+		c.winStart = end
+		c.buffered = false
+	}
+	c.buffered = true
+	return ends, false
+}
+
+// flushCloses appends the window ends the operator's Flush would close at
+// end-of-stream: the partial tumbling/count window if any tuples are
+// buffered, or — for sliding windows — every slide until the retained
+// buffer drains (the NewWindow Flush drain loop).
+func (c *windowClock) flushCloses(ends []Time) []Time {
+	if c.spec.Count > 0 {
+		if c.fill > 0 {
+			ends = append(ends, c.lastTS)
+			c.fill = 0
+		}
+		return ends
+	}
+	if !c.started {
+		return ends
+	}
+	if c.spec.Slide == 0 {
+		if c.buffered {
+			ends = append(ends, c.winStart+c.spec.Duration)
+			c.buffered = false
+		}
+		return ends
+	}
+	// Sliding: a tuple with timestamp T stays resident until a slide's
+	// eviction horizon end−Duration passes it, so the buffer is non-empty
+	// exactly while maxTS >= winStart+Slide−Duration. Each close in that
+	// range emits a non-empty window (the maxTS tuple survives its own
+	// eviction check); the first all-evicted slide is never emitted —
+	// matching the NewWindow Flush loop tuple for tuple.
+	if !c.buffered {
+		return ends
+	}
+	for c.maxTS >= c.winStart+c.spec.Slide-c.spec.Duration {
+		end := c.winStart + c.spec.Slide
+		ends = append(ends, end)
+		c.winStart = end
+	}
+	c.buffered = false
+	return ends
+}
+
+// windowOp buffers tuples per the spec and applies fn when windows close.
+// Closes are decided by its own windowClock, or — in external mode, used by
+// shard instances behind a Partition box — by close punctuations broadcast
+// from the partitioner, so every shard's window lifecycle matches the
+// unsharded operator's exactly (stragglers land in the same window, flush
+// drains the same slides) even though each shard holds only a subset of the
+// tuples.
+type windowOp struct {
+	name     string
+	spec     WindowSpec
+	fn       WindowFunc
+	external bool
+
+	clock   windowClock
+	buf     []*Tuple
+	scratch []Time
 }
 
 // NewWindow creates a windowing operator. For count windows fn fires every
@@ -52,46 +150,55 @@ type windowOp struct {
 // with the tuples inside [end-Duration, end).
 func NewWindow(name string, spec WindowSpec, fn WindowFunc) Operator {
 	spec.Validate()
-	return &windowOp{name: name, spec: spec, fn: fn}
+	return &windowOp{name: name, spec: spec, fn: fn, clock: windowClock{spec: spec}}
+}
+
+// NewExternalWindow creates a windowing operator whose closes are driven
+// entirely by close punctuations (CloseTuple) instead of its own clock —
+// the shard-instance form used behind a Partition box, which replicates the
+// unsharded close sequence and broadcasts it. Process buffers data tuples;
+// a close punctuation emits the due window and is forwarded downstream
+// (ordered Merge boxes count one forwarded close per shard per window).
+// Flush is a no-op: the partitioner's Flush broadcasts the final closes.
+func NewExternalWindow(name string, spec WindowSpec, fn WindowFunc) Operator {
+	spec.Validate()
+	return &windowOp{name: name, spec: spec, fn: fn, external: true}
 }
 
 func (o *windowOp) Name() string { return o.name }
 
 func (o *windowOp) Process(_ int, t *Tuple, emit Emit) {
-	o.lastTS = t.TS
-	if o.spec.Count > 0 {
-		o.buf = append(o.buf, t)
-		if len(o.buf) >= o.spec.Count {
-			o.fn(o.buf, t.TS, emit)
-			o.buf = o.buf[:0]
-		}
-		return
-	}
-	if !o.started {
-		o.started = true
-		o.winStart = t.TS
-	}
-	if o.spec.Slide == 0 {
-		// Tumbling time window: close every Duration.
-		for t.TS >= o.winStart+o.spec.Duration {
-			end := o.winStart + o.spec.Duration
-			o.fn(o.buf, end, emit)
-			o.buf = o.buf[:0]
-			o.winStart = end
+	if o.external {
+		if c, ok := controlOf(t); ok {
+			if c.kind == ctlClose {
+				o.closeWindow(c.end, emit)
+			}
+			emit(t) // forward the punctuation to the merge
+			return
 		}
 		o.buf = append(o.buf, t)
 		return
 	}
-	// Sliding time window.
-	for t.TS >= o.winStart+o.spec.Slide {
-		end := o.winStart + o.spec.Slide
-		o.emitSlide(end, emit)
-		o.winStart = end
+	var post bool
+	o.scratch, post = o.clock.observe(t.TS, o.scratch[:0])
+	for _, end := range o.scratch {
+		o.closeWindow(end, emit)
 	}
 	o.buf = append(o.buf, t)
+	if post {
+		o.closeWindow(t.TS, emit)
+	}
 }
 
-func (o *windowOp) emitSlide(end Time, emit Emit) {
+// closeWindow emits the window ending at end. Tumbling and count windows
+// hand over the whole buffer; sliding windows evict and emit the retained
+// range [end-Duration, end).
+func (o *windowOp) closeWindow(end Time, emit Emit) {
+	if o.spec.Count > 0 || o.spec.Slide == 0 {
+		o.fn(o.buf, end, emit)
+		o.buf = o.buf[:0]
+		return
+	}
 	lo := end - o.spec.Duration
 	// Evict tuples older than the range.
 	keep := o.buf[:0]
@@ -109,41 +216,12 @@ func (o *windowOp) emitSlide(end Time, emit Emit) {
 }
 
 func (o *windowOp) Flush(emit Emit) {
-	if o.spec.Count > 0 {
-		if len(o.buf) > 0 {
-			o.fn(o.buf, o.lastTS, emit)
-			o.buf = o.buf[:0]
-		}
-		return
+	if o.external {
+		return // the partitioner's Flush broadcasts the final closes
 	}
-	if len(o.buf) > 0 {
-		if o.spec.Slide == 0 {
-			o.fn(o.buf, o.winStart+o.spec.Duration, emit)
-			o.buf = o.buf[:0]
-			return
-		}
-		// Sliding: keep closing slides until the buffer drains, so trailing
-		// tuples spanning several slides appear in every window they belong
-		// to, not just the first. Eviction empties the buffer in at most
-		// ⌈Duration/Slide⌉ iterations; the final all-evicted slide is empty
-		// and is not emitted (no tuple ever arrived past its boundary).
-		for len(o.buf) > 0 {
-			end := o.winStart + o.spec.Slide
-			lo := end - o.spec.Duration
-			keep := o.buf[:0]
-			for _, t := range o.buf {
-				if t.TS >= lo {
-					keep = append(keep, t)
-				}
-			}
-			o.buf = keep
-			if len(o.buf) > 0 {
-				// Every buffered tuple has TS < end (appends happen after
-				// boundary processing), so the surviving buffer is the window.
-				o.fn(o.buf, end, emit)
-			}
-			o.winStart = end
-		}
+	o.scratch = o.clock.flushCloses(o.scratch[:0])
+	for _, end := range o.scratch {
+		o.closeWindow(end, emit)
 	}
 }
 

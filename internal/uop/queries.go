@@ -39,6 +39,12 @@ type Q1Config struct {
 	// Workers bounds the incremental path's per-group emission pool
 	// (0 = GOMAXPROCS, 1 = sequential).
 	Workers int
+	// Shards >= 1 compiles the diagram shard-parallel: the keyed group
+	// aggregate runs as that many data-parallel instances (hash of the tag
+	// dedup key) and the stateless stages replicate round-robin, with
+	// deterministic merges keeping alerts byte-identical to the unsharded
+	// plan. 0 disables the rewrite.
+	Shards int
 	// ThresholdLbs is the Having threshold (paper: 200 pounds).
 	ThresholdLbs float64
 	// MinAreaMass prunes negligible area memberships (default 0.01).
@@ -105,6 +111,7 @@ func q1Member(cfg Q1Config) core.Membership {
 func BuildQ1(cfg Q1Config) *Query {
 	cfg = cfg.withDefaults()
 	q := From("locations").
+		Shards(cfg.Shards).
 		WindowSpec(stream.WindowSpec{Duration: cfg.WindowMS, Slide: cfg.SlideMS}).
 		DedupLatest("tag").
 		GroupBy(q1Member(cfg))
@@ -179,6 +186,10 @@ type Q2Config struct {
 	LocTolFt float64
 	// MinProb drops alerts with existence below this.
 	MinProb float64
+	// Shards >= 1 compiles the diagram shard-parallel: both filter stages
+	// replicate round-robin and the join runs as that many instances (port
+	// 0 round-robin, port 1 broadcast). 0 disables the rewrite.
+	Shards int
 }
 
 func (c Q2Config) withDefaults() Q2Config {
@@ -215,10 +226,10 @@ type Q2Alert struct {
 // uncertain hot filter over "temps".
 func BuildQ2(w *rfid.Warehouse, cfg Q2Config) *Query {
 	cfg = cfg.withDefaults()
-	flam := From("locations").Where("σ(type=flammable)", func(u *core.UTuple) bool {
+	flam := From("locations").Shards(cfg.Shards).Where("σ(type=flammable)", func(u *core.UTuple) bool {
 		return w.ObjectType(u.Key("tag")) == "flammable"
 	})
-	hot := From("temps").WhereGreater("temp", cfg.TempThreshold, cfg.MinProb)
+	hot := From("temps").Shards(cfg.Shards).WhereGreater("temp", cfg.TempThreshold, cfg.MinProb)
 	return flam.JoinProb(hot, cfg.RangeMS, []string{"x", "y"}, cfg.LocTolFt, cfg.MinProb)
 }
 
@@ -237,6 +248,11 @@ func q2Alerts(ts []*stream.Tuple) []Q2Alert {
 	sortQ2Alerts(out)
 	return out
 }
+
+// Q2AlertsOf converts collected Q2 join output tuples into the reference
+// alert shape, canonically sorted — for callers driving compiled diagrams
+// directly (e.g. to read per-box stats afterwards).
+func Q2AlertsOf(ts []*stream.Tuple) []Q2Alert { return q2Alerts(ts) }
 
 // sortQ2Alerts orders alerts deterministically by (time, tag, probability,
 // conditional temperature).

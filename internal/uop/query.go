@@ -32,6 +32,10 @@ type Query struct {
 	member    core.Membership
 	recompute bool
 	workers   int
+	// shards, when >= 1, is inherited by every downstream stage: Compile
+	// rewrites each eligible box into that many shard instances behind a
+	// Partition/Merge pair (see the build cases for eligibility).
+	shards int
 	// aggAttr is the attribute of the most recent aggregate, for Having.
 	aggAttr string
 }
@@ -61,8 +65,21 @@ func (q *Query) stage(makeOp func() stream.Operator) *Query {
 	return &Query{
 		parent: q, makeOp: makeOp, aggAttr: q.aggAttr,
 		win: q.win, dedup: q.dedup, member: q.member,
-		recompute: q.recompute, workers: q.workers,
+		recompute: q.recompute, workers: q.workers, shards: q.shards,
 	}
+}
+
+// Shards makes this and every downstream stage compile shard-parallel: each
+// eligible box becomes n shard instances behind a stream.Partition box
+// (hash of the operator's dedup/group key; round-robin for stateless
+// stages; round-robin + broadcast for the probabilistic join's two ports)
+// and a merge box that reunifies shard outputs deterministically, so alerts
+// stay byte-identical to the unsharded plan. n <= 0 disables the rewrite;
+// n == 1 still builds the sharded topology (useful for exercising the
+// protocol). Stateful boxes without a declared partition key (the ungrouped
+// windowed SUM) stay single-instance.
+func (q *Query) Shards(n int) *Query {
+	return q.with(func(c *Query) { c.shards = n })
 }
 
 // Select appends a projection/extension stage.
@@ -186,7 +203,7 @@ func (q *Query) JoinProb(r *Query, rangeMS stream.Time, locAttrs []string, tol, 
 	}
 	attrs := append([]string(nil), locAttrs...)
 	return &Query{
-		left: q, right: r,
+		left: q, right: r, shards: q.shards,
 		makeOp: func() stream.Operator {
 			return UJoinProb(fmt.Sprintf("⋈(loc_equals±%g)", tol), rangeMS, attrs, tol, minProb)
 		},
@@ -240,6 +257,21 @@ func (q *Query) Compile() *Compiled {
 
 // build recursively adds this node's boxes to the graph (parents first, so
 // Close flushes in topological order) and returns the node's box.
+//
+// With Shards(n >= 1) set on a node, the box is rewritten shard-parallel:
+//
+//   - operators declaring a partition key (core.PartitionedOp — the
+//     window+dedup+group-sum box, whose per-key state never crosses keys)
+//     expand to their ShardPlan: key-hash Partition, n shard instances, and
+//     the operator's deterministic merge;
+//   - stateless boxes (stream.StatelessOp — selects/filters) replicate
+//     round-robin behind a sequence-ordered merge that restores the
+//     pre-partition stream order exactly;
+//   - the probabilistic window join round-robins port 0 and broadcasts
+//     port 1 (loc_equals has no certain equi-key, so every pair must still
+//     meet in exactly one shard; a certain-key equi-join would hash both
+//     ports), reunified by a union;
+//   - everything else (sources, keyless stateful boxes) stays single.
 func (q *Query) build(g *stream.Graph, sources map[string]*stream.Box, memo map[*Query]*stream.Box) *stream.Box {
 	if b, ok := memo[q]; ok {
 		return b
@@ -256,16 +288,96 @@ func (q *Query) build(g *stream.Graph, sources map[string]*stream.Box, memo map[
 	case q.left != nil:
 		lb := q.left.build(g, sources, memo)
 		rb := q.right.build(g, sources, memo)
+		if q.shards >= 1 {
+			b = buildShardedJoin(g, lb, rb, q.makeOp, q.shards)
+			break
+		}
 		b = g.AddBox(q.makeOp())
 		g.Connect(lb, b, 0)
 		g.Connect(rb, b, 1)
 	default:
 		pb := q.parent.build(g, sources, memo)
-		b = g.AddBox(q.makeOp())
+		op := q.makeOp()
+		if q.shards >= 1 {
+			if po, ok := op.(core.PartitionedOp); ok {
+				b = wireShardPlan(g, pb, op.Name(), po.Shard(q.shards), q.shards)
+				break
+			}
+			if _, ok := op.(stream.StatelessOp); ok {
+				b = buildShardedStateless(g, pb, op, q.makeOp, q.shards)
+				break
+			}
+		}
+		b = g.AddBox(op)
 		g.Connect(pb, b, 0)
 	}
 	memo[q] = b
 	return b
+}
+
+// wireShardPlan adds a ShardPlan's boxes — Partition, shards, merge — and
+// returns the merge box as the stage's output.
+func wireShardPlan(g *stream.Graph, pb *stream.Box, name string, plan stream.ShardPlan, p int) *stream.Box {
+	part := g.AddBox(stream.NewPartition(fmt.Sprintf("⇉%d·%s", p, name), p, plan.Partition))
+	g.Connect(pb, part, 0)
+	shardBoxes := make([]*stream.Box, len(plan.Shards))
+	for i, s := range plan.Shards {
+		shardBoxes[i] = g.AddBox(s)
+		g.Connect(part, shardBoxes[i], 0)
+	}
+	mb := g.AddBox(plan.Merge)
+	for i, sb := range shardBoxes {
+		g.Connect(sb, mb, i)
+	}
+	return mb
+}
+
+// buildShardedStateless replicates a stateless box round-robin: the
+// partitioner stamps arrival sequences and broadcasts watermarks; the
+// sequence-ordered merge re-emits outputs in exact pre-partition order
+// (filter drops leave holes the watermarks step over).
+func buildShardedStateless(g *stream.Graph, pb *stream.Box, first stream.Operator, makeOp func() stream.Operator, p int) *stream.Box {
+	name := first.Name()
+	plan := stream.ShardPlan{
+		Partition: stream.PartitionSpec{Watermarks: true},
+		Merge:     stream.NewSeqMerge("⋈seq·"+name, p),
+	}
+	for i := 0; i < p; i++ {
+		op := first
+		if i > 0 {
+			op = makeOp()
+		}
+		plan.Shards = append(plan.Shards, stream.NewStatelessShard(op, i, p))
+	}
+	return wireShardPlan(g, pb, name, plan, p)
+}
+
+// buildShardedJoin shards a two-port join: port 0 partitions round-robin,
+// port 1 broadcasts (each left tuple meets the full right stream in exactly
+// one shard, so the match set — and every match's probability arithmetic —
+// is identical to the unsharded join); a union reunifies. Emission order
+// across shards follows arrival interleaving, exactly as the unsharded
+// join's does under channel execution; consumers canonicalize (q2Alerts
+// sorts) in both cases.
+func buildShardedJoin(g *stream.Graph, lb, rb *stream.Box, makeOp func() stream.Operator, p int) *stream.Box {
+	first := makeOp()
+	name := first.Name()
+	part := g.AddBox(stream.NewPartition(fmt.Sprintf("⇉%d·%s", p, name), p, stream.PartitionSpec{}))
+	g.Connect(lb, part, 0)
+	bcast := g.AddBox(stream.NewUnion("⇶·" + name))
+	g.Connect(rb, bcast, 0)
+	mb := g.AddBox(stream.NewUnion("⋃·" + name))
+	for i := 0; i < p; i++ {
+		op := first
+		if i > 0 {
+			op = makeOp()
+		}
+		sb := g.AddBox(op)
+		g.Connect(part, sb, 0)
+		g.Connect(bcast, sb, 1)
+		g.Connect(sb, mb, i)
+	}
+	return mb
 }
 
 // srcEntry resolves a source name to its injection point; "" selects the
@@ -327,6 +439,19 @@ func (c *Compiled) RunChan(buffer int, feed func(Inject)) []*stream.Tuple {
 		feed(func(source string, u *core.UTuple) {
 			e := c.srcEntry(source)
 			inject(e.box, e.port, core.Wrap(u))
+		})
+	})
+	return c.Results()
+}
+
+// RunChanTuples is RunChan for feeders that replay pre-wrapped carrier
+// tuples (the channel-parallel form of PushTuple): wrap once, replay
+// through many compiled graphs.
+func (c *Compiled) RunChanTuples(buffer int, feed func(inject func(source string, t *stream.Tuple))) []*stream.Tuple {
+	c.Graph.RunChan(buffer, func(inject func(*stream.Box, int, *stream.Tuple)) {
+		feed(func(source string, t *stream.Tuple) {
+			e := c.srcEntry(source)
+			inject(e.box, e.port, t)
 		})
 	})
 	return c.Results()

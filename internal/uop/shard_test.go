@@ -1,0 +1,283 @@
+package uop
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/rfid"
+	"repro/internal/stream"
+)
+
+// The tests in this file pin the shard-parallel acceptance criterion:
+// compiling with Shards(P) must leave the alert stream byte-identical to
+// the unsharded plan — same windows, same dedup winners, same group folds,
+// same order — under both the synchronous Push path and the channel
+// executor, for P ∈ {1, 2, 4, 7}.
+
+var shardCounts = []int{1, 2, 4, 7}
+
+func q1ShardCfg() Q1Config {
+	return Q1Config{
+		WindowMS:     5 * stream.Second,
+		ThresholdLbs: 120,
+		AreaFt:       10,
+		Strategy:     core.CFApprox,
+		MinAlertProb: 0.3,
+	}
+}
+
+func TestQ1ShardedMatchesUnsharded(t *testing.T) {
+	lts, w := seededTrace(t, 60, 400, 0)
+	cfg := q1ShardCfg()
+	ref := formatQ1(RunQ1(lts, w, cfg))
+	if ref == "" {
+		t.Fatal("reference produced no alerts; test inputs too light")
+	}
+	if got := formatQ1(RunQ1Chan(lts, w, cfg, 64)); got != ref {
+		t.Fatalf("unsharded chan diverges from unsharded sync:\nref:\n%s\ngot:\n%s", ref, got)
+	}
+	for _, p := range shardCounts {
+		scfg := cfg
+		scfg.Shards = p
+		if got := formatQ1(RunQ1(lts, w, scfg)); got != ref {
+			t.Errorf("sharded sync P=%d diverges:\nref:\n%s\ngot:\n%s", p, ref, got)
+		}
+		for _, buffer := range []int{1, 64} {
+			if got := formatQ1(RunQ1Chan(lts, w, scfg, buffer)); got != ref {
+				t.Errorf("sharded chan P=%d buffer=%d diverges:\nref:\n%s\ngot:\n%s", p, buffer, ref, got)
+			}
+		}
+	}
+}
+
+// TestQ1ShardedSlidingMatchesIncremental pins the sliding-window case:
+// shard instances evaluate slides by per-shard rescan, which must match
+// both the unsharded incremental path and the unsharded recompute path.
+func TestQ1ShardedSlidingMatchesIncremental(t *testing.T) {
+	lts, w := seededTrace(t, 50, 350, 0)
+	cfg := q1ShardCfg()
+	cfg.SlideMS = 1500 * stream.Millisecond
+	ref := formatQ1(RunQ1(lts, w, cfg)) // unsharded incremental
+	if ref == "" {
+		t.Fatal("reference produced no alerts; test inputs too light")
+	}
+	rcfg := cfg
+	rcfg.Recompute = true
+	if got := formatQ1(RunQ1(lts, w, rcfg)); got != ref {
+		t.Fatalf("recompute baseline diverges from incremental:\nref:\n%s\ngot:\n%s", ref, got)
+	}
+	for _, p := range shardCounts {
+		scfg := cfg
+		scfg.Shards = p
+		if got := formatQ1(RunQ1Chan(lts, w, scfg, 32)); got != ref {
+			t.Errorf("sharded sliding P=%d diverges:\nref:\n%s\ngot:\n%s", p, ref, got)
+		}
+	}
+}
+
+// TestQ1ShardedStraggler pins straggler semantics: out-of-timestamp-order
+// tuples must land in the same window sharded as unsharded — the partition
+// broadcasts window closes from the global clock, so a shard that has seen
+// no tuple past a boundary still closes on time.
+func TestQ1ShardedStraggler(t *testing.T) {
+	lts, w := seededTrace(t, 40, 300, 0)
+	// Displace a spread of tuples backwards in time so they arrive after
+	// their window's boundary has passed (and in some cases after tuples of
+	// the same tag that carry later timestamps — the dedup-replace ×
+	// straggler interplay).
+	for i := 7; i < len(lts); i += 11 {
+		lts[i].T -= 6 * stream.Second
+		if lts[i].T < 0 {
+			lts[i].T = 0
+		}
+	}
+	cfg := q1ShardCfg()
+	for _, slide := range []stream.Time{0, 2 * stream.Second} {
+		cfg.SlideMS = slide
+		ref := formatQ1(RunQ1(lts, w, cfg))
+		if ref == "" {
+			t.Fatalf("slide=%d: reference produced no alerts; test inputs too light", slide)
+		}
+		for _, p := range shardCounts {
+			scfg := cfg
+			scfg.Shards = p
+			if got := formatQ1(RunQ1(lts, w, scfg)); got != ref {
+				t.Errorf("slide=%d sharded sync P=%d diverges:\nref:\n%s\ngot:\n%s", slide, p, ref, got)
+			}
+			if got := formatQ1(RunQ1Chan(lts, w, scfg, 16)); got != ref {
+				t.Errorf("slide=%d sharded chan P=%d diverges:\nref:\n%s\ngot:\n%s", slide, p, ref, got)
+			}
+		}
+	}
+}
+
+// TestQ1ShardedHeavyStrategies covers the pooled-strategy merge path (one
+// strategy run per group per window at the merge, including the seeded
+// sampling reproducibility) on a smaller trace.
+func TestQ1ShardedHeavyStrategies(t *testing.T) {
+	lts, w := seededTrace(t, 30, 220, 0)
+	for _, strat := range []core.Strategy{core.CFInvert, core.HistogramSampling} {
+		cfg := q1ShardCfg()
+		cfg.Strategy = strat
+		cfg.Agg = core.AggOptions{Seed: 5}
+		ref := formatQ1(RunQ1(lts, w, cfg))
+		if ref == "" {
+			t.Fatalf("%v: reference produced no alerts", strat)
+		}
+		for _, p := range []int{2, 4} {
+			scfg := cfg
+			scfg.Shards = p
+			if got := formatQ1(RunQ1Chan(lts, w, scfg, 32)); got != ref {
+				t.Errorf("%v sharded P=%d diverges:\nref:\n%s\ngot:\n%s", strat, p, ref, got)
+			}
+		}
+	}
+}
+
+func TestQ2ShardedMatchesUnsharded(t *testing.T) {
+	lts, w := seededTrace(t, 50, 300, 0.4)
+	var hotSpot *rfid.Object
+	for _, o := range w.Objects {
+		if o.Type == "flammable" {
+			hotSpot = o
+			break
+		}
+	}
+	if hotSpot == nil {
+		t.Fatal("no flammable object")
+	}
+	var temps []TempReading
+	for ts := stream.Time(0); ts < 40*stream.Second; ts += 2 * stream.Second {
+		temps = append(temps,
+			TempReading{TS: ts, X: hotSpot.Pos.X, Y: hotSpot.Pos.Y, Temp: dist.NewNormal(78, 5)},
+			TempReading{TS: ts, X: hotSpot.Pos.X + 12, Y: hotSpot.Pos.Y, Temp: dist.NewNormal(24, 3)},
+		)
+	}
+	cfg := Q2Config{RangeMS: 3 * stream.Second, TempThreshold: 60, LocTolFt: 6, MinProb: 0.05}
+	ref := formatQ2(RunQ2(lts, temps, w, cfg))
+	if ref == "" {
+		t.Fatal("reference produced no alerts; test inputs too light")
+	}
+	for _, p := range shardCounts {
+		scfg := cfg
+		scfg.Shards = p
+		if got := formatQ2(RunQ2(lts, temps, w, scfg)); got != ref {
+			t.Errorf("sharded sync P=%d diverges:\nref:\n%s\ngot:\n%s", p, ref, got)
+		}
+		for _, buffer := range []int{1, 64} {
+			if got := formatQ2(RunQ2Chan(lts, temps, w, scfg, buffer)); got != ref {
+				t.Errorf("sharded chan P=%d buffer=%d diverges:\nref:\n%s\ngot:\n%s", p, buffer, ref, got)
+			}
+		}
+	}
+}
+
+// TestQ1ShardedMissingKey: tuples without the dedup key must route
+// deterministically (round-robin fallback), never panic, and never be
+// deduplicated — matching the unsharded plan.
+func TestQ1ShardedMissingKey(t *testing.T) {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 20, Seed: 9, MoveProb: -1})
+	mk := func(ts stream.Time, tag int64, x, y float64) *core.UTuple {
+		u := core.NewUTuple(ts,
+			[]string{"x", "y", "z", "weight"},
+			[]dist.Dist{dist.NewNormal(x, 2), dist.NewNormal(y, 2), dist.PointMass{V: 0}, dist.PointMass{V: 80}})
+		if tag >= 0 {
+			u.SetKey("tag", tag)
+		}
+		return u
+	}
+	feed := func(c *Compiled) {
+		for i := 0; i < 60; i++ {
+			ts := stream.Time(i) * 200 * stream.Millisecond
+			c.Push("locations", mk(ts, int64(i%7), 10+float64(i%3), 12))
+			if i%4 == 0 {
+				c.Push("locations", mk(ts, -1, 14, 12)) // keyless tuple
+			}
+		}
+	}
+	cfg := q1ShardCfg()
+	run := func(shards int) string {
+		c := BuildQ1(Q1Config{
+			WindowMS: cfg.WindowMS, ThresholdLbs: cfg.ThresholdLbs, AreaFt: cfg.AreaFt,
+			Strategy: cfg.Strategy, MinAlertProb: cfg.MinAlertProb, Shards: shards,
+		}).Compile()
+		feed(c)
+		return formatQ1(q1Alerts(c.Close()))
+	}
+	_ = w
+	ref := run(0)
+	if ref == "" {
+		t.Fatal("reference produced no alerts")
+	}
+	for _, p := range shardCounts {
+		if got := run(p); got != ref {
+			t.Errorf("missing-key sharded P=%d diverges:\nref:\n%s\ngot:\n%s", p, ref, got)
+		}
+	}
+}
+
+// TestShardedDescribe pins the rendered sharded diagram: partition box,
+// shard instances, merge, in deterministic wiring order.
+func TestShardedDescribe(t *testing.T) {
+	cfg := q1ShardCfg()
+	cfg.Shards = 2
+	got := BuildQ1(cfg).Compile().Describe()
+	want := strings.TrimLeft(`
+[0] src:locations -> [1]:0
+[1] ⇉2·γΣ(weight) -> [2]:0 [3]:0
+[2] γΣ(weight)#0/2 -> [4]:0
+[3] γΣ(weight)#1/2 -> [4]:1
+[4] merge·γΣ(weight) -> [5]:0
+[5] ⇉2·having(P(weight>120)≥0.3) -> [6]:0 [7]:0
+[6] having(P(weight>120)≥0.3)#0/2 -> [8]:0
+[7] having(P(weight>120)≥0.3)#1/2 -> [8]:1
+[8] ⋈seq·having(P(weight>120)≥0.3) -> [9]:0
+[9] results ->
+`, "\n")
+	if got != want {
+		t.Errorf("sharded Q1 diagram mismatch:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+// TestShardedStatsCount checks conservation through the sharded plan: the
+// partition's routed output equals its input, and the shard instances'
+// inputs sum to the partition's data output plus the broadcast closes.
+func TestShardedStatsCount(t *testing.T) {
+	lts, w := seededTrace(t, 30, 200, 0)
+	cfg := q1ShardCfg()
+	cfg.Shards = 3
+	c := BuildQ1(cfg).Compile()
+	for _, lt := range lts {
+		c.Push("locations", LocationUTuple(lt, w))
+	}
+	c.Close()
+	boxes := c.Graph.Boxes()
+	var part *stream.Box
+	var shardIn uint64
+	for _, b := range boxes {
+		if strings.HasPrefix(b.Op.Name(), "⇉3·γΣ") {
+			part = b
+		}
+		if strings.Contains(b.Op.Name(), "γΣ(weight)#") {
+			shardIn += b.Stats().In
+		}
+	}
+	if part == nil {
+		t.Fatal("partition box not found in\n" + c.Describe())
+	}
+	ps := part.Stats()
+	if ps.In != uint64(len(lts)) {
+		t.Errorf("partition saw %d tuples, want %d", ps.In, len(lts))
+	}
+	if ps.Out < ps.In {
+		t.Errorf("partition emitted %d < routed %d", ps.Out, ps.In)
+	}
+	closes := ps.Out - ps.In // every non-data emission is a broadcast close
+	if want := ps.In + 3*closes; shardIn != want {
+		t.Errorf("shard inputs total %d, want %d (%d data + 3×%d closes)", shardIn, want, ps.In, closes)
+	}
+	_ = fmt.Sprint()
+}
