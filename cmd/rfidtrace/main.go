@@ -5,9 +5,22 @@
 //
 // With -q1, the trace is instead run end to end through the §3 pipeline —
 // T operator inference, then the compiled Q1 box-arrow diagram — and the
-// fire-code alerts stream out as JSON lines as each window closes.
+// fire-code alerts stream out as JSON lines as each window closes. Adding
+// -wire makes every location tuple round-trip through the streamd wire
+// encoding first (distributions summarized to [mean, std]), so the output
+// is the byte-comparable offline reference for a -replay run against a
+// live daemon.
 //
-// Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move] [-q1 [-threshold LBS]]
+// With -replay ADDR, rfidtrace becomes the load generator for cmd/streamd:
+// it subscribes to the daemon's alert stream, replays the same wire tuples
+// over TCP, sends "end" to drain, and prints the received alert lines to
+// stdout (byte-identical to the -q1 -wire offline run when daemon and
+// generator agree on the query parameters). A summary with wire throughput
+// goes to stderr.
+//
+// Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move]
+//
+//	[-q1 [-wire] [-threshold LBS] | -replay ADDR]
 package main
 
 import (
@@ -15,10 +28,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/rfid"
+	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/uop"
 )
@@ -50,7 +66,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	move := flag.Bool("move", false, "enable object movement between shelves")
 	q1 := flag.Bool("q1", false, "run the trace through the compiled Q1 diagram and emit alerts")
-	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds (with -q1)")
+	wire := flag.Bool("wire", false, "with -q1: round-trip tuples through the streamd wire encoding (offline reference for -replay)")
+	replay := flag.String("replay", "", "replay the trace as wire tuples against a streamd daemon at this address")
+	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds (with -q1; a -replay run uses the daemon's -threshold)")
 	flag.Parse()
 
 	moveProb := -1.0
@@ -74,8 +92,16 @@ func main() {
 	defer out.Flush()
 	enc := json.NewEncoder(out)
 
-	if *q1 {
-		streamQ1(w, trace, *seed, *threshold, enc)
+	switch {
+	case *replay != "":
+		if err := replayTrace(w, trace, *seed, *replay, out); err != nil {
+			fmt.Fprintln(os.Stderr, "rfidtrace:", err)
+			out.Flush()
+			os.Exit(1)
+		}
+		return
+	case *q1:
+		streamQ1(w, trace, *seed, *threshold, *wire, enc, out)
 		return
 	}
 
@@ -103,22 +129,70 @@ func main() {
 	}
 }
 
-// streamQ1 pushes T-operator output through the compiled Q1 diagram event
-// by event, emitting each alert as its window closes — the full §3
-// architecture as a streaming CLI.
-func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float64, enc *json.Encoder) {
-	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+// transformer builds the standard T operator for this trace's warehouse.
+func transformer(w *rfid.Warehouse, seed int64) *rfid.Transformer {
+	return rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
 		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: seed + 2,
 	})
-	compiled := uop.BuildQ1(uop.Q1Config{
-		WindowMS:     5 * stream.Second,
-		ThresholdLbs: threshold,
-		AreaFt:       10,
-		Strategy:     core.CFApprox,
-		MinAlertProb: 0.5,
-	}).Compile()
+}
+
+// locMsg encodes one T-operator output as a streamd wire tuple: locations
+// summarized to [mean, std] Gaussians, the registered weight as a certain
+// value, and the tag id as a certain key.
+func locMsg(lt rfid.LocationTuple, w *rfid.Warehouse) server.Msg {
+	return server.Msg{
+		Kind:   server.KindTuple,
+		Source: "locations",
+		T:      int64(lt.T),
+		Keys:   map[string]int64{"tag": lt.TagID},
+		Attrs: map[string]server.Attr{
+			"x":      server.DistAttr(lt.X),
+			"y":      server.DistAttr(lt.Y),
+			"z":      server.DistAttr(lt.Z),
+			"weight": server.PointAttr(w.Weight(lt.TagID)),
+		},
+	}
+}
+
+// q1Plan compiles the Q1 diagram with the shared daemon defaults
+// (server.DefaultQ1Config — the same source streamd's flag defaults come
+// from), so offline references and live replays cannot drift apart.
+func q1Plan(threshold float64) *uop.Compiled {
+	cfg := server.DefaultQ1Config()
+	cfg.ThresholdLbs = threshold
+	return uop.BuildQ1(cfg).Compile()
+}
+
+// streamQ1 pushes T-operator output through the compiled Q1 diagram event
+// by event, emitting each alert as its window closes — the full §3
+// architecture as a streaming CLI. In wire mode each tuple round-trips
+// through the streamd wire encoding first and alerts print as protocol
+// lines, making the output the offline reference a -replay run must match
+// byte for byte.
+func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float64, wire bool, enc *json.Encoder, out *bufio.Writer) {
+	tx := transformer(w, seed)
+	compiled := q1Plan(threshold)
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "rfidtrace:", err)
+		out.Flush()
+		os.Exit(1)
+	}
 	emit := func(ts []*stream.Tuple) {
 		for _, t := range ts {
+			if wire {
+				m, err := server.AlertMsg(t)
+				if err != nil {
+					die(err)
+				}
+				line, err := server.EncodeLine(m)
+				if err != nil {
+					die(err)
+				}
+				if _, err := out.Write(line); err != nil {
+					die(err)
+				}
+				continue
+			}
 			u := core.Unwrap(t)
 			total := u.Attr("weight")
 			if err := enc.Encode(alertJSON{
@@ -128,16 +202,170 @@ func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float6
 				TotalStd:   total.Std(),
 				PViolation: t.Get("p").(float64),
 			}); err != nil {
-				fmt.Fprintln(os.Stderr, "rfidtrace:", err)
-				os.Exit(1)
+				die(err)
 			}
 		}
 	}
+	push := func(lt rfid.LocationTuple) {
+		if wire {
+			u, err := server.ParseTuple(locMsg(lt, w))
+			if err != nil {
+				die(err)
+			}
+			compiled.Push("locations", u)
+			return
+		}
+		compiled.Push("locations", uop.LocationUTuple(lt, w))
+	}
 	for _, ev := range trace.Events {
 		for _, lt := range tx.Process(ev) {
-			compiled.Push("locations", uop.LocationUTuple(lt, w))
+			push(lt)
 		}
 		emit(compiled.Results())
 	}
 	emit(compiled.Close())
+}
+
+// replayTrace drives a live streamd daemon: subscribe on one connection,
+// replay the trace's wire tuples on another, send "end", and print the
+// received alert lines until "done".
+func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, out *bufio.Writer) error {
+	// Subscribe first so no alert can slip out before we listen.
+	subConn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("subscribe dial %s: %w", addr, err)
+	}
+	defer subConn.Close()
+	subR := bufio.NewReader(subConn)
+	if err := writeLine(subConn, server.Msg{Kind: server.KindSub}); err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+	if err := expectOK(subR); err != nil {
+		return fmt.Errorf("subscribe: %w", err)
+	}
+
+	ingest, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("ingest dial %s: %w", addr, err)
+	}
+	defer ingest.Close()
+	ingestW := bufio.NewWriter(ingest)
+	ingestEnc := json.NewEncoder(ingestW)
+
+	// Drain ingest replies concurrently with the send: the server answers
+	// rejected tuples with per-line err messages, and a one-way writer
+	// would deadlock against them once the TCP buffers fill. The channel
+	// delivers the verdict for "end": nil, or the rejection tally.
+	ingestDone := make(chan error, 1)
+	go func() {
+		r := bufio.NewReader(ingest)
+		rejected := 0
+		for {
+			line, err := r.ReadBytes('\n')
+			if err != nil {
+				ingestDone <- fmt.Errorf("ingest replies: %w (after %d rejected tuples)", err, rejected)
+				return
+			}
+			var m server.Msg
+			if err := json.Unmarshal(line, &m); err != nil {
+				ingestDone <- fmt.Errorf("ingest reply %q: %w", line, err)
+				return
+			}
+			switch m.Kind {
+			case server.KindErr:
+				rejected++
+			case server.KindOK: // the "end" ack
+				if rejected > 0 {
+					ingestDone <- fmt.Errorf("server rejected %d tuples (last errors precede the end ack)", rejected)
+					return
+				}
+				ingestDone <- nil
+				return
+			}
+		}
+	}()
+
+	tx := transformer(w, seed)
+	tuples := 0
+	start := time.Now()
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			if err := ingestEnc.Encode(locMsg(lt, w)); err != nil {
+				return fmt.Errorf("send tuple: %w", err)
+			}
+			tuples++
+		}
+	}
+	if err := ingestEnc.Encode(server.Msg{Kind: server.KindEnd}); err != nil {
+		return fmt.Errorf("send end: %w", err)
+	}
+	if err := ingestW.Flush(); err != nil {
+		return fmt.Errorf("flush ingest: %w", err)
+	}
+	sendElapsed := time.Since(start)
+	if err := <-ingestDone; err != nil {
+		return fmt.Errorf("end not acknowledged: %w", err)
+	}
+
+	// Stream alerts until the drain's "done".
+	alerts := 0
+	var done server.Msg
+	for {
+		line, err := subR.ReadBytes('\n')
+		if err != nil {
+			return fmt.Errorf("alert stream: %w", err)
+		}
+		var m server.Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("alert stream: bad line %q: %w", line, err)
+		}
+		if m.Kind == server.KindDone {
+			done = m
+			break
+		}
+		if m.Kind != server.KindAlert {
+			return fmt.Errorf("alert stream: unexpected %q line: %s", m.Kind, line)
+		}
+		if _, err := out.Write(line); err != nil {
+			return err
+		}
+		alerts++
+	}
+	elapsed := time.Since(start)
+	if uint64(alerts) != done.Alerts {
+		return fmt.Errorf("daemon drained %d alerts but %d reached this subscriber (slow-subscriber drops?)", done.Alerts, alerts)
+	}
+	fmt.Fprintf(os.Stderr,
+		"rfidtrace: replayed %d tuples in %v (%.0f tuples/s wire), %d alerts, end-to-end %v\n",
+		tuples, sendElapsed.Round(time.Millisecond),
+		float64(tuples)/sendElapsed.Seconds(), alerts, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func writeLine(c net.Conn, m server.Msg) error {
+	line, err := server.EncodeLine(m)
+	if err != nil {
+		return err
+	}
+	_, err = c.Write(line)
+	return err
+}
+
+// expectOK reads one control line and requires {"kind":"ok"}.
+func expectOK(r *bufio.Reader) error {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return err
+	}
+	var m server.Msg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return fmt.Errorf("bad reply %q: %w", line, err)
+	}
+	if m.Kind == server.KindErr {
+		return fmt.Errorf("server error: %s", m.Error)
+	}
+	if m.Kind != server.KindOK {
+		return fmt.Errorf("expected ok, got %q", m.Kind)
+	}
+	return nil
 }

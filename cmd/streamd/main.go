@@ -1,0 +1,132 @@
+// Command streamd is the continuous-query ingest daemon: it serves a
+// compiled (sharded) uncertain-stream plan over TCP, accepting JSON-lines
+// tuples from any number of client connections, streaming alerts back to
+// subscribers as windows close, and applying backpressure through a
+// bounded ingest queue. GET /statsz on the HTTP address reports per-box
+// engine stats, queue depths, and throughput.
+//
+// Protocol (newline-delimited JSON; see internal/server):
+//
+//	{"kind":"tuple","source":"locations","t_ms":1200,"keys":{"tag":17},
+//	 "attrs":{"x":[41.2,1.5],"y":[7.0,1.5],"z":2.25,"weight":140}}
+//	{"kind":"sub"}   → subscribe to the alert stream
+//	{"kind":"end"}   → drain: flush open windows, broadcast "done"
+//
+// After a drain the daemon compiles a fresh plan and serves the next
+// stream, unless -once is set (the smoke-test mode: exit after the first
+// drain).
+//
+// Usage:
+//
+//	streamd [-addr :9090] [-http :9091] [-query q1|q2] [-shards N]
+//	        [-window MS] [-slide MS] [-threshold LBS] [-area-ft FT]
+//	        [-queue N] [-policy block|drop-oldest] [-flush-every DUR]
+//	        [-once]
+//
+// cmd/rfidtrace -replay ADDR is the matching load generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+func main() {
+	// Q1 flag defaults come from the shared config so the daemon and the
+	// rfidtrace -wire offline reference can never disagree silently.
+	def := server.DefaultQ1Config()
+	addr := flag.String("addr", "127.0.0.1:9090", "TCP listen address for the JSON-lines protocol")
+	httpAddr := flag.String("http", "", "HTTP listen address for /statsz (empty disables)")
+	query := flag.String("query", "q1", "query plan to serve: q1 (fire code) or q2 (flammable co-location)")
+	shards := flag.Int("shards", 2, "shard-parallel instances per eligible box (0 = unsharded)")
+	windowMS := flag.Int64("window", int64(def.WindowMS), "q1 window Range in ms")
+	slideMS := flag.Int64("slide", 0, "q1 window Slide in ms (0 = tumbling)")
+	threshold := flag.Float64("threshold", def.ThresholdLbs, "q1 weight threshold in pounds / q2 temperature threshold in °C (q2 default 60)")
+	areaFt := flag.Float64("area-ft", def.AreaFt, "q1 grouping cell size in feet")
+	minProb := flag.Float64("min-prob", def.MinAlertProb, "q1 alert confidence floor / q2 existence floor (q2 default 0.05)")
+	queueCap := flag.Int("queue", 1024, "ingest queue capacity in tuples")
+	policyName := flag.String("policy", "block", "backpressure policy when the queue fills: block or drop-oldest")
+	buffer := flag.Int("buffer", 128, "per-box channel buffer of the live executor")
+	flushEvery := flag.Duration("flush-every", stream.DefaultFlushEvery, "idle flush cadence bounding quiet-stream alert latency")
+	once := flag.Bool("once", false, "exit after the first end-of-stream drain")
+	flag.Parse()
+
+	policy, err := server.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamd:", err)
+		os.Exit(2)
+	}
+	// The threshold and min-prob flags default for q1; q2 falls back to its
+	// own documented defaults (60 °C, 0.05) unless set explicitly.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	var newPlan func() *uop.Compiled
+	switch *query {
+	case "q1":
+		cfg := def
+		cfg.WindowMS = stream.Time(*windowMS)
+		cfg.SlideMS = stream.Time(*slideMS)
+		cfg.ThresholdLbs = *threshold
+		cfg.AreaFt = *areaFt
+		cfg.MinAlertProb = *minProb
+		cfg.Shards = *shards
+		newPlan = server.Q1Plan(cfg)
+	case "q2":
+		q2 := server.Q2PlanConfig{Shards: *shards}
+		if explicit["threshold"] {
+			q2.TempThreshold = *threshold
+		}
+		if explicit["min-prob"] {
+			q2.MinProb = *minProb
+		}
+		newPlan = server.Q2Plan(q2)
+	default:
+		fmt.Fprintf(os.Stderr, "streamd: unknown query %q (want q1 or q2)\n", *query)
+		os.Exit(2)
+	}
+
+	s, err := server.New(server.Config{
+		Addr:       *addr,
+		HTTPAddr:   *httpAddr,
+		NewPlan:    newPlan,
+		QueueCap:   *queueCap,
+		Policy:     policy,
+		Buffer:     *buffer,
+		FlushEvery: *flushEvery,
+		Once:       *once,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "streamd: serving %s (shards=%d, policy=%s) on %s\n",
+		*query, *shards, policy, s.Addr())
+	if ha := s.HTTPAddr(); ha != nil {
+		fmt.Fprintf(os.Stderr, "streamd: /statsz on http://%s/statsz\n", ha)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-s.Done():
+		// -once drain finished (or the engine stopped).
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "streamd: shutting down (draining open windows)")
+	}
+	start := time.Now()
+	s.Close()
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr,
+		"streamd: drained in %v — %d tuples in (%.0f/s), %d alerts out, %d ingest errors, %d queue drops\n",
+		time.Since(start).Round(time.Millisecond), st.Ingested, st.TuplesPerS,
+		st.Alerts, st.IngestErrors, st.Queue.Dropped)
+}

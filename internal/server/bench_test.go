@@ -1,0 +1,94 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// BenchmarkServerWire measures end-to-end wire throughput: JSON tuples over
+// localhost TCP, through parse, the bounded queue, the sharded live Q1
+// plan, and the alert stream back to a subscriber. Each iteration replays
+// the trace as one engine epoch (ingest, "end", drain, "done"). The
+// tuples/s metric is the wire ingest rate CI tracks in BENCH_PR5.json.
+func BenchmarkServerWire(b *testing.B) {
+	for _, shards := range []int{0, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			msgs := wireTrace(b, 40, 300)
+			lines := make([][]byte, len(msgs))
+			for i, m := range msgs {
+				line, err := EncodeLine(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lines[i] = line
+			}
+			endLine, _ := EncodeLine(Msg{Kind: KindEnd})
+			subLine, _ := EncodeLine(Msg{Kind: KindSub})
+
+			cfg := testQ1Config(shards)
+			s, err := New(Config{
+				Addr:       "127.0.0.1:0",
+				NewPlan:    Q1Plan(cfg),
+				FlushEvery: 50 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+
+			b.ResetTimer()
+			start := time.Now()
+			alerts := 0
+			for i := 0; i < b.N; i++ {
+				sub, err := net.Dial("tcp", s.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				subR := bufio.NewReader(sub)
+				if _, err := sub.Write(subLine); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := subR.ReadBytes('\n'); err != nil { // ok
+					b.Fatal(err)
+				}
+				ingest, err := net.Dial("tcp", s.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := bufio.NewWriterSize(ingest, 1<<16)
+				for _, line := range lines {
+					if _, err := w.Write(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				w.Write(endLine)
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					line, err := subR.ReadBytes('\n')
+					if err != nil {
+						b.Fatal(err)
+					}
+					var m Msg
+					if err := json.Unmarshal(line, &m); err != nil {
+						b.Fatal(err)
+					}
+					if m.Kind == KindDone {
+						break
+					}
+					alerts++
+				}
+				sub.Close()
+				ingest.Close()
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(len(lines)*b.N)/elapsed.Seconds(), "tuples/s")
+			b.ReportMetric(float64(alerts)/float64(b.N), "alerts/op")
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+// A plan factory compiles one fresh diagram per engine epoch: compiled
+// graphs carry window/join state and are single-use, so each end-of-stream
+// drain is followed by a new compile, never a reused graph (the lifecycle
+// rules — Close idempotent, Push-after-Close an error — make reuse fail
+// loudly rather than corrupt windows).
+
+// DefaultQ1Config is the Q1 plan cmd/streamd serves by default and the
+// plan cmd/rfidtrace's offline -wire reference compiles. One definition on
+// purpose: the replay-vs-offline byte-equality contract holds only while
+// daemon and load generator agree on every parameter, so both derive from
+// here instead of repeating literals.
+func DefaultQ1Config() uop.Q1Config {
+	return uop.Q1Config{
+		WindowMS:     5 * stream.Second,
+		ThresholdLbs: 200,
+		AreaFt:       10,
+		Strategy:     core.CFApprox,
+		MinAlertProb: 0.5,
+	}
+}
+
+// Q1Plan returns the per-epoch factory for the fire-code query: the daemon
+// feeds wire tuples into its "locations" source and streams the
+// confidence-annotated HAVING survivors back as alerts. cfg.Shards >= 1
+// compiles the diagram shard-parallel (alerts stay byte-identical to the
+// unsharded plan).
+func Q1Plan(cfg uop.Q1Config) func() *uop.Compiled {
+	return func() *uop.Compiled { return uop.BuildQ1(cfg).Compile() }
+}
+
+// Q2PlanConfig parameterizes the daemon's flammable-object query. Unlike
+// uop.Q2Config it needs no warehouse: the daemon cannot look up object
+// types, so flammability rides the wire as a certain key ("flam" == 1 on
+// "locations" tuples), keeping the plan self-contained.
+type Q2PlanConfig struct {
+	// RangeMS is each side's join window (default 3 s).
+	RangeMS stream.Time
+	// TempThreshold in °C (default 60).
+	TempThreshold float64
+	// LocTolFt is the co-location tolerance defining loc_equals (default 3).
+	LocTolFt float64
+	// MinProb drops alerts with existence below this (default 0.05).
+	MinProb float64
+	// Shards >= 1 compiles the diagram shard-parallel.
+	Shards int
+}
+
+func (c Q2PlanConfig) withDefaults() Q2PlanConfig {
+	if c.RangeMS <= 0 {
+		c.RangeMS = 3 * stream.Second
+	}
+	if c.TempThreshold == 0 {
+		c.TempThreshold = 60
+	}
+	if c.LocTolFt <= 0 {
+		c.LocTolFt = 3
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.05
+	}
+	return c
+}
+
+// Q2Plan returns the per-epoch factory for the flammable-object query over
+// two wire sources: "locations" (filtered to flam == 1) joined on
+// probabilistic co-location with "temps" (filtered to temp > threshold).
+func Q2Plan(cfg Q2PlanConfig) func() *uop.Compiled {
+	cfg = cfg.withDefaults()
+	return func() *uop.Compiled {
+		flam := uop.From("locations").Shards(cfg.Shards).
+			Where("σ(flam=1)", func(u *core.UTuple) bool {
+				return u.HasKey("flam") && u.Key("flam") == 1
+			})
+		hot := uop.From("temps").Shards(cfg.Shards).
+			WhereGreater("temp", cfg.TempThreshold, cfg.MinProb)
+		return flam.JoinProb(hot, cfg.RangeMS, []string{"x", "y"}, cfg.LocTolFt, cfg.MinProb).Compile()
+	}
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stream"
+)
+
+// Policy selects what a full ingest queue does with new tuples.
+type Policy int
+
+const (
+	// Block makes Put wait for space: backpressure propagates through the
+	// blocked connection handler into TCP flow control, slowing the client.
+	// Nothing is lost; ingest latency grows instead.
+	Block Policy = iota
+	// DropOldest evicts the oldest queued tuple to admit the new one:
+	// bounded staleness for monitoring workloads where the latest readings
+	// matter more than completeness. Drops are counted in Stats.
+	DropOldest
+)
+
+// String renders the policy the way ParsePolicy reads it.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy reads a policy name ("block", "drop-oldest").
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	default:
+		return Block, fmt.Errorf("unknown backpressure policy %q (want block or drop-oldest)", s)
+	}
+}
+
+// ErrQueueClosed is returned by Put once the queue has been closed (the
+// epoch is draining).
+var ErrQueueClosed = errors.New("server: ingest queue closed (stream draining)")
+
+// Queue is the bounded ingest queue between connection handlers and the
+// continuously running plan: many producers Put; the engine consumes it as
+// a stream.Source. Closing it ends the stream — RunLive drains everything
+// accepted, then flushes the plan.
+type Queue struct {
+	ch   chan stream.SourceTuple
+	done chan struct{}
+
+	mu       sync.Mutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	policy    Policy
+	accepted  atomic.Uint64
+	dropped   atomic.Uint64
+	highWater atomic.Int64
+}
+
+// NewQueue creates a bounded queue (capacity <= 0 selects 1024).
+func NewQueue(capacity int, policy Policy) *Queue {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Queue{
+		ch:     make(chan stream.SourceTuple, capacity),
+		done:   make(chan struct{}),
+		policy: policy,
+	}
+}
+
+// Tuples implements stream.Source; RunLive consumes the queue directly.
+func (q *Queue) Tuples() <-chan stream.SourceTuple { return q.ch }
+
+// Put enqueues one tuple per the policy. Block waits for space (or ctx
+// cancellation, or queue close); DropOldest never waits — it evicts the
+// oldest queued tuple instead and counts the drop.
+func (q *Queue) Put(ctx context.Context, st stream.SourceTuple) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return ErrQueueClosed
+	}
+	// In-flight accounting lets Close delay closing the channel until
+	// every admitted Put has settled, so a racing Put can never send on a
+	// closed channel.
+	q.inflight.Add(1)
+	q.mu.Unlock()
+	defer q.inflight.Done()
+
+	if q.policy == DropOldest {
+		for {
+			select {
+			case q.ch <- st:
+				q.accept()
+				return nil
+			case <-q.done:
+				return ErrQueueClosed
+			default:
+			}
+			select {
+			case <-q.ch:
+				q.dropped.Add(1)
+			default:
+				// The consumer raced us to the eviction; yield and retry.
+				runtime.Gosched()
+			}
+		}
+	}
+	select {
+	case q.ch <- st:
+		q.accept()
+		return nil
+	case <-q.done:
+		return ErrQueueClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *Queue) accept() {
+	q.accepted.Add(1)
+	// Best-effort high-water mark; racy reads are fine for monitoring.
+	if d := int64(len(q.ch)); d > q.highWater.Load() {
+		q.highWater.Store(d)
+	}
+}
+
+// Close ends the stream: subsequent Puts fail with ErrQueueClosed, and once
+// in-flight Puts settle the channel closes, so the consuming RunLive
+// processes everything accepted and then drains the plan gracefully.
+// Idempotent and safe to call concurrently with Put.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.done)
+	// Blocked Puts may need the consumer to make room before they settle,
+	// so the final close happens off the caller's goroutine.
+	go func() {
+		q.inflight.Wait()
+		close(q.ch)
+	}()
+}
+
+// QueueStats is a monitoring snapshot.
+type QueueStats struct {
+	Accepted  uint64 `json:"accepted"`
+	Dropped   uint64 `json:"dropped"`
+	Depth     int    `json:"depth"`
+	Capacity  int    `json:"capacity"`
+	HighWater int    `json:"high_water"`
+	Policy    string `json:"policy"`
+}
+
+// Stats snapshots the queue counters; safe while producers and the engine
+// are running.
+func (q *Queue) Stats() QueueStats {
+	return QueueStats{
+		Accepted:  q.accepted.Load(),
+		Dropped:   q.dropped.Load(),
+		Depth:     len(q.ch),
+		Capacity:  cap(q.ch),
+		HighWater: int(q.highWater.Load()),
+		Policy:    q.policy.String(),
+	}
+}

@@ -1,0 +1,616 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+// Config parameterizes the ingest server.
+type Config struct {
+	// Addr is the TCP listen address for the JSON-lines protocol
+	// (host:port; ":0" picks a free port — tests use this).
+	Addr string
+	// HTTPAddr, when non-empty, serves GET /statsz on a second listener.
+	HTTPAddr string
+	// NewPlan compiles one fresh diagram per engine epoch (required).
+	// Q1Plan/Q2Plan build the standard factories.
+	NewPlan func() *uop.Compiled
+	// QueueCap bounds the ingest queue (default 1024).
+	QueueCap int
+	// Policy is the backpressure behavior of a full queue.
+	Policy Policy
+	// Buffer is the per-box channel buffer of the live executor.
+	Buffer int
+	// FlushEvery bounds quiet-graph output latency (see stream.RunLive).
+	FlushEvery time.Duration
+	// SubBuffer bounds each subscriber's pending-line buffer; lines beyond
+	// it are dropped and counted (default 4096).
+	SubBuffer int
+	// Once stops the server after the first end-of-stream drain — the
+	// replay/smoke-test mode.
+	Once bool
+}
+
+// epoch is one continuous run of a freshly compiled plan: the engine serves
+// epochs back to back, compiling a new diagram after each end-of-stream
+// drain (compiled graphs are single-use).
+type epoch struct {
+	n      int
+	plan   *uop.Compiled
+	queue  *Queue
+	alerts atomic.Uint64
+}
+
+// Server is the TCP/HTTP ingest front end around a continuously running
+// compiled plan.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	httpLn net.Listener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	// done closes when the engine loop exits (after Once's drain, or on
+	// shutdown).
+	done chan struct{}
+
+	hub hub
+
+	mu       sync.Mutex
+	ep       *epoch
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	start      time.Time
+	ingested   atomic.Uint64
+	ingestErrs atomic.Uint64
+	encodeErrs atomic.Uint64
+	alerts     atomic.Uint64
+}
+
+// New validates the config, binds the listeners, and starts the engine and
+// accept loops. Stop with Close (graceful: the running epoch drains).
+func New(cfg Config) (*Server, error) {
+	if cfg.NewPlan == nil {
+		return nil, errors.New("server: Config.NewPlan is required")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("server: Config.Addr is required")
+	}
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = 4096
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		done:  make(chan struct{}),
+		conns: map[net.Conn]struct{}{},
+		start: time.Now(),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.hub.subs = map[*subscriber]struct{}{}
+	if cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("server: listen %s: %w", cfg.HTTPAddr, err)
+		}
+		s.httpLn = httpLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/statsz", s.handleStatsz)
+		srv := &http.Server{Handler: mux}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			srv.Serve(httpLn) // returns when the listener closes
+		}()
+	}
+	s.wg.Add(2)
+	go s.engineLoop()
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the protocol listener's address (for ":0" configs).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// HTTPAddr returns the /statsz listener's address, or nil.
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// Done closes when the engine loop has exited — with Config.Once, after the
+// first end-of-stream drain completes and the "done" line has been
+// broadcast.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Close shuts the server down gracefully: ingestion stops, the running
+// epoch drains (open windows flush, final alerts reach subscribers,
+// followed by a "done" line), and every connection closes.
+func (s *Server) Close() error {
+	s.cancel()
+	s.ln.Close()
+	if s.httpLn != nil {
+		s.httpLn.Close()
+	}
+	// The engine must finish its drain (and the final broadcasts) before
+	// subscriber channels close; the pumps must then deliver everything
+	// queued before the connections close under them.
+	<-s.done
+	s.hub.closeAll()
+	s.hub.pumps.Wait()
+	// The shutdown flag closes the race with acceptLoop: a connection
+	// accepted just before the listener closed but not yet registered is
+	// closed by acceptLoop itself once it sees the flag, so no handler can
+	// linger on a socket nobody closes.
+	s.mu.Lock()
+	s.shutdown = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// engineLoop serves epochs back to back: compile a fresh plan, run it live
+// against a fresh ingest queue until the queue closes ("end") or the server
+// shuts down, broadcast "done", repeat. Plans are never reused across
+// epochs — compiled graphs are single-use.
+func (s *Server) engineLoop() {
+	defer s.wg.Done()
+	defer close(s.done)
+	for n := 0; ; n++ {
+		ep := &epoch{n: n, plan: s.cfg.NewPlan(), queue: NewQueue(s.cfg.QueueCap, s.cfg.Policy)}
+		ep.plan.OnResult(func(t *stream.Tuple) { s.emitAlert(ep, t) })
+		s.mu.Lock()
+		s.ep = ep
+		s.mu.Unlock()
+		err := ep.plan.RunLive(s.ctx, s.cfg.Buffer, ep.queue, s.cfg.FlushEvery)
+		ep.queue.Close() // idempotent; ensures producers fail fast after a cancel
+		s.hub.broadcastControl(mustLine(Msg{Kind: KindDone, Alerts: ep.alerts.Load()}))
+		if err != nil || s.cfg.Once || s.ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// emitAlert runs on the sink box's goroutine: encode once, hand the line to
+// every subscriber. Encoding failures are counted, never fatal — this
+// goroutine is the engine.
+func (s *Server) emitAlert(ep *epoch, t *stream.Tuple) {
+	m, err := AlertMsg(t)
+	if err != nil {
+		s.encodeErrs.Add(1)
+		return
+	}
+	line, err := EncodeLine(m)
+	if err != nil {
+		s.encodeErrs.Add(1)
+		return
+	}
+	ep.alerts.Add(1)
+	s.alerts.Add(1)
+	s.hub.broadcast(line)
+}
+
+func mustLine(m Msg) []byte {
+	line, err := EncodeLine(m)
+	if err != nil {
+		panic(err) // fixed-shape control messages always encode
+	}
+	return line
+}
+
+// epoch returns the current epoch.
+func (s *Server) epoch() *epoch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ep
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// handleConn reads protocol lines from one connection. Errors are strictly
+// per-connection: a malformed line earns an "err" reply and the connection
+// (and every other connection, and the engine) keeps running.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	w := bufio.NewWriter(c)
+	var sub *subscriber
+	defer func() {
+		if sub != nil && s.hub.remove(sub) {
+			sub.close()
+		}
+	}()
+	// reply writes a control message to the client. Before subscribing it
+	// owns the connection's writer; after, the pump goroutine does, so
+	// replies ride the subscriber queue instead.
+	reply := func(m Msg) {
+		line, err := EncodeLine(m)
+		if err != nil {
+			return
+		}
+		if sub != nil {
+			sub.sendControl(line, &s.hub)
+			return
+		}
+		w.Write(line)
+		w.Flush()
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			s.ingestErrs.Add(1)
+			reply(errMsg("bad line: %v", err))
+			continue
+		}
+		switch m.Kind {
+		case KindTuple:
+			if err := s.ingest(m); err != nil {
+				s.ingestErrs.Add(1)
+				reply(errMsg("%v", err))
+				continue
+			}
+			s.ingested.Add(1)
+		case KindSub:
+			if sub != nil {
+				reply(errMsg("already subscribed"))
+				continue
+			}
+			newSub := &subscriber{ch: make(chan []byte, s.cfg.SubBuffer)}
+			if !s.hub.add(newSub) {
+				reply(errMsg("server shutting down"))
+				continue
+			}
+			// Ack while the handler still owns the writer, then hand it to
+			// the pump.
+			w.Write(mustLine(Msg{Kind: KindOK}))
+			w.Flush()
+			sub = newSub
+			go s.pumpSub(c, w, sub)
+		case KindEnd:
+			ep := s.epoch()
+			if ep == nil {
+				reply(errMsg("no epoch running"))
+				continue
+			}
+			ep.queue.Close()
+			reply(Msg{Kind: KindOK})
+		default:
+			s.ingestErrs.Add(1)
+			reply(errMsg("unknown kind %q", m.Kind))
+		}
+	}
+	// A scan error (oversized line, mid-line disconnect) ends the
+	// connection, but it still deserves the per-connection error contract:
+	// count it and make a best-effort reply before the socket closes, so a
+	// client sees why instead of a bare EOF.
+	if err := sc.Err(); err != nil {
+		s.ingestErrs.Add(1)
+		reply(errMsg("read error: %v", err))
+	}
+}
+
+// ingest parses and enqueues one tuple line. A tuple that lands in the gap
+// between epochs — the previous stream drained, the next plan still
+// compiling — waits briefly for the new epoch instead of failing, so back-
+// to-back replays never lose their first tuples.
+func (s *Server) ingest(m Msg) error {
+	u, err := ParseTuple(m)
+	if err != nil {
+		return err
+	}
+	source := m.Source
+	if source == "" {
+		source = "locations"
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ep := s.epoch()
+		if ep != nil {
+			box, port, ok := ep.plan.LookupSource(source)
+			if !ok {
+				return fmt.Errorf("unknown source %q", source)
+			}
+			err := ep.queue.Put(s.ctx, stream.SourceTuple{Box: box, Port: port, T: core.Wrap(u)})
+			if !errors.Is(err, ErrQueueClosed) {
+				return err
+			}
+		}
+		if s.ctx.Err() != nil {
+			return ErrQueueClosed
+		}
+		select {
+		case <-s.done:
+			// The engine loop has exited (Once mode, or shutdown): no next
+			// epoch is coming, so waiting out the deadline would just hang
+			// the client 5 s per tuple.
+			return errors.New("engine stopped; no further streams accepted")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errors.New("stream draining; retry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// pumpSub owns the connection's writer after subscription: it streams
+// queued lines, flushing whenever the queue momentarily empties (the same
+// flush-on-idle rule the engine's batches follow, for the same latency
+// reason).
+func (s *Server) pumpSub(c net.Conn, w *bufio.Writer, sub *subscriber) {
+	defer s.hub.pumps.Done()
+	for line := range sub.ch {
+		// Bound each write so a subscriber that stopped reading cannot
+		// wedge shutdown behind a full TCP buffer.
+		c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := w.Write(line); err != nil {
+			c.Close() // wake the read loop; hub removal happens there
+			return
+		}
+		if len(sub.ch) == 0 {
+			if err := w.Flush(); err != nil {
+				c.Close()
+				return
+			}
+		}
+	}
+	w.Flush()
+}
+
+// subscriber is one alert-stream consumer.
+type subscriber struct {
+	ch      chan []byte
+	dropped atomic.Uint64
+	// mu guards closed and serializes bounded-wait control sends against
+	// the channel close — per subscriber, so one slow consumer can never
+	// hold a lock the engine's alert broadcast needs.
+	mu     sync.Mutex
+	closed bool
+}
+
+// close closes the subscriber's channel exactly once, never while a
+// control send is in flight.
+func (sub *subscriber) close() {
+	sub.mu.Lock()
+	if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+	sub.mu.Unlock()
+}
+
+// send enqueues without blocking; a slow subscriber loses alert lines
+// (counted) rather than stalling the engine.
+func (sub *subscriber) send(line []byte, h *hub) {
+	select {
+	case sub.ch <- line:
+	default:
+		sub.dropped.Add(1)
+		h.dropped.Add(1)
+	}
+}
+
+// sendControl enqueues a control line ("done", "ok", "err") with a bounded
+// wait instead of the drop policy: losing an alert behind a slow reader is
+// survivable and counted, but losing "done" would leave a replay client
+// waiting forever (and losing the drop *report* with it). A subscriber
+// that cannot absorb one line within the wait is beyond saving — the
+// pump's write deadline will sever it. The wait holds only this
+// subscriber's mutex: a stalled consumer delays its own control lines,
+// never the hub lock the engine's broadcast path needs.
+func (sub *subscriber) sendControl(line []byte, h *hub) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return
+	}
+	select {
+	case sub.ch <- line:
+	case <-time.After(5 * time.Second):
+		sub.dropped.Add(1)
+		h.dropped.Add(1)
+	}
+}
+
+// hub fans alert lines out to subscribers.
+type hub struct {
+	mu      sync.Mutex
+	subs    map[*subscriber]struct{}
+	closed  bool
+	dropped atomic.Uint64
+	// pumps counts live pump goroutines. Every Add happens under mu
+	// strictly before closeAll flips closed, so shutdown's Wait can never
+	// race a late registration.
+	pumps sync.WaitGroup
+}
+
+// add registers a subscriber and accounts for its pump; false once the hub
+// has shut down.
+func (h *hub) add(sub *subscriber) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return false
+	}
+	h.subs[sub] = struct{}{}
+	h.pumps.Add(1)
+	return true
+}
+
+// remove reports whether the caller took the subscriber out (and therefore
+// owns closing its channel).
+func (h *hub) remove(sub *subscriber) bool {
+	h.mu.Lock()
+	_, ok := h.subs[sub]
+	delete(h.subs, sub)
+	h.mu.Unlock()
+	return ok
+}
+
+func (h *hub) broadcast(line []byte) {
+	h.mu.Lock()
+	for sub := range h.subs {
+		sub.send(line, h)
+	}
+	h.mu.Unlock()
+}
+
+// broadcastControl delivers a control line to every subscriber with the
+// bounded-wait policy. Subscribers are snapshotted under the hub lock but
+// sent to outside it: the per-subscriber mutex (sendControl vs close)
+// makes the post-snapshot send safe, and a stalled consumer cannot hold
+// the hub lock against the engine's alert broadcasts.
+func (h *hub) broadcastControl(line []byte) {
+	h.mu.Lock()
+	subs := make([]*subscriber, 0, len(h.subs))
+	for sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.mu.Unlock()
+	for _, sub := range subs {
+		sub.sendControl(line, h)
+	}
+}
+
+// closeAll detaches every remaining subscriber; their pumps flush queued
+// lines and exit. Called once the engine has stopped broadcasting; no
+// subscriber can register afterwards. The channel closes happen outside
+// the hub lock (the per-subscriber mutex orders them against in-flight
+// control sends).
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	h.closed = true
+	subs := make([]*subscriber, 0, len(h.subs))
+	for sub := range h.subs {
+		delete(h.subs, sub)
+		subs = append(subs, sub)
+	}
+	h.mu.Unlock()
+	for _, sub := range subs {
+		sub.close()
+	}
+}
+
+func (h *hub) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// BoxStatsz is one box's row in the /statsz report.
+type BoxStatsz struct {
+	Name string `json:"name"`
+	In   uint64 `json:"in"`
+	Out  uint64 `json:"out"`
+	// Queue is the box's input-channel depth in batches (live executor
+	// snapshot; 0 when idle).
+	Queue int `json:"queue"`
+}
+
+// Statsz is the /statsz report: engine traffic, queue pressure, and
+// throughput. Cumulative rates, smoke-grade — EXPERIMENTS.md records the
+// measured numbers.
+type Statsz struct {
+	UptimeS      float64     `json:"uptime_s"`
+	Epoch        int         `json:"epoch"`
+	Ingested     uint64      `json:"ingested"`
+	IngestErrors uint64      `json:"ingest_errors"`
+	EncodeErrors uint64      `json:"encode_errors"`
+	Alerts       uint64      `json:"alerts"`
+	TuplesPerS   float64     `json:"tuples_per_s"`
+	Queue        QueueStats  `json:"queue"`
+	Subscribers  int         `json:"subscribers"`
+	SubDropped   uint64      `json:"sub_dropped"`
+	Boxes        []BoxStatsz `json:"boxes"`
+}
+
+// Stats snapshots the server for monitoring.
+func (s *Server) Stats() Statsz {
+	up := time.Since(s.start).Seconds()
+	st := Statsz{
+		UptimeS:      up,
+		Ingested:     s.ingested.Load(),
+		IngestErrors: s.ingestErrs.Load(),
+		EncodeErrors: s.encodeErrs.Load(),
+		Alerts:       s.alerts.Load(),
+		Subscribers:  s.hub.count(),
+		SubDropped:   s.hub.dropped.Load(),
+	}
+	if up > 0 {
+		st.TuplesPerS = float64(st.Ingested) / up
+	}
+	if ep := s.epoch(); ep != nil {
+		st.Epoch = ep.n
+		st.Queue = ep.queue.Stats()
+		depths := ep.plan.Graph.QueueDepths()
+		for i, b := range ep.plan.Graph.Boxes() {
+			row := BoxStatsz{Name: b.Op.Name(), In: b.Stats().In, Out: b.Stats().Out}
+			if i < len(depths) {
+				row.Queue = depths[i]
+			}
+			st.Boxes = append(st.Boxes, row)
+		}
+	}
+	return st
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Stats())
+}

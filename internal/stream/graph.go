@@ -60,13 +60,34 @@ func (b *Box) deliverTo(out *Tuple) int {
 	return -1
 }
 
+// Graph lifecycle states. A graph is single-use: it accepts tuples while
+// open, runs at most one channel execution, and once closed stays closed.
+const (
+	stateOpen int32 = iota
+	stateRunning
+	stateClosing
+	stateClosed
+)
+
 // Graph is a box-arrow diagram (§3, Figure 2). Build it with AddBox and
 // Connect, feed tuples with Push, and finish with Close. RunChan executes
 // the same graph with one goroutine per box connected by channels — the
 // paper's dataflow reading — and is equivalent to the synchronous path
-// (tests assert this).
+// (tests assert this). RunLive is the continuous form: a context-driven
+// executor over a live Source with no drain-everything Close contract.
+//
+// A graph is single-use. Close is idempotent (the first call flushes, later
+// calls are no-ops — this includes Close after RunChan/RunLive, which flush
+// themselves), and Push after the graph has closed panics with a clear
+// error instead of silently corrupting window state.
 type Graph struct {
 	boxes []*Box
+	// state is atomic so lifecycle checks are race-free against monitoring
+	// goroutines; transitions themselves happen from the owning goroutine.
+	state atomic.Int32
+	// run points at the in-flight channel execution, for queue-depth
+	// monitoring (/statsz); nil outside RunChan/RunLive.
+	run atomic.Pointer[chanRun]
 }
 
 // NewGraph creates an empty dataflow graph.
@@ -79,11 +100,11 @@ func (g *Graph) AddBox(op Operator) *Box {
 		b.statOut.Add(1)
 		if i := b.deliverTo(out); i >= 0 {
 			a := b.outs[i]
-			g.Push(a.to, a.port, out)
+			g.push(a.to, a.port, out)
 			return
 		}
 		for _, a := range b.outs {
-			g.Push(a.to, a.port, out)
+			g.push(a.to, a.port, out)
 		}
 	}
 	g.boxes = append(g.boxes, b)
@@ -100,19 +121,42 @@ func (g *Graph) Connect(src, dst *Box, port int) {
 }
 
 // Push injects a tuple into a box input synchronously; processing cascades
-// depth-first through the arrows.
+// depth-first through the arrows. Pushing into a graph that is not open
+// panics: a closed graph's windows have already drained (admitting more
+// tuples would corrupt their state silently), and a running channel
+// execution owns the operators from its own goroutines.
 func (g *Graph) Push(b *Box, port int, t *Tuple) {
+	if g.state.Load() != stateOpen {
+		panic("stream: Push on a closed or running graph — compile a fresh graph for a new run")
+	}
+	g.push(b, port, t)
+}
+
+// push is Push without the lifecycle check — internal cascades (box emits,
+// the Close flush) are part of the run that is ending and must not re-check.
+func (g *Graph) push(b *Box, port int, t *Tuple) {
 	b.statIn.Add(1)
 	b.Op.Process(port, t, b.emit)
 }
 
 // Close flushes every box in insertion order (sources first), cascading any
-// emitted tuples.
+// emitted tuples. Close is idempotent: only the first call flushes, so a
+// second Close cannot double-send punctuations or re-drain windows. After
+// RunChan/RunLive (which flush as part of their own shutdown) Close is a
+// no-op.
 func (g *Graph) Close() {
+	if !g.state.CompareAndSwap(stateOpen, stateClosing) {
+		return
+	}
 	for _, b := range g.boxes {
 		b.Op.Flush(b.emit)
 	}
+	g.state.Store(stateClosed)
 }
+
+// Closed reports whether the graph has finished (Close, or a completed
+// RunChan/RunLive).
+func (g *Graph) Closed() bool { return g.state.Load() == stateClosed }
 
 // Describe renders the diagram topology.
 func (g *Graph) Describe() string {
@@ -135,6 +179,12 @@ type batch struct {
 	ts   []*Tuple
 }
 
+// tickPort marks a wakeup batch: it carries no tuples and exists only to
+// rouse an otherwise-blocked box goroutine so it runs its idle flush
+// (operator Idle hook + partial-batch flush). RunLive's feeder broadcasts
+// ticks periodically so a quiet graph still bounds its output latency.
+const tickPort = -1
+
 // batchSize caps how many tuples accumulate per destination before the
 // producer flushes the batch downstream.
 const batchSize = 32
@@ -155,6 +205,216 @@ func (w *batcher) add(ch chan batch, port, i int, t *Tuple) {
 	}
 }
 
+// chanRun is one channel execution of a graph: per-box input channels,
+// producer accounting for shutdown, and the box goroutines. RunChan and
+// RunLive share it and differ only in how the feeder is driven.
+type chanRun struct {
+	g         *Graph
+	chans     []chan batch
+	producers []int
+	mu        sync.Mutex
+	wg        sync.WaitGroup
+}
+
+// startRun transitions the graph to running and launches one goroutine per
+// box. Each box processes its input sequentially (operators need no
+// internal locking), batches outputs per destination, and — whenever its
+// input momentarily drains — runs its idle flush: the operator's Idle hook
+// (partition boxes emit watermarks there) followed by flushing partial
+// output batches downstream, so a pending tuple never waits on a producer
+// that is itself waiting for input.
+func (g *Graph) startRun(buffer int) *chanRun {
+	if !g.state.CompareAndSwap(stateOpen, stateRunning) {
+		panic("stream: graph is closed or already running — compile a fresh graph for a new run")
+	}
+	if buffer <= 0 {
+		buffer = 128
+	}
+	r := &chanRun{g: g, chans: make([]chan batch, len(g.boxes)), producers: make([]int, len(g.boxes))}
+	for i := range r.chans {
+		r.chans[i] = make(chan batch, buffer)
+	}
+	// Per-box producer counts decide when to close inputs: a box's channel
+	// closes when all its upstream producers (plus the feeder) are done.
+	for _, b := range g.boxes {
+		for _, a := range b.outs {
+			r.producers[a.to.id]++
+		}
+	}
+	// Every box also counts the external feeder as a potential producer.
+	for i := range r.producers {
+		r.producers[i]++
+	}
+	for _, b := range g.boxes {
+		r.wg.Add(1)
+		go r.runBox(b)
+	}
+	g.run.Store(r)
+	return r
+}
+
+func (r *chanRun) release(id int) {
+	r.mu.Lock()
+	r.producers[id]--
+	if r.producers[id] == 0 {
+		close(r.chans[id])
+	}
+	r.mu.Unlock()
+}
+
+func (r *chanRun) runBox(b *Box) {
+	defer r.wg.Done()
+	chans := r.chans
+	w := batcher{chans: chans, pending: make([][]*Tuple, len(b.outs))}
+	flushAll := func() {
+		for i, p := range w.pending {
+			if len(p) > 0 {
+				a := b.outs[i]
+				chans[a.to.id] <- batch{port: a.port, ts: p}
+				w.pending[i] = nil
+			}
+		}
+	}
+	emit := func(out *Tuple) {
+		b.statOut.Add(1)
+		if i := b.deliverTo(out); i >= 0 {
+			a := b.outs[i]
+			w.add(chans[a.to.id], a.port, i, out)
+			return
+		}
+		for i, a := range b.outs {
+			w.add(chans[a.to.id], a.port, i, out)
+		}
+	}
+	process := func(bt batch) {
+		if bt.port == tickPort {
+			return // wakeup only; the idle flush below does the work
+		}
+		for _, t := range bt.ts {
+			b.statIn.Add(1)
+			b.Op.Process(bt.port, t, emit)
+		}
+	}
+	idleOp, hasIdle := b.Op.(IdleOp)
+	idleFlush := func() {
+		if hasIdle {
+			idleOp.Idle(emit)
+		}
+		flushAll()
+	}
+	in := chans[b.id]
+	open := true
+	for open {
+		bt, ok := <-in
+		if !ok {
+			break
+		}
+		process(bt)
+		// Drain whatever is already queued without blocking, then run the
+		// idle flush (operator Idle hook + partial batches) before the next
+		// blocking receive — a pending tuple must never wait on a producer
+		// that is itself waiting for input, and merges downstream must never
+		// wait on a watermark held by an idle partitioner.
+	drain:
+		for {
+			select {
+			case bt, ok := <-in:
+				if !ok {
+					open = false
+					break drain
+				}
+				process(bt)
+			default:
+				break drain
+			}
+		}
+		idleFlush()
+	}
+	b.Op.Flush(emit)
+	flushAll()
+	for _, a := range b.outs {
+		r.release(a.to.id)
+	}
+}
+
+// tick wakes every box so it runs its idle flush even with no new input.
+// Sends are non-blocking: a box with a full input queue has work queued and
+// will idle-flush on its own once it drains.
+func (r *chanRun) tick() {
+	for _, ch := range r.chans {
+		select {
+		case ch <- batch{port: tickPort}:
+		default:
+		}
+	}
+}
+
+// finish releases the feeder's producer slot on every box — boxes with no
+// other upstream close immediately; closure then propagates along the
+// topology as upstream goroutines drain and flush — then waits for every
+// box to exit and marks the graph closed.
+func (r *chanRun) finish() {
+	for i := range r.g.boxes {
+		r.release(i)
+	}
+	r.wg.Wait()
+	r.g.run.Store(nil)
+	r.g.state.Store(stateClosed)
+}
+
+// feeder batches external injections per (box, port) target, mirroring the
+// box-side batcher.
+type feeder struct {
+	r       *chanRun
+	w       batcher
+	targets map[[2]int]int
+	tkeys   [][2]int // reverse of targets, for partial flushes
+}
+
+func (r *chanRun) newFeeder() *feeder {
+	return &feeder{r: r, w: batcher{chans: r.chans}, targets: map[[2]int]int{}}
+}
+
+func (f *feeder) inject(b *Box, port int, t *Tuple) {
+	key := [2]int{b.id, port}
+	i, ok := f.targets[key]
+	if !ok {
+		i = len(f.w.pending)
+		f.targets[key] = i
+		f.tkeys = append(f.tkeys, key)
+		f.w.pending = append(f.w.pending, nil)
+	}
+	f.w.add(f.r.chans[b.id], port, i, t)
+}
+
+// flush pushes every partial injection batch downstream — called when a
+// live feed momentarily idles (so the tail of a quiet stream is never held
+// back by batching) and when the feed ends.
+func (f *feeder) flush() {
+	for i, p := range f.w.pending {
+		if len(p) > 0 {
+			key := f.tkeys[i]
+			f.r.chans[key[0]] <- batch{port: key[1], ts: p}
+			f.w.pending[i] = nil
+		}
+	}
+}
+
+// QueueDepths reports the number of queued batches on each box's input
+// channel while a channel execution (RunChan/RunLive) is in flight, indexed
+// like Boxes(); nil otherwise. Monitoring only — values are instantaneous.
+func (g *Graph) QueueDepths() []int {
+	r := g.run.Load()
+	if r == nil {
+		return nil
+	}
+	out := make([]int, len(r.chans))
+	for i, ch := range r.chans {
+		out[i] = len(ch)
+	}
+	return out
+}
+
 // RunChan executes the graph with one goroutine per box communicating over
 // buffered channels of tuple batches; feed supplies source tuples via the
 // returned inject function and must call done() when finished. RunChan
@@ -168,133 +428,14 @@ func (w *batcher) add(ch chan batch, port, i int, t *Tuple) {
 // tuple while its producer blocks.
 //
 // The feeder's injections batch too, flushing at batchSize and when feed
-// returns — RunChan is a replay executor, not a live-source one. A feeder
+// returns — RunChan is a replay executor, not a live-source one: a feeder
 // that trickles tuples in real time would see entry latency of up to
-// batchSize−1 tuples; live streaming callers should use the synchronous
-// Push path (as cmd/rfidtrace -q1 does), which emits alerts as windows
-// close.
+// batchSize−1 tuples. Live streaming callers should use RunLive, whose
+// feeder flushes partial batches whenever the source momentarily idles.
 func (g *Graph) RunChan(buffer int, feed func(inject func(b *Box, port int, t *Tuple))) {
-	if buffer <= 0 {
-		buffer = 128
-	}
-	chans := make([]chan batch, len(g.boxes))
-	for i := range chans {
-		chans[i] = make(chan batch, buffer)
-	}
-	// Per-box downstream counters to know when to close inputs: a box's
-	// channel closes when all its upstream producers (plus the feeder) are
-	// done. We track producer counts per destination box.
-	producers := make([]int, len(g.boxes))
-	for _, b := range g.boxes {
-		for _, a := range b.outs {
-			producers[a.to.id]++
-		}
-	}
-	// Every box also counts the external feeder as a potential producer.
-	for i := range producers {
-		producers[i]++
-	}
-	var mu sync.Mutex
-	release := func(id int) {
-		mu.Lock()
-		producers[id]--
-		if producers[id] == 0 {
-			close(chans[id])
-		}
-		mu.Unlock()
-	}
-
-	var wg sync.WaitGroup
-	for _, b := range g.boxes {
-		wg.Add(1)
-		go func(b *Box) {
-			defer wg.Done()
-			w := batcher{chans: chans, pending: make([][]*Tuple, len(b.outs))}
-			flushAll := func() {
-				for i, p := range w.pending {
-					if len(p) > 0 {
-						a := b.outs[i]
-						chans[a.to.id] <- batch{port: a.port, ts: p}
-						w.pending[i] = nil
-					}
-				}
-			}
-			emit := func(out *Tuple) {
-				b.statOut.Add(1)
-				if i := b.deliverTo(out); i >= 0 {
-					a := b.outs[i]
-					w.add(chans[a.to.id], a.port, i, out)
-					return
-				}
-				for i, a := range b.outs {
-					w.add(chans[a.to.id], a.port, i, out)
-				}
-			}
-			process := func(bt batch) {
-				for _, t := range bt.ts {
-					b.statIn.Add(1)
-					b.Op.Process(bt.port, t, emit)
-				}
-			}
-			in := chans[b.id]
-			open := true
-			for open {
-				bt, ok := <-in
-				if !ok {
-					break
-				}
-				process(bt)
-				// Drain whatever is already queued without blocking, then
-				// flush open batches downstream before the next blocking
-				// receive — a pending tuple must never wait on a producer
-				// that is itself waiting for input.
-			drain:
-				for {
-					select {
-					case bt, ok := <-in:
-						if !ok {
-							open = false
-							break drain
-						}
-						process(bt)
-					default:
-						break drain
-					}
-				}
-				flushAll()
-			}
-			b.Op.Flush(emit)
-			flushAll()
-			for _, a := range b.outs {
-				release(a.to.id)
-			}
-		}(b)
-	}
-
-	fw := batcher{chans: chans, pending: make([][]*Tuple, 0)}
-	// The feeder batches per (box, port) injection target.
-	targets := map[[2]int]int{}
-	feed(func(b *Box, port int, t *Tuple) {
-		key := [2]int{b.id, port}
-		i, ok := targets[key]
-		if !ok {
-			i = len(fw.pending)
-			targets[key] = i
-			fw.pending = append(fw.pending, nil)
-		}
-		fw.add(chans[b.id], port, i, t)
-	})
-	for key, i := range targets {
-		if len(fw.pending[i]) > 0 {
-			chans[key[0]] <- batch{port: key[1], ts: fw.pending[i]}
-			fw.pending[i] = nil
-		}
-	}
-	// Feeder finished: release its producer slot on every box. Boxes with
-	// no other upstream close immediately; closure then propagates along
-	// the topology as upstream goroutines drain and flush.
-	for i := range g.boxes {
-		release(i)
-	}
-	wg.Wait()
+	r := g.startRun(buffer)
+	f := r.newFeeder()
+	feed(f.inject)
+	f.flush()
+	r.finish()
 }

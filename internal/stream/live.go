@@ -1,0 +1,148 @@
+package stream
+
+import (
+	"context"
+	"time"
+)
+
+// This file is the continuous-execution mode: RunChan without the
+// drain-everything Close contract. The paper's deployments (tomography
+// radar, RFID readers) are live feeds that never end, so results must reach
+// consumers as windows close — not when some terminal Flush drains the
+// graph. The latency hazards of the batched channel transport are handled
+// here and in the idle hooks:
+//
+//   - The feeder flushes partial injection batches whenever the source
+//     momentarily idles, so the last <batchSize tuples of a quiet stream
+//     are never invisible downstream (RunChan only flushes when feed
+//     returns).
+//   - Box goroutines already flush partial output batches when their input
+//     momentarily drains; the Idle operator hook runs first, letting
+//     partition boxes emit watermarks so order-restoring merges release
+//     buffered tuples past filter-drop holes instead of stalling until the
+//     every-64-tuple cadence (or end-of-stream).
+//   - A periodic tick (FlushEvery) wakes every box as a backstop, bounding
+//     output latency even for boxes whose input never quite drains.
+//
+// Shutdown is graceful: cancelling the context (or closing the source's
+// channel) stops ingestion, drains everything in flight, flushes every box
+// — open windows emit, exactly like Close — and returns.
+
+// SourceTuple is one live injection: a data tuple bound for a box input
+// port of the running graph.
+type SourceTuple struct {
+	Box  *Box
+	Port int
+	T    *Tuple
+}
+
+// Source feeds a live run. It is channel-shaped — rather than a blocking
+// pull method — so the executor can flush partial batches exactly when the
+// feed momentarily idles (a select with a default arm), which no blocking
+// interface can express. Closing the channel ends the stream and drains the
+// graph gracefully.
+type Source interface {
+	Tuples() <-chan SourceTuple
+}
+
+// ChanSource is the basic channel-backed Source.
+type ChanSource chan SourceTuple
+
+// Tuples implements Source.
+func (c ChanSource) Tuples() <-chan SourceTuple { return c }
+
+// SliceSource replays a finite trace as a live source (tests and examples):
+// it returns a ChanSource pre-loaded with every tuple and already closed,
+// so RunLive processes the trace and drains.
+func SliceSource(sts []SourceTuple) Source {
+	ch := make(ChanSource, len(sts))
+	for _, st := range sts {
+		ch <- st
+	}
+	close(ch)
+	return ch
+}
+
+// DefaultFlushEvery is the idle-tick cadence used when RunLive is given a
+// non-positive one.
+const DefaultFlushEvery = 100 * time.Millisecond
+
+// RunLive executes the graph continuously against a live source: one
+// goroutine per box exactly like RunChan, but with a context-driven feeder
+// built for streams that never end. Tuples flow downstream as they arrive
+// (partial batches flush on idle, watermarks release merges), alerts reach
+// sinks as windows close, and nothing waits for a terminal Close.
+//
+// RunLive returns when the source's channel closes (end of stream) or ctx
+// is cancelled; either way the graph drains gracefully — queued tuples are
+// processed and every box flushes, so open windows emit their final results
+// — and the graph is closed. The error is nil at end of stream, ctx.Err()
+// on cancellation.
+//
+// flushEvery bounds output latency when the graph is quiet: every interval
+// the feeder wakes each box to run its idle flush. Non-positive selects
+// DefaultFlushEvery.
+func (g *Graph) RunLive(ctx context.Context, buffer int, src Source, flushEvery time.Duration) error {
+	if flushEvery <= 0 {
+		flushEvery = DefaultFlushEvery
+	}
+	r := g.startRun(buffer)
+	f := r.newFeeder()
+	in := src.Tuples()
+	ticker := time.NewTicker(flushEvery)
+	defer ticker.Stop()
+	// drainPending consumes whatever the source already holds — on
+	// cancellation, tuples the producer handed over before the cancel are
+	// still processed, so shutdown never silently discards accepted input.
+	drainPending := func() {
+		for {
+			select {
+			case st, ok := <-in:
+				if !ok {
+					return
+				}
+				f.inject(st.Box, st.Port, st.T)
+			default:
+				return
+			}
+		}
+	}
+	var err error
+loop:
+	for {
+		// Fast path: consume whatever is already available.
+		select {
+		case st, ok := <-in:
+			if !ok {
+				break loop
+			}
+			f.inject(st.Box, st.Port, st.T)
+			continue
+		case <-ctx.Done():
+			err = ctx.Err()
+			drainPending()
+			break loop
+		default:
+		}
+		// The source momentarily idled: flush partial injection batches
+		// before blocking, so a quiet stream's tail is visible downstream
+		// while we wait.
+		f.flush()
+		select {
+		case st, ok := <-in:
+			if !ok {
+				break loop
+			}
+			f.inject(st.Box, st.Port, st.T)
+		case <-ctx.Done():
+			err = ctx.Err()
+			drainPending()
+			break loop
+		case <-ticker.C:
+			r.tick()
+		}
+	}
+	f.flush()
+	r.finish()
+	return err
+}

@@ -17,6 +17,21 @@ type Operator interface {
 	Flush(emit Emit)
 }
 
+// IdleOp is implemented by operators that want a callback when their box's
+// input momentarily drains under channel execution (RunChan/RunLive). Idle
+// runs before the box's partial output batches flush downstream, so
+// anything it emits rides the same flush. Partition boxes emit sequence
+// watermarks here: an order-restoring merge downstream can then release
+// tuples buffered behind filter-drop holes as soon as the stream goes
+// quiet, instead of stalling until the periodic watermark cadence or
+// end-of-stream. Idle must be cheap and must tolerate being called any
+// number of times with no intervening Process.
+type IdleOp interface {
+	Operator
+	// Idle is called when the box's input momentarily drains.
+	Idle(emit Emit)
+}
+
 // MapFunc transforms one tuple into another (nil drops the tuple).
 type MapFunc func(*Tuple) *Tuple
 
@@ -106,10 +121,17 @@ func (f *FuncOp) Flush(emit Emit) {
 }
 
 // Collect is a sink operator accumulating everything it receives; tests and
-// examples read .Tuples afterwards.
+// examples read .Tuples afterwards. With OnTuple set it becomes a streaming
+// sink instead: each tuple is handed to the callback as it arrives (from
+// the sink box's goroutine under channel execution) and nothing
+// accumulates — the shape continuous consumers (the ingest server's alert
+// subscribers) need.
 type Collect struct {
 	OpName string
 	Tuples []*Tuple
+	// OnTuple, when non-nil, replaces accumulation with a streaming
+	// callback.
+	OnTuple func(*Tuple)
 }
 
 // Name implements Operator.
@@ -121,7 +143,13 @@ func (c *Collect) Name() string {
 }
 
 // Process implements Operator.
-func (c *Collect) Process(_ int, t *Tuple, _ Emit) { c.Tuples = append(c.Tuples, t) }
+func (c *Collect) Process(_ int, t *Tuple, _ Emit) {
+	if c.OnTuple != nil {
+		c.OnTuple(t)
+		return
+	}
+	c.Tuples = append(c.Tuples, t)
+}
 
 // Flush implements Operator.
 func (c *Collect) Flush(Emit) {}

@@ -168,6 +168,21 @@ func (o *partitionOp) Process(_ int, t *Tuple, emit Emit) {
 	}
 }
 
+// Idle implements IdleOp: whenever the partitioner's input momentarily
+// drains (which is exactly when its RunChan/RunLive output batches flush
+// partially full), it covers everything routed so far with a watermark, so
+// the order-restoring merge downstream releases tuples buffered behind
+// filter-drop holes immediately instead of stalling until the every-64-
+// tuple cadence — the bug that held a sparse live stream's output hostage
+// until Close. Nothing is emitted when no data has been routed since the
+// last watermark.
+func (o *partitionOp) Idle(emit Emit) {
+	if o.spec.Watermarks && o.sinceWM > 0 {
+		o.sinceWM = 0
+		emit(newControlTuple(ctlWatermark, 0, o.seq))
+	}
+}
+
 func (o *partitionOp) Flush(emit Emit) {
 	if o.spec.Clock != nil {
 		o.scratch = o.clock.flushCloses(o.scratch[:0])

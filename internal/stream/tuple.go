@@ -141,6 +141,54 @@ func (t *Tuple) Str(name string) string {
 	panic(fmt.Sprintf("stream: field %q is not a string", name))
 }
 
+// TryField returns the named field's value, reporting ok = false for nil
+// schemas, unknown fields, and arity mismatches instead of panicking. The
+// panicking accessors are right for compiled plans — a wiring error should
+// fail fast — but fatal at a network boundary, where a malformed client
+// line must become a per-connection error, not a crashed box goroutine.
+func (t *Tuple) TryField(name string) (Value, bool) {
+	if t == nil || t.schema == nil {
+		return nil, false
+	}
+	i := t.schema.Index(name)
+	if i < 0 || i >= len(t.Fields) {
+		return nil, false
+	}
+	return t.Fields[i], true
+}
+
+// TryFloat is Float without the panic: ok = false for missing fields and
+// non-numeric values.
+func (t *Tuple) TryFloat(name string) (float64, bool) {
+	v, ok := t.TryField(name)
+	if !ok {
+		return 0, false
+	}
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// TryString is Str without the panic: ok = false for missing fields and
+// non-string values.
+func (t *Tuple) TryString(name string) (string, bool) {
+	v, ok := t.TryField(name)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
 // WithFields returns a derived tuple with the given schema and values,
 // preserving timestamp and identity.
 func (t *Tuple) WithFields(s *Schema, values ...Value) *Tuple {

@@ -5,6 +5,7 @@
 package uop
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -159,6 +160,27 @@ func RunQ1Chan(lts []rfid.LocationTuple, w *rfid.Warehouse, cfg Q1Config, buffer
 		}
 	})
 	return q1Alerts(out)
+}
+
+// RunQ1Live evaluates Q1 through the continuous executor: the trace
+// replays as a live source (no RunChan end-of-feed flush, no terminal
+// Close — the source channel closing triggers the graceful drain), with
+// alerts streamed through the OnResult sink in emission order. Equivalence
+// tests pin its output byte-identical to the Push path.
+func RunQ1Live(ctx context.Context, lts []rfid.LocationTuple, w *rfid.Warehouse, cfg Q1Config, buffer int) ([]Q1Alert, error) {
+	c := BuildQ1(cfg).Compile()
+	var got []*stream.Tuple
+	c.OnResult(func(t *stream.Tuple) { got = append(got, t) })
+	entry, port, ok := c.LookupSource("locations")
+	if !ok {
+		panic("uop: Q1 plan lost its locations source")
+	}
+	sts := make([]stream.SourceTuple, len(lts))
+	for i, lt := range lts {
+		sts[i] = stream.SourceTuple{Box: entry, Port: port, T: core.Wrap(LocationUTuple(lt, w))}
+	}
+	err := c.RunLive(ctx, buffer, stream.SliceSource(sts), 0)
+	return q1Alerts(got), err
 }
 
 // TempReading is one tuple of Q2's temperature stream: (time, (x, y, z),

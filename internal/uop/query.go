@@ -1,7 +1,9 @@
 package uop
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/stream"
@@ -378,6 +380,38 @@ func buildShardedJoin(g *stream.Graph, lb, rb *stream.Box, makeOp func() stream.
 		g.Connect(sb, mb, i)
 	}
 	return mb
+}
+
+// OnResult switches the compiled sink to streaming mode: fn receives each
+// result tuple as it is produced — from the sink box's goroutine under
+// RunChan/RunLive, inline under Push — and nothing accumulates for
+// Results/Close to return. This is the shape continuous consumers need
+// (the ingest server forwards alerts to subscribers as windows close).
+// Call it before feeding any tuples.
+func (c *Compiled) OnResult(fn func(*stream.Tuple)) {
+	c.sink.OnTuple = fn
+}
+
+// LookupSource resolves a source name to its injection point without
+// panicking — the ingest boundary's form of srcEntry, where an unknown
+// source named by a client line is a per-connection error, not a crash.
+func (c *Compiled) LookupSource(name string) (b *stream.Box, port int, ok bool) {
+	e, found := c.entry[name]
+	if !found {
+		return nil, 0, false
+	}
+	return e.box, e.port, true
+}
+
+// RunLive executes the diagram continuously against a live source of
+// pre-wrapped carrier tuples (stream.SourceTuple as built from
+// LookupSource + core.Wrap): tuples flow as they arrive, alerts reach the
+// OnResult sink as windows close, and nothing waits for a terminal Close.
+// It returns when the source's channel closes or ctx is cancelled; either
+// way the graph drains gracefully (open windows flush). See
+// stream.Graph.RunLive.
+func (c *Compiled) RunLive(ctx context.Context, buffer int, src stream.Source, flushEvery time.Duration) error {
+	return c.Graph.RunLive(ctx, buffer, src, flushEvery)
 }
 
 // srcEntry resolves a source name to its injection point; "" selects the
