@@ -1,5 +1,5 @@
 // Package repro's root benchmark suite regenerates the performance side of
-// every table and figure in the paper (see DESIGN.md §4 for the experiment
+// every table and figure in the paper (see DESIGN.md §6 for the experiment
 // index and EXPERIMENTS.md for paper-vs-measured numbers):
 //
 //	BenchmarkTable1AveragingSweep  — Table 1 (moment generation + detection per size)
@@ -460,5 +460,76 @@ func BenchmarkFinalSumLineage(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = core.SumTuples(tuples, "v", core.CFApprox, core.AggOptions{})
 		}
+	})
+}
+
+// BenchmarkQ1Checkpointing is the durability tax: the same sliding sharded
+// Q1 stream pushed with no persistence (the baseline the snapshot refactor
+// must not regress), with a full engine checkpoint every K tuples, and —
+// separately — the restore cost of reviving a mid-stream checkpoint into a
+// freshly compiled plan. ckpt-bytes records the blob size; the cadence
+// sweep shows the amortized cost shrinking as checkpoints spread out.
+func BenchmarkQ1Checkpointing(b *testing.B) {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 1000, Seed: 51, MoveProb: -1})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{Events: 900, Seed: 52})
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: 53,
+	})
+	var tuples []*stream.Tuple
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			lt.T /= 8
+			tuples = append(tuples, core.Wrap(uop.LocationUTuple(lt, w)))
+		}
+	}
+	cfg := uop.Q1Config{
+		WindowMS: 5 * stream.Second, SlideMS: 1 * stream.Second,
+		ThresholdLbs: 200, AreaFt: 10,
+		Strategy: core.CFApprox, MinAlertProb: 0.5, Shards: 2,
+	}
+	run := func(b *testing.B, every int) {
+		b.ReportAllocs()
+		var ckptBytes, ckpts int
+		for i := 0; i < b.N; i++ {
+			c := uop.BuildQ1(cfg).Compile()
+			for j, t := range tuples {
+				c.PushTuple("locations", t)
+				if every > 0 && (j+1)%every == 0 {
+					blob, err := c.Checkpoint()
+					if err != nil {
+						b.Fatal(err)
+					}
+					ckptBytes += len(blob)
+					ckpts++
+				}
+			}
+			c.Close()
+		}
+		b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+		if ckpts > 0 {
+			b.ReportMetric(float64(ckptBytes)/float64(ckpts), "ckpt-bytes")
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0) })
+	for _, every := range []int{2000, 500} {
+		b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) { run(b, every) })
+	}
+	b.Run("restore", func(b *testing.B) {
+		c := uop.BuildQ1(cfg).Compile()
+		for _, t := range tuples[:len(tuples)/2] {
+			c.PushTuple("locations", t)
+		}
+		blob, err := c.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := uop.BuildQ1(cfg).Compile().RestoreFrom(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(blob)), "ckpt-bytes")
 	})
 }

@@ -1,0 +1,171 @@
+// Command benchhist accumulates per-PR benchmark runs (the BENCH_PR*.json
+// files cmd/benchjson emits) into a tracked history file and gates hot-path
+// regressions: if a benchmark in the new run is more than -gate-pct slower
+// than the most recent comparable entry in the history, benchhist prints the
+// offenders and exits non-zero.
+//
+// Comparable means same benchmark name AND same cpu line — numbers from
+// different machines gate nothing (they are recorded, with a note). The
+// hot-path metrics are ns/op (higher is worse) and tuples/s (lower is
+// worse); memory metrics are recorded but never gate, since allocation
+// trade-offs are deliberate.
+//
+// Usage:
+//
+//	go test -bench ... | go run ./cmd/benchjson > BENCH_PR6.json
+//	go run ./cmd/benchhist -history BENCH_HISTORY.json -add BENCH_PR6.json -label pr6
+//
+// Re-running with an existing label replaces that entry (no duplicate rows
+// from retries). -gate-pct 0 disables the gate (record only).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Result mirrors cmd/benchjson's per-benchmark record.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Run mirrors cmd/benchjson's output file.
+type Run struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// Entry is one accumulated run in the history.
+type Entry struct {
+	Label      string            `json:"label"`
+	Env        map[string]string `json:"env"`
+	Benchmarks []Result          `json:"benchmarks"`
+}
+
+// History is the tracked accumulation file.
+type History struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	histPath := flag.String("history", "BENCH_HISTORY.json", "accumulated history file (created if missing)")
+	addPath := flag.String("add", "", "benchjson run file to append (required)")
+	label := flag.String("label", "", "label for the new entry, e.g. pr6 (required)")
+	gatePct := flag.Float64("gate-pct", 15, "fail when a hot-path metric regresses more than this percent vs the last comparable entry (0 disables)")
+	flag.Parse()
+	if *addPath == "" || *label == "" {
+		fmt.Fprintln(os.Stderr, "benchhist: -add and -label are required")
+		os.Exit(2)
+	}
+
+	var hist History
+	if data, err := os.ReadFile(*histPath); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			fmt.Fprintf(os.Stderr, "benchhist: %s: %v\n", *histPath, err)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintln(os.Stderr, "benchhist:", err)
+		os.Exit(1)
+	}
+
+	data, err := os.ReadFile(*addPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchhist:", err)
+		os.Exit(1)
+	}
+	var run Run
+	if err := json.Unmarshal(data, &run); err != nil {
+		fmt.Fprintf(os.Stderr, "benchhist: %s: %v\n", *addPath, err)
+		os.Exit(1)
+	}
+
+	violations := gate(hist, run, *gatePct)
+
+	// Replace a same-label entry (a re-run), else append.
+	entry := Entry{Label: *label, Env: run.Env, Benchmarks: run.Benchmarks}
+	replaced := false
+	for i := range hist.Entries {
+		if hist.Entries[i].Label == *label {
+			hist.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		hist.Entries = append(hist.Entries, entry)
+	}
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchhist:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*histPath, append(out, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchhist:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchhist: %s now has %d entries (%q %s)\n",
+		*histPath, len(hist.Entries), *label, map[bool]string{true: "replaced", false: "appended"}[replaced])
+
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "benchhist: %d hot-path regression(s) beyond %.0f%%:\n", len(violations), *gatePct)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(1)
+	}
+}
+
+// gate compares the new run's hot-path metrics against the most recent
+// history entry with the same benchmark on the same cpu.
+func gate(hist History, run Run, pct float64) []string {
+	if pct <= 0 {
+		return nil
+	}
+	var violations []string
+	skipped := 0
+	for _, b := range run.Benchmarks {
+		prev, prevLabel, ok := lastComparable(hist, b.Name, run.Env["cpu"])
+		if !ok {
+			skipped++
+			continue
+		}
+		// ns/op: regression is an increase; tuples/s: a decrease.
+		if old, okO := prev.Metrics["ns/op"]; okO {
+			if now, okN := b.Metrics["ns/op"]; okN && old > 0 && now > old*(1+pct/100) {
+				violations = append(violations, fmt.Sprintf(
+					"%s ns/op %.0f -> %.0f (+%.1f%% vs %s)", b.Name, old, now, (now/old-1)*100, prevLabel))
+			}
+		}
+		if old, okO := prev.Metrics["tuples/s"]; okO {
+			if now, okN := b.Metrics["tuples/s"]; okN && old > 0 && now < old*(1-pct/100) {
+				violations = append(violations, fmt.Sprintf(
+					"%s tuples/s %.0f -> %.0f (-%.1f%% vs %s)", b.Name, old, now, (1-now/old)*100, prevLabel))
+			}
+		}
+	}
+	if skipped > 0 {
+		fmt.Printf("benchhist: %d benchmark(s) had no comparable history (new name or different cpu) — recorded, not gated\n", skipped)
+	}
+	return violations
+}
+
+// lastComparable scans the history newest-first for name on the same cpu.
+func lastComparable(hist History, name, cpu string) (Result, string, bool) {
+	for i := len(hist.Entries) - 1; i >= 0; i-- {
+		e := hist.Entries[i]
+		if e.Env["cpu"] != cpu {
+			continue
+		}
+		for _, b := range e.Benchmarks {
+			if b.Name == name {
+				return b, e.Label, true
+			}
+		}
+	}
+	return Result{}, "", false
+}

@@ -171,3 +171,34 @@ func (s *PaneStack) Reset() {
 	s.back = s.back[:0]
 	s.backAgg = Cumulants{}
 }
+
+// Save returns the live contributions split exactly as the internal stacks
+// hold them: front bottom-to-top, back in arrival order. The split point is
+// history-dependent (it moves at each flip), so durable snapshots must
+// preserve it — rebuilding a stack by re-pushing the live window would put
+// everything in back and change Total's combination order, perturbing the
+// last ulp relative to an uninterrupted run.
+func (s *PaneStack) Save() (front, back []Cumulants) {
+	front = make([]Cumulants, len(s.front))
+	for i, e := range s.front {
+		front[i] = e.val
+	}
+	back = append([]Cumulants(nil), s.back...)
+	return front, back
+}
+
+// Load rebuilds the stack from Save's slices, recomputing the cached
+// aggregates with the same folds flip and Push perform over the same
+// values — so every subsequent Total is bit-identical to the saved
+// stack's.
+func (s *PaneStack) Load(front, back []Cumulants) {
+	s.Reset()
+	acc := Cumulants{}
+	for _, v := range front {
+		acc = v.Plus(acc)
+		s.front = append(s.front, paneEntry{val: v, agg: acc})
+	}
+	for _, v := range back {
+		s.Push(v)
+	}
+}

@@ -148,7 +148,7 @@ func newIncGroupSumOp(name string, cfg GroupSumOpConfig) stream.Operator {
 		// a map through its doubling stages re-hashes every resident key.
 		b.byKey = make(map[int64]uint64, 1024)
 	}
-	return stream.NewDeltaWindow(name, cfg.Window, b.onSlide)
+	return stream.NewDeltaWindowState(name, cfg.Window, b.onSlide, b)
 }
 
 func (b *incGroupSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {
@@ -441,7 +441,7 @@ func newIncSumOp(name string, spec stream.WindowSpec, attr string, strat Strateg
 	default:
 		s.state = NewSumState(strat, opts)
 	}
-	return stream.NewDeltaWindow(name, spec, s.onSlide)
+	return stream.NewDeltaWindowState(name, spec, s.onSlide, s)
 }
 
 func (s *incSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cf"
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/snap"
+	"repro/internal/stream"
+)
+
+// Durable-state codecs for the uncertain-tuple layer. Three kinds of state
+// live here:
+//
+//   - Values flowing inside stream tuples (*UTuple carriers, shard
+//     partials) register codecs with the stream tuple codec, so window
+//     buffers and merge queues serialize transparently.
+//   - SumState accumulators serialize their live contributions directly
+//     (versioned, insertion order preserved) — the round-trip property
+//     tests pin that a restored accumulator's Result() is bit-identical.
+//   - The incremental window consumers (incGroupSum, incSum) restore by
+//     REPLAY: their accumulators, dedup maps, reference counts and lineage
+//     multisets are fully derivable from the window ring the delta-window
+//     operator snapshots, so RestoreState re-runs admission and
+//     contribution over the restored residents without emitting. Replay
+//     reproduces the live-contribution insertion order (arrival order of
+//     the announced residents) and therefore the exact Result() bits; the
+//     only state NOT derivable that way — the two-stacks pane split of the
+//     ungrouped moment path, whose combination order is history-dependent
+//     — is serialized verbatim alongside.
+
+func init() {
+	stream.RegisterSchema(utupleSchema)
+	stream.RegisterSchema(groupedSchema)
+	stream.RegisterSchema(partialSchema)
+	stream.RegisterValueCodec(valTagUTuple, (*UTuple)(nil),
+		func(w *snap.Writer, v stream.Value) error { return encodeUTuple(w, v.(*UTuple)) },
+		func(r *snap.Reader) (stream.Value, error) { return decodeUTuple(r) },
+	)
+	stream.RegisterValueCodec(valTagPartial, (*groupPartial)(nil),
+		func(w *snap.Writer, v stream.Value) error { return encodeGroupPartial(w, v.(*groupPartial)) },
+		func(r *snap.Reader) (stream.Value, error) { return decodeGroupPartial(r) },
+	)
+	dist.RegisterCodec(distTagMoment, momentDist{},
+		func(w *snap.Writer, d dist.Dist) error {
+			m := d.(momentDist)
+			w.F64(m.mean)
+			w.F64(m.variance)
+			return dist.Encode(w, m.Dist)
+		},
+		func(r *snap.Reader) (dist.Dist, error) {
+			m := momentDist{mean: r.F64(), variance: r.F64()}
+			m.Dist = dist.Decode(r)
+			return m, r.Err()
+		},
+	)
+}
+
+// Registered codec tags (stream value tags must be >= 64, dist extension
+// tags >= 128).
+const (
+	valTagUTuple  uint8 = 64
+	valTagPartial uint8 = 65
+	distTagMoment uint8 = 128
+)
+
+// --- UTuple ---
+
+const utupleSnapV1 = 1
+
+func encodeUTuple(w *snap.Writer, u *UTuple) error {
+	w.U8(utupleSnapV1)
+	w.Varint(int64(u.TS))
+	w.Uvarint(u.ID)
+	w.Uvarint(uint64(len(u.names)))
+	for i, n := range u.names {
+		w.String(n)
+		if err := dist.Encode(w, u.attrs[i]); err != nil {
+			return fmt.Errorf("attr %q: %w", n, err)
+		}
+	}
+	w.F64(u.Exist)
+	ids := u.Lin.IDs()
+	w.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		w.Uvarint(id)
+	}
+	w.Uvarint(uint64(len(u.Keys)))
+	names := make([]string, 0, len(u.Keys))
+	for k := range u.Keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		w.String(k)
+		w.Varint(u.Keys[k])
+	}
+	return nil
+}
+
+func decodeUTuple(r *snap.Reader) (*UTuple, error) {
+	if v := r.U8(); v != utupleSnapV1 && r.Err() == nil {
+		r.Fail("utuple snapshot version %d", v)
+	}
+	u := &UTuple{}
+	u.TS = stream.Time(r.Varint())
+	u.ID = r.Uvarint()
+	na := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	u.names = make([]string, na)
+	u.attrs = make([]dist.Dist, na)
+	for i := 0; i < na; i++ {
+		u.names[i] = r.String()
+		u.attrs[i] = dist.Decode(r)
+	}
+	u.Exist = r.F64()
+	nl := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	ids := make([]uint64, nl)
+	for i := range ids {
+		ids[i] = r.Uvarint()
+	}
+	nk := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if nk > 0 {
+		u.Keys = make(map[string]int64, nk)
+		for i := 0; i < nk; i++ {
+			k := r.String()
+			u.Keys[k] = r.Varint()
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	u.Lin = lineage.FromSorted(ids)
+	return u, nil
+}
+
+// --- shard partials ---
+
+const partialSnapV1 = 1
+
+func encodeGroupPartial(w *snap.Writer, gp *groupPartial) error {
+	w.U8(partialSnapV1)
+	w.Varint(int64(gp.end))
+	w.String(gp.group)
+	w.Uvarint(uint64(len(gp.contribs)))
+	for _, c := range gp.contribs {
+		if err := encodeContrib(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decodeGroupPartial(r *snap.Reader) (*groupPartial, error) {
+	if v := r.U8(); v != partialSnapV1 && r.Err() == nil {
+		r.Fail("group partial snapshot version %d", v)
+	}
+	gp := &groupPartial{}
+	gp.end = stream.Time(r.Varint())
+	gp.group = r.String()
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	gp.contribs = make([]partialContrib, 0, n)
+	for i := 0; i < n; i++ {
+		c, err := decodeContrib(r)
+		if err != nil {
+			return nil, err
+		}
+		gp.contribs = append(gp.contribs, c)
+	}
+	return gp, nil
+}
+
+func encodeContrib(w *snap.Writer, c partialContrib) error {
+	w.Uvarint(c.seq)
+	if err := dist.Encode(w, c.d); err != nil {
+		return err
+	}
+	return encodeUTuple(w, c.u)
+}
+
+func decodeContrib(r *snap.Reader) (partialContrib, error) {
+	var c partialContrib
+	c.seq = r.Uvarint()
+	c.d = dist.Decode(r)
+	u, err := decodeUTuple(r)
+	if err != nil {
+		return c, err
+	}
+	c.u = u
+	return c, r.Err()
+}
+
+// --- SumState ---
+
+const (
+	momentStateSnapV1 = 1
+	distStateSnapV1   = 1
+)
+
+// Snapshot implements SumState: the live gated cumulants in insertion
+// order.
+func (s *momentState) Snapshot() ([]byte, error) {
+	w := &snap.Writer{}
+	w.U8(momentStateSnapV1)
+	w.Uvarint(uint64(s.log.liveN))
+	for i := s.log.head; i < len(s.log.entries); i++ {
+		e := &s.log.entries[i]
+		if e.dead {
+			continue
+		}
+		w.F64(e.c.K1)
+		w.F64(e.c.K2)
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements SumState. Handles are renumbered (the log restarts at
+// zero with the live survivors only); callers re-acquire handles by
+// re-adding, as the replay-based consumer restores do. The running totals
+// are refolded from the survivors — they may differ from the pre-crash
+// totals by accumulated eviction rounding, which is within their
+// monitoring-only contract; Result() refolds and is exact.
+func (s *momentState) Restore(data []byte) error {
+	r := snap.NewReader(data)
+	if v := r.U8(); v != momentStateSnapV1 && r.Err() == nil {
+		r.Fail("moment state snapshot version %d", v)
+	}
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.log = entryLog{}
+	s.run = cf.Cumulants{}
+	for i := 0; i < n; i++ {
+		c := cf.Cumulants{K1: r.F64(), K2: r.F64()}
+		s.run.K1 += c.K1
+		s.run.K2 += c.K2
+		s.log.add(stateEntry{c: c})
+	}
+	return r.Close()
+}
+
+// Snapshot implements SumState: the live gated distributions in insertion
+// order.
+func (s *distState) Snapshot() ([]byte, error) {
+	w := &snap.Writer{}
+	w.U8(distStateSnapV1)
+	w.Uvarint(uint64(s.log.liveN))
+	for i := s.log.head; i < len(s.log.entries); i++ {
+		e := &s.log.entries[i]
+		if e.dead {
+			continue
+		}
+		if err := dist.Encode(w, e.d); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements SumState; handles are renumbered as for momentState.
+func (s *distState) Restore(data []byte) error {
+	r := snap.NewReader(data)
+	if v := r.U8(); v != distStateSnapV1 && r.Err() == nil {
+		r.Fail("dist state snapshot version %d", v)
+	}
+	n := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	s.log = entryLog{}
+	for i := 0; i < n; i++ {
+		d := dist.Decode(r)
+		if err := r.Err(); err != nil {
+			return err
+		}
+		s.log.add(stateEntry{d: d})
+	}
+	return r.Close()
+}
+
+// --- incremental group sum (replay restore) ---
+
+const incGroupSnapV1 = 1
+
+// SnapshotState implements stream.DeltaConsumerState. Everything this box
+// holds — group accumulators, lineage multisets, the dedup winner map, the
+// record deque — is derivable from the window residents, so the blob is a
+// version marker only.
+func (b *incGroupSum) SnapshotState() ([]byte, error) {
+	return []byte{incGroupSnapV1}, nil
+}
+
+// RestoreState implements stream.DeltaConsumerState by replaying admission
+// and contribution over the announced residents in arrival order. The
+// replay reproduces the pre-crash live state exactly:
+//
+//   - Dedup: a resident loser's winner is necessarily still resident
+//     (membership is decided by timestamp and the loser's timestamp is no
+//     newer than its winner's), so latest-wins restricted to the residents
+//     reaches the same winners.
+//   - Accumulators: live contributions entered each group's log in arrival
+//     order of their records — replay inserts the same gated contributions
+//     in the same order, so the left-to-right refold in Result() rounds
+//     identically.
+//   - Lineage: per-group multiset counts equal the live contributions'
+//     reference counts, which replay reconstructs.
+func (b *incGroupSum) RestoreState(data []byte, announced []*stream.Tuple) error {
+	if len(data) != 1 || data[0] != incGroupSnapV1 {
+		return fmt.Errorf("core: incremental group-sum snapshot version %v", data)
+	}
+	b.states = make(map[string]*groupState)
+	b.recs = b.recs[:0]
+	b.recHead = 0
+	b.recBase = 0
+	if b.byKey != nil {
+		b.byKey = make(map[int64]uint64, 1024)
+	}
+	b.recent = [4]struct {
+		name string
+		st   *groupState
+	}{}
+	b.recentNext = 0
+	for _, t := range announced {
+		b.admit(Unwrap(t))
+	}
+	for i := 0; i < len(b.recs); i++ {
+		b.contribute(i)
+	}
+	return nil
+}
+
+// --- incremental ungrouped sum (replay restore + pane-stack split) ---
+
+const incSumSnapV1 = 1
+
+// SnapshotState implements stream.DeltaConsumerState: the entries, lineage
+// and pooled accumulator are derivable from the residents, but the moment
+// path's two-stacks split point is not — it is serialized verbatim (see
+// cf.PaneStack.Save).
+func (s *incSum) SnapshotState() ([]byte, error) {
+	w := &snap.Writer{}
+	w.U8(incSumSnapV1)
+	w.Bool(s.moment)
+	if s.moment {
+		front, back := s.stack.Save()
+		encodeCumulants(w, front)
+		encodeCumulants(w, back)
+	}
+	return w.Bytes(), nil
+}
+
+// RestoreState implements stream.DeltaConsumerState by replay, then — on
+// the moment path — overwriting the pane stack with the saved split.
+func (s *incSum) RestoreState(data []byte, announced []*stream.Tuple) error {
+	r := snap.NewReader(data)
+	if v := r.U8(); v != incSumSnapV1 && r.Err() == nil {
+		r.Fail("incremental sum snapshot version %d", v)
+	}
+	if moment := r.Bool(); moment != s.moment && r.Err() == nil {
+		r.Fail("incremental sum snapshot strategy class mismatch")
+	}
+	var front, back []cf.Cumulants
+	if s.moment {
+		front = decodeCumulants(r)
+		back = decodeCumulants(r)
+	}
+	if err := r.Close(); err != nil {
+		return err
+	}
+	s.order = s.order[:0]
+	s.head = 0
+	s.lins = idMultiset{}
+	if s.state != nil {
+		s.state = NewSumState(s.strat, s.opts)
+	}
+	for _, t := range announced {
+		u := Unwrap(t)
+		d := u.Attr(s.attr)
+		e := sumEntry{id: t.ID, u: u}
+		if s.moment {
+			e.c = cf.GatedCumulants(d.Mean(), d.Variance(), u.Exist)
+		} else {
+			e.handle = s.state.Add(d, u.Exist)
+		}
+		s.order = append(s.order, e)
+		s.lins.AddIDs(u.Lin.IDs())
+	}
+	if s.moment {
+		if len(front)+len(back) != len(s.order) {
+			return fmt.Errorf("core: pane stack holds %d contributions, window %d",
+				len(front)+len(back), len(s.order))
+		}
+		s.stack.Load(front, back)
+	}
+	return nil
+}
+
+func encodeCumulants(w *snap.Writer, cs []cf.Cumulants) {
+	w.Uvarint(uint64(len(cs)))
+	for _, c := range cs {
+		w.F64(c.K1)
+		w.F64(c.K2)
+	}
+}
+
+func decodeCumulants(r *snap.Reader) []cf.Cumulants {
+	n := r.Len()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	cs := make([]cf.Cumulants, n)
+	for i := range cs {
+		cs[i] = cf.Cumulants{K1: r.F64(), K2: r.F64()}
+	}
+	return cs
+}
+
+// --- group-sum box handle ---
+
+// Snapshot implements stream.Snapshotter by delegating to the realization
+// (rescan window or incremental delta window — both snapshot). Interface
+// embedding alone would not surface the methods to type assertions made on
+// the concrete inner operator, so the delegation is explicit.
+func (o *groupSumOp) Snapshot() ([]byte, error) {
+	s, ok := o.Operator.(stream.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("core: group-sum realization %T does not snapshot", o.Operator)
+	}
+	return s.Snapshot()
+}
+
+// Restore implements stream.Snapshotter.
+func (o *groupSumOp) Restore(data []byte) error {
+	s, ok := o.Operator.(stream.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: group-sum realization %T does not snapshot", o.Operator)
+	}
+	return s.Restore(data)
+}
+
+// --- shard merge ---
+
+const mergeSnapV1 = 1
+
+// Snapshot implements stream.Snapshotter: per-port close counts plus every
+// pending window's partial contributions, keyed by close ordinal.
+func (o *groupSumMerge) Snapshot() ([]byte, error) {
+	w := &snap.Writer{}
+	w.U8(mergeSnapV1)
+	w.Varint(int64(o.p))
+	for _, c := range o.closed {
+		w.Varint(int64(c))
+	}
+	w.Varint(int64(o.next))
+	ordinals := make([]int, 0, len(o.wins))
+	for k := range o.wins {
+		ordinals = append(ordinals, k)
+	}
+	sort.Ints(ordinals)
+	w.Uvarint(uint64(len(ordinals)))
+	for _, ord := range ordinals {
+		win := o.wins[ord]
+		w.Varint(int64(ord))
+		w.Varint(int64(win.end))
+		w.Varint(int64(win.closes))
+		w.Uvarint(uint64(len(win.order)))
+		for _, g := range win.order {
+			w.String(g)
+			cs := win.groups[g]
+			w.Uvarint(uint64(len(cs)))
+			for _, c := range cs {
+				if err := encodeContrib(w, c); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// Restore implements stream.Snapshotter.
+func (o *groupSumMerge) Restore(data []byte) error {
+	r := snap.NewReader(data)
+	if v := r.U8(); v != mergeSnapV1 && r.Err() == nil {
+		r.Fail("merge snapshot version %d", v)
+	}
+	if p := int(r.Varint()); p != o.p && r.Err() == nil {
+		r.Fail("%s: snapshot has %d ports, operator has %d", o.name, p, o.p)
+	}
+	for i := range o.closed {
+		o.closed[i] = int(r.Varint())
+	}
+	o.next = int(r.Varint())
+	o.wins = make(map[int]*mergeWin)
+	nw := r.Len()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	for i := 0; i < nw; i++ {
+		ord := int(r.Varint())
+		win := &mergeWin{groups: make(map[string][]partialContrib)}
+		win.end = stream.Time(r.Varint())
+		win.closes = int(r.Varint())
+		ng := r.Len()
+		if r.Err() != nil {
+			break
+		}
+		for j := 0; j < ng; j++ {
+			g := r.String()
+			nc := r.Len()
+			if r.Err() != nil {
+				break
+			}
+			cs := make([]partialContrib, 0, nc)
+			for k := 0; k < nc; k++ {
+				c, err := decodeContrib(r)
+				if err != nil {
+					return err
+				}
+				cs = append(cs, c)
+			}
+			win.order = append(win.order, g)
+			win.groups[g] = cs
+		}
+		o.wins[ord] = win
+	}
+	return r.Close()
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/rng"
+	"repro/internal/snap"
+	"repro/internal/stream"
+)
+
+// TestSumStateSnapshotRoundTrip drives an accumulator through a random
+// insert/evict/replace workload, snapshots it mid-stream, restores into a
+// fresh accumulator, and requires the restored Result to match the original
+// bit for bit — then keeps feeding both and requires they stay in lockstep,
+// since recovery resumes live streams, not frozen ones.
+func TestSumStateSnapshotRoundTrip(t *testing.T) {
+	for _, strat := range []Strategy{CFApprox, CLT, CFInvert} {
+		t.Run(strat.String(), func(t *testing.T) {
+			g := rng.New(37)
+			opts := AggOptions{GridN: 256}
+			st := NewSumState(strat, opts)
+			var ids []uint64
+			for step := 0; step < 120; step++ {
+				if len(ids) > 0 && g.Float64() < 0.35 {
+					st.Remove(ids[0])
+					ids = ids[1:]
+					continue
+				}
+				d := dist.NewNormal(g.Normal(50, 20), math.Abs(g.Normal(0, 5))+0.1)
+				ids = append(ids, st.Add(d, g.Float64()))
+			}
+
+			blob, err := st.Snapshot()
+			if err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			re := NewSumState(strat, opts)
+			if err := re.Restore(blob); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			if re.Len() != st.Len() {
+				t.Fatalf("restored Len = %d, want %d", re.Len(), st.Len())
+			}
+			compare := func(ctx string) {
+				t.Helper()
+				a, b := st.Result(), re.Result()
+				if a.Mean() != b.Mean() || a.Variance() != b.Variance() || a.CDF(60) != b.CDF(60) {
+					t.Fatalf("%s: restored Result diverges: mean %.17g vs %.17g, var %.17g vs %.17g",
+						ctx, a.Mean(), b.Mean(), a.Variance(), b.Variance())
+				}
+			}
+			compare("at snapshot")
+
+			// Both accumulators keep receiving the identical suffix.
+			for step := 0; step < 40; step++ {
+				d := dist.NewNormal(g.Normal(40, 10), 2.5)
+				p := g.Float64()
+				st.Add(d, p)
+				re.Add(d, p)
+			}
+			compare("after post-restore inserts")
+		})
+	}
+}
+
+// TestSumStateRestoreRejectsCorruption: truncated and version-bumped blobs
+// must fail loudly, never restore a half-empty accumulator.
+func TestSumStateRestoreRejectsCorruption(t *testing.T) {
+	for _, strat := range []Strategy{CFApprox, CFInvert} {
+		st := NewSumState(strat, AggOptions{GridN: 64})
+		st.Add(dist.NewNormal(5, 1), 0.9)
+		st.Add(dist.PointMass{V: 2}, 0.5)
+		blob, err := st.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := NewSumState(strat, AggOptions{GridN: 64}).Restore(blob[:len(blob)-3]); err == nil {
+			t.Errorf("%v: truncated blob restored without error", strat)
+		}
+		bad := append([]byte{}, blob...)
+		bad[0] = 42
+		if err := NewSumState(strat, AggOptions{GridN: 64}).Restore(bad); err == nil {
+			t.Errorf("%v: version-bumped blob restored without error", strat)
+		}
+	}
+}
+
+// utupleRoundTrip encodes and decodes one uncertain tuple.
+func utupleRoundTrip(t *testing.T, u *UTuple) *UTuple {
+	t.Helper()
+	w := &snap.Writer{}
+	if err := encodeUTuple(w, u); err != nil {
+		t.Fatalf("encodeUTuple: %v", err)
+	}
+	r := snap.NewReader(w.Bytes())
+	got, err := decodeUTuple(r)
+	if err != nil {
+		t.Fatalf("decodeUTuple: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	return got
+}
+
+// TestUTupleCodecRoundTrip pins the full uncertain-tuple encoding: names,
+// attribute distributions (including the cached-moment shard wrapper that
+// goes through the dist extension registry), existence, lineage, and
+// integer keys.
+func TestUTupleCodecRoundTrip(t *testing.T) {
+	u := NewUTuple(1200, []string{"x", "y", "weight"}, []dist.Dist{
+		dist.NewNormal(41.2, 1.5),
+		momentDist{Dist: dist.NewNormal(7, 1.5), mean: 7.0000000000000009, variance: 2.25},
+		dist.PointMass{V: 140},
+	})
+	u.Exist = 0.8125
+	u.SetKey("tag", 17)
+	u.SetKey("reader", -3)
+	u.Lin = lineage.UnionAll(u.Lin, lineage.NewSet(u.ID+7), lineage.NewSet(u.ID+7))
+
+	got := utupleRoundTrip(t, u)
+	if got.TS != u.TS || got.ID != u.ID || got.Exist != u.Exist {
+		t.Fatalf("header fields: got {%d %d %g}, want {%d %d %g}",
+			got.TS, got.ID, got.Exist, u.TS, u.ID, u.Exist)
+	}
+	if len(got.Names()) != 3 {
+		t.Fatalf("names = %v", got.Names())
+	}
+	for _, n := range u.Names() {
+		a, b := got.Attr(n), u.Attr(n)
+		if a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+			t.Errorf("attr %q: %.17g/%.17g != %.17g/%.17g", n, a.Mean(), a.Variance(), b.Mean(), b.Variance())
+		}
+	}
+	if got.Key("tag") != 17 || got.Key("reader") != -3 {
+		t.Errorf("keys = %v", got.Keys)
+	}
+	gi, wi := got.Lin.IDs(), u.Lin.IDs()
+	if len(gi) != len(wi) {
+		t.Fatalf("lineage %v, want %v", gi, wi)
+	}
+	for i := range gi {
+		if gi[i] != wi[i] {
+			t.Fatalf("lineage %v, want %v", gi, wi)
+		}
+	}
+}
+
+// TestUTupleCodecKeylessAndLineageless: the sparse shapes (no keys map, unit
+// existence, singleton lineage) round-trip too.
+func TestUTupleCodecMinimal(t *testing.T) {
+	u := NewUTuple(0, []string{"v"}, []dist.Dist{dist.PointMass{V: 0}})
+	got := utupleRoundTrip(t, u)
+	if got.Keys != nil {
+		t.Errorf("decoded empty keys as %v", got.Keys)
+	}
+	if got.Exist != 1 {
+		t.Errorf("Exist = %g", got.Exist)
+	}
+	ids := got.Lin.IDs()
+	if len(ids) != 1 || ids[0] != u.ID {
+		t.Errorf("lineage = %v, want [%d]", ids, u.ID)
+	}
+}
+
+// TestGroupPartialCodecRoundTrip covers the shard partial that crosses the
+// merge box's snapshot: ordinal sequence, gated distribution, and carrier
+// tuple all intact.
+func TestGroupPartialCodecRoundTrip(t *testing.T) {
+	u := NewUTuple(900, []string{"weight"}, []dist.Dist{dist.NewNormal(150, 4)})
+	u.SetKey("tag", 5)
+	gp := &groupPartial{
+		end:   5000,
+		group: "area(3,4)",
+		contribs: []partialContrib{
+			{seq: 11, d: dist.NewNormal(150, 4), u: u},
+			{seq: 12, d: dist.PointMass{V: 0}, u: NewUTuple(901, []string{"weight"}, []dist.Dist{dist.PointMass{V: 1}})},
+		},
+	}
+	w := &snap.Writer{}
+	if err := encodeGroupPartial(w, gp); err != nil {
+		t.Fatal(err)
+	}
+	r := snap.NewReader(w.Bytes())
+	got, err := decodeGroupPartial(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.end != gp.end || got.group != gp.group || len(got.contribs) != 2 {
+		t.Fatalf("decoded partial %+v", got)
+	}
+	if got.contribs[0].seq != 11 || got.contribs[1].seq != 12 {
+		t.Errorf("contrib seqs %d, %d", got.contribs[0].seq, got.contribs[1].seq)
+	}
+	if got.contribs[0].d.Mean() != 150 || got.contribs[0].u.Key("tag") != 5 {
+		t.Error("contrib payload did not round-trip")
+	}
+}
+
+// TestEnsureTupleIDFloor: restored lineage must never collide with IDs
+// allocated after recovery.
+func TestEnsureTupleIDFloor(t *testing.T) {
+	mark := stream.TupleIDMark()
+	stream.EnsureTupleIDFloor(mark + 1000)
+	u := NewUTuple(0, []string{"v"}, []dist.Dist{dist.PointMass{V: 1}})
+	if u.ID <= mark+1000 {
+		t.Fatalf("post-floor ID %d not above floor %d", u.ID, mark+1000)
+	}
+	// Lowering is a no-op.
+	stream.EnsureTupleIDFloor(1)
+	if stream.TupleIDMark() < mark+1000 {
+		t.Fatal("EnsureTupleIDFloor lowered the allocator")
+	}
+}

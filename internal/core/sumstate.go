@@ -38,6 +38,14 @@ type SumState interface {
 	Len() int
 	// Result derives the distribution of the sum of the live contributions.
 	Result() dist.Dist
+	// Snapshot serializes the live contributions (versioned, insertion
+	// order preserved) so a restored accumulator's Result is bit-identical.
+	Snapshot() ([]byte, error)
+	// Restore rebuilds the accumulator from a Snapshot blob. Handles are
+	// renumbered from zero over the survivors, so callers holding old
+	// handles must re-derive them (the replay-based window restores re-Add
+	// instead and never call this mid-stream).
+	Restore(data []byte) error
 }
 
 // NewSumState builds the accumulator for a strategy. The moment strategies

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+// codecRoundTrip encodes d and decodes it back, failing the test on any
+// codec error.
+func codecRoundTrip(t *testing.T, d Dist) Dist {
+	t.Helper()
+	w := &snap.Writer{}
+	if err := Encode(w, d); err != nil {
+		t.Fatalf("Encode(%T): %v", d, err)
+	}
+	r := snap.NewReader(w.Bytes())
+	got := Decode(r)
+	if err := r.Close(); err != nil {
+		t.Fatalf("Decode(%T): %v", d, err)
+	}
+	return got
+}
+
+// sameBits fails unless got reports the identical Mean, Variance, Std and
+// CDF values as want at the last ulp — the recovery contract: restored
+// distributions must reformat to the same %.17g bytes.
+func sameBits(t *testing.T, got, want Dist) {
+	t.Helper()
+	if gm, wm := got.Mean(), want.Mean(); gm != wm {
+		t.Errorf("%T mean %.17g != %.17g", want, gm, wm)
+	}
+	if gv, wv := got.Variance(), want.Variance(); gv != wv {
+		t.Errorf("%T variance %.17g != %.17g", want, gv, wv)
+	}
+	if gs, ws := got.Std(), want.Std(); gs != ws {
+		t.Errorf("%T std %.17g != %.17g", want, gs, ws)
+	}
+	for _, x := range []float64{-10, -1, 0, 0.5, 1, 3.25, 42, 1e6} {
+		if gc, wc := got.CDF(x), want.CDF(x); gc != wc {
+			t.Errorf("%T CDF(%g) %.17g != %.17g", want, x, gc, wc)
+		}
+	}
+}
+
+// TestCodecRoundTripBitExact covers every family, including awkwardly
+// normalized weights (whose renormalization would perturb by an ulp) and
+// nesting (a truncated mixture containing an empirical component).
+func TestCodecRoundTripBitExact(t *testing.T) {
+	emp := NewEmpirical(
+		[]float64{1.25, 2.5, 2.5, 7.75, 11.125},
+		[]float64{0.1, 0.3, 0.2, 0.25, 0.15},
+	)
+	cases := []Dist{
+		PointMass{V: 3.75},
+		NewUniform(-2.5, 7.25),
+		NewExponential(0.375),
+		NewNormal(41.2, 1.5),
+		NewMixture([]float64{0.3, 0.3, 0.4}, []Dist{
+			NewNormal(0, 1), PointMass{V: 5}, NewUniform(2, 3),
+		}),
+		NewMixture([]float64{1, 1, 1}, []Dist{ // renormalizes to thirds
+			NewNormal(-1, 2), NewNormal(0, 1), NewNormal(1, 0.5),
+		}),
+		NewHistogram(0, 10, []float64{1, 2, 3, 4}),
+		NewTruncated(NewNormal(5, 2), 1, 9),
+		emp,
+		NewTruncated(
+			NewMixture([]float64{0.6, 0.4}, []Dist{NewNormal(4, 1), emp}),
+			0.5, 10,
+		),
+	}
+	for _, d := range cases {
+		sameBits(t, codecRoundTrip(t, d), d)
+	}
+}
+
+// TestCodecDoubleRoundTripIsStable: encode(decode(encode(d))) must produce
+// the same bytes — no drift from repeated checkpoint/restore cycles.
+func TestCodecDoubleRoundTripIsStable(t *testing.T) {
+	d := NewTruncated(NewMixture([]float64{0.7, 0.3}, []Dist{
+		NewNormal(50, 20),
+		NewHistogram(-5, 120, []float64{0.5, 1.5, 2, 0.25}),
+	}), 0, 100)
+	w1 := &snap.Writer{}
+	if err := Encode(w1, d); err != nil {
+		t.Fatal(err)
+	}
+	d2 := codecRoundTrip(t, d)
+	w2 := &snap.Writer{}
+	if err := Encode(w2, d2); err != nil {
+		t.Fatal(err)
+	}
+	if string(w1.Bytes()) != string(w2.Bytes()) {
+		t.Fatal("re-encoding a decoded distribution produced different bytes")
+	}
+}
+
+// TestCodecRejectsCorruption: unknown tags, bad versions, and truncation
+// all surface ErrCorrupt through the reader instead of panicking.
+func TestCodecRejectsCorruption(t *testing.T) {
+	w := &snap.Writer{}
+	if err := Encode(w, NewNormal(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	good := w.Bytes()
+
+	for n := 0; n < len(good); n++ {
+		r := snap.NewReader(good[:n])
+		Decode(r)
+		if r.Err() == nil {
+			t.Fatalf("truncation at %d/%d decoded without error", n, len(good))
+		}
+	}
+
+	bad := append([]byte{}, good...)
+	bad[0] = 99 // version byte
+	r := snap.NewReader(bad)
+	if Decode(r); !errors.Is(r.Err(), snap.ErrCorrupt) {
+		t.Errorf("bad version: %v", r.Err())
+	}
+
+	bad = append([]byte{}, good...)
+	bad[1] = 127 // family tag: unknown, below the extension range
+	r = snap.NewReader(bad)
+	if Decode(r); !errors.Is(r.Err(), snap.ErrCorrupt) {
+		t.Errorf("unknown tag: %v", r.Err())
+	}
+}
+
+// TestCodecUnencodableType: a distribution with no registered codec is an
+// error from Encode, not a decode-time surprise.
+func TestCodecUnencodableType(t *testing.T) {
+	w := &snap.Writer{}
+	if err := Encode(w, unregisteredDist{}); err == nil {
+		t.Fatal("encoding an unregistered dist type did not fail")
+	}
+}
+
+type unregisteredDist struct{ PointMass }

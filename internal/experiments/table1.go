@@ -50,7 +50,7 @@ func DefaultTable1Config() Table1Config {
 // vortex signatures at ranges chosen so their couplet angular widths
 // (2·Rc/r ≈ 0.42°–0.95°) straddle the azimuthal cell widths of the swept
 // averaging sizes (0.38°–9.5°) — the calibrated substitution for the May 9
-// 2007 CASA trace (DESIGN.md §3).
+// 2007 CASA trace (DESIGN.md §5).
 func CASAScenario() (*radar.Atmosphere, radar.Site) {
 	site := radar.Site{
 		Name:           "KSAO",

@@ -6,7 +6,7 @@
 // so the §4.4 time-series uncertainty machinery has the correlation
 // structure the paper describes.
 //
-// DESIGN.md §3 documents the substitution for the May 9 2007 CASA trace: the
+// DESIGN.md §5 documents the substitution for the May 9 2007 CASA trace: the
 // Table 1 effect (averaging size vs. detection quality) is a resolution
 // effect — averaging N consecutive pulses while the antenna rotates smears
 // azimuth; once a cell's angular span exceeds a vortex couplet's angular

@@ -4,7 +4,7 @@
 // the data capture and transformation (T) operator that turns raw readings
 // into an object-location tuple stream with quantified uncertainty (§4.1).
 //
-// The paper evaluates on a real mobile-reader trace; DESIGN.md §3 documents
+// The paper evaluates on a real mobile-reader trace; DESIGN.md §5 documents
 // the substitution: this simulator reproduces the generative process the
 // paper's own graphical model assumes (logistic read rates in distance and
 // angle, objects mostly staying put but occasionally moving between

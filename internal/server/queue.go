@@ -86,6 +86,9 @@ func NewQueue(capacity int, policy Policy) *Queue {
 // Tuples implements stream.Source; RunLive consumes the queue directly.
 func (q *Queue) Tuples() <-chan stream.SourceTuple { return q.ch }
 
+// Depth is the number of queued tuples not yet consumed by the engine.
+func (q *Queue) Depth() int { return len(q.ch) }
+
 // Put enqueues one tuple per the policy. Block waits for space (or ctx
 // cancellation, or queue close); DropOldest never waits — it evicts the
 // oldest queued tuple instead and counts the drop.

@@ -42,6 +42,16 @@ type Config struct {
 	// Once stops the server after the first end-of-stream drain — the
 	// replay/smoke-test mode.
 	Once bool
+	// Store, when non-nil, enables crash-safe durable state: the engine
+	// writes periodic checkpoints of the running plan, a final checkpoint
+	// on graceful shutdown, and recovers the newest epoch on startup —
+	// resuming open windows so post-restart alerts match an uninterrupted
+	// run byte for byte.
+	Store Store
+	// CheckpointEvery is the periodic checkpoint cadence (0 disables the
+	// timer; drain/shutdown and client-triggered "ckpt" checkpoints still
+	// run whenever Store is set).
+	CheckpointEvery time.Duration
 }
 
 // epoch is one continuous run of a freshly compiled plan: the engine serves
@@ -52,6 +62,14 @@ type epoch struct {
 	plan   *uop.Compiled
 	queue  *Queue
 	alerts atomic.Uint64
+	// barriers delivers checkpoint functions to the live executor's feeder
+	// (see stream.LiveOptions.Barriers); runDone closes when RunLive
+	// returns, releasing anyone waiting to deliver one.
+	barriers chan func()
+	runDone  chan struct{}
+	finished atomic.Bool
+	// recovered marks an epoch restored from a checkpoint at startup.
+	recovered bool
 }
 
 // Server is the TCP/HTTP ingest front end around a continuously running
@@ -72,14 +90,35 @@ type Server struct {
 
 	mu       sync.Mutex
 	ep       *epoch
+	eps      []*epoch // recent epochs (pruned), for all-epoch stats
 	conns    map[net.Conn]struct{}
 	shutdown bool
+	// prunedDrops accumulates queue drops from epochs pruned out of eps,
+	// so the cumulative counter survives epoch turnover.
+	prunedDrops uint64
 
 	start      time.Time
 	ingested   atomic.Uint64
 	ingestErrs atomic.Uint64
 	encodeErrs atomic.Uint64
 	alerts     atomic.Uint64
+
+	// crashed simulates abrupt termination (Crash): checkpointing stops
+	// immediately, so only checkpoints already on disk survive.
+	crashed atomic.Bool
+
+	ckptMu   sync.Mutex
+	ckptLast ckptRecord
+	ckptN    atomic.Uint64
+	ckptErrs atomic.Uint64
+}
+
+// ckptRecord is the most recent checkpoint's vitals.
+type ckptRecord struct {
+	at    time.Time
+	bytes int
+	took  time.Duration
+	err   string
 }
 
 // New validates the config, binds the listeners, and starts the engine and
@@ -174,25 +213,209 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Crash simulates abrupt process termination (kill -9) for recovery tests:
+// checkpointing stops immediately — no final checkpoint is written, so only
+// checkpoints already on disk survive — and the in-memory plan state is
+// torn down without being persisted. The durable-state guarantee under test
+// is exactly this: restarting against the same Store resumes from the last
+// completed checkpoint, and replaying the post-checkpoint suffix reproduces
+// the uninterrupted run's alerts byte for byte.
+func (s *Server) Crash() {
+	s.crashed.Store(true)
+	s.Close()
+}
+
 // engineLoop serves epochs back to back: compile a fresh plan, run it live
 // against a fresh ingest queue until the queue closes ("end") or the server
 // shuts down, broadcast "done", repeat. Plans are never reused across
 // epochs — compiled graphs are single-use.
+//
+// With a Store configured, the first epoch recovers the newest checkpoint
+// on disk (resuming its open windows and epoch number), every epoch writes
+// a final checkpoint as part of its drain (before open windows flush, so a
+// restore still drains identically), and a cleanly completed stream deletes
+// its checkpoint — recovery must never resurrect a finished epoch.
 func (s *Server) engineLoop() {
 	defer s.wg.Done()
 	defer close(s.done)
-	for n := 0; ; n++ {
-		ep := &epoch{n: n, plan: s.cfg.NewPlan(), queue: NewQueue(s.cfg.QueueCap, s.cfg.Policy)}
+	n := 0
+	tryRecover := s.cfg.Store != nil
+	for ; ; n++ {
+		ep := &epoch{
+			n:        n,
+			plan:     s.cfg.NewPlan(),
+			queue:    NewQueue(s.cfg.QueueCap, s.cfg.Policy),
+			barriers: make(chan func()),
+			runDone:  make(chan struct{}),
+		}
+		if tryRecover {
+			tryRecover = false
+			if rn, ok := s.recoverEpoch(ep); ok {
+				ep.n, n = rn, rn
+				ep.recovered = true
+			}
+		}
 		ep.plan.OnResult(func(t *stream.Tuple) { s.emitAlert(ep, t) })
 		s.mu.Lock()
 		s.ep = ep
+		s.eps = append(s.eps, ep)
+		// Prune: keep the last few epochs for stats, folding evicted queue
+		// drops into the cumulative counter.
+		for len(s.eps) > 8 {
+			s.prunedDrops += s.eps[0].queue.Stats().Dropped
+			s.eps = s.eps[1:]
+		}
 		s.mu.Unlock()
-		err := ep.plan.RunLive(s.ctx, s.cfg.Buffer, ep.queue, s.cfg.FlushEvery)
+		if s.cfg.Store != nil && s.cfg.CheckpointEvery > 0 {
+			s.wg.Add(1)
+			go s.periodicCheckpoints(ep)
+		}
+		err := ep.plan.RunLiveOpts(s.ctx, ep.queue, stream.LiveOptions{
+			Buffer:     s.cfg.Buffer,
+			FlushEvery: s.cfg.FlushEvery,
+			Barriers:   ep.barriers,
+			BeforeFlush: func() {
+				// The graph is quiescent and open windows have not flushed:
+				// the final checkpoint of this epoch. Skipped after Crash —
+				// an aborted process writes nothing.
+				if s.cfg.Store != nil && !s.crashed.Load() {
+					s.writeCheckpoint(ep)
+				}
+			},
+		})
+		close(ep.runDone)
+		ep.finished.Store(true)
 		ep.queue.Close() // idempotent; ensures producers fail fast after a cancel
 		s.hub.broadcastControl(mustLine(Msg{Kind: KindDone, Alerts: ep.alerts.Load()}))
+		if err == nil && s.ctx.Err() == nil && s.cfg.Store != nil {
+			// Clean end-of-stream: the epoch is complete, its checkpoint must
+			// not be recovered into a fresh restart.
+			if derr := s.cfg.Store.Delete(ep.n); derr != nil {
+				s.noteCkptErr(derr)
+			}
+		}
 		if err != nil || s.cfg.Once || s.ctx.Err() != nil {
 			return
 		}
+	}
+}
+
+// recoverEpoch restores the newest on-disk checkpoint into ep's freshly
+// compiled plan. It returns the recovered epoch number, or ok == false when
+// there is nothing (or nothing usable) to recover — a corrupt or
+// incompatible checkpoint falls back to a fresh epoch numbered past it,
+// leaving the bad file on disk for diagnosis.
+func (s *Server) recoverEpoch(ep *epoch) (n int, ok bool) {
+	epochs, err := s.cfg.Store.List()
+	if err != nil {
+		s.noteCkptErr(err)
+		return 0, false
+	}
+	if len(epochs) == 0 {
+		return 0, false
+	}
+	newest := epochs[len(epochs)-1]
+	data, err := s.cfg.Store.Get(newest)
+	if err == nil {
+		err = ep.plan.RestoreFrom(data)
+	}
+	if err != nil {
+		s.noteCkptErr(fmt.Errorf("recover epoch %d: %w", newest, err))
+		return newest + 1, true // fresh state, but don't reuse the bad number
+	}
+	return newest, true
+}
+
+// writeCheckpoint snapshots ep's plan and persists it. It must run while
+// the graph is quiescent — on the feeder goroutine via a barrier, or in
+// BeforeFlush.
+func (s *Server) writeCheckpoint(ep *epoch) error {
+	start := time.Now()
+	data, err := ep.plan.Checkpoint()
+	if err == nil {
+		err = s.cfg.Store.Put(ep.n, data)
+	}
+	if err != nil {
+		s.noteCkptErr(err)
+		return err
+	}
+	s.ckptN.Add(1)
+	s.ckptMu.Lock()
+	s.ckptLast = ckptRecord{at: time.Now(), bytes: len(data), took: time.Since(start)}
+	s.ckptMu.Unlock()
+	return nil
+}
+
+func (s *Server) noteCkptErr(err error) {
+	s.ckptErrs.Add(1)
+	s.ckptMu.Lock()
+	s.ckptLast.err = err.Error()
+	s.ckptMu.Unlock()
+}
+
+// periodicCheckpoints drives the timer-based checkpoint cadence for one
+// epoch: each tick delivers a checkpoint function through the barrier
+// channel (the feeder drains in-flight tuples, then runs it) and waits for
+// it to finish, so ticks can never pile up behind a slow disk.
+func (s *Server) periodicCheckpoints(ep *epoch) {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ep.runDone:
+			return
+		case <-t.C:
+			if s.crashed.Load() {
+				return
+			}
+			done := make(chan struct{})
+			fn := func() { s.writeCheckpoint(ep); close(done) }
+			select {
+			case ep.barriers <- fn:
+				<-done
+			case <-ep.runDone:
+				return
+			}
+		}
+	}
+}
+
+// requestCheckpoint runs one checkpoint of the current epoch on demand (the
+// "ckpt" wire command) and waits for it to complete. It first waits for the
+// ingest queue to drain, so the checkpoint provably covers every tuple
+// acknowledged to this client before the request — the property the
+// crash-recovery tests rely on to know exactly which suffix to replay.
+func (s *Server) requestCheckpoint(ep *epoch) error {
+	if s.cfg.Store == nil {
+		return errors.New("checkpointing disabled (no store configured)")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ep.queue.Depth() > 0 {
+		select {
+		case <-ep.runDone:
+			return errors.New("epoch ended before checkpoint ran")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errors.New("checkpoint timed out waiting for queue drain")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	errc := make(chan error, 1)
+	fn := func() { errc <- s.writeCheckpoint(ep) }
+	select {
+	case ep.barriers <- fn:
+		select {
+		case err := <-errc:
+			return err
+		case <-ep.runDone:
+			return errors.New("epoch ended before checkpoint completed")
+		}
+	case <-ep.runDone:
+		return errors.New("epoch ended before checkpoint ran")
+	case <-time.After(10 * time.Second):
+		return errors.New("checkpoint request timed out")
 	}
 }
 
@@ -327,6 +550,17 @@ func (s *Server) handleConn(c net.Conn) {
 				continue
 			}
 			ep.queue.Close()
+			reply(Msg{Kind: KindOK})
+		case KindCkpt:
+			ep := s.epoch()
+			if ep == nil {
+				reply(errMsg("no epoch running"))
+				continue
+			}
+			if err := s.requestCheckpoint(ep); err != nil {
+				reply(errMsg("checkpoint: %v", err))
+				continue
+			}
 			reply(Msg{Kind: KindOK})
 		default:
 			s.ingestErrs.Add(1)
@@ -561,21 +795,71 @@ type BoxStatsz struct {
 	Queue int `json:"queue"`
 }
 
+// EpochStatsz is one epoch's row in the /statsz report: every tracked
+// epoch — running or recently finished — reports its queue pressure and
+// per-box traffic and channel depths, not just the newest.
+type EpochStatsz struct {
+	Epoch     int         `json:"epoch"`
+	Running   bool        `json:"running"`
+	Recovered bool        `json:"recovered,omitempty"`
+	Alerts    uint64      `json:"alerts"`
+	Queue     QueueStats  `json:"queue"`
+	Boxes     []BoxStatsz `json:"boxes"`
+}
+
+// CheckpointStatsz is the /statsz checkpoint section.
+type CheckpointStatsz struct {
+	Count  uint64 `json:"count"`
+	Errors uint64 `json:"errors"`
+	// LastUnixMS / LastBytes / LastDurationMS describe the most recent
+	// successful checkpoint.
+	LastUnixMS     int64   `json:"last_unix_ms,omitempty"`
+	LastBytes      int     `json:"last_bytes,omitempty"`
+	LastDurationMS float64 `json:"last_duration_ms,omitempty"`
+	LastError      string  `json:"last_error,omitempty"`
+	// EpochsOnDisk lists the epochs with a checkpoint in the store.
+	EpochsOnDisk []int `json:"epochs_on_disk,omitempty"`
+}
+
 // Statsz is the /statsz report: engine traffic, queue pressure, and
 // throughput. Cumulative rates, smoke-grade — EXPERIMENTS.md records the
-// measured numbers.
+// measured numbers. Epoch/Queue/Boxes describe the current epoch; Epochs
+// covers every tracked epoch; Checkpoint is present when a Store is
+// configured.
 type Statsz struct {
-	UptimeS      float64     `json:"uptime_s"`
-	Epoch        int         `json:"epoch"`
-	Ingested     uint64      `json:"ingested"`
-	IngestErrors uint64      `json:"ingest_errors"`
-	EncodeErrors uint64      `json:"encode_errors"`
-	Alerts       uint64      `json:"alerts"`
-	TuplesPerS   float64     `json:"tuples_per_s"`
-	Queue        QueueStats  `json:"queue"`
-	Subscribers  int         `json:"subscribers"`
-	SubDropped   uint64      `json:"sub_dropped"`
-	Boxes        []BoxStatsz `json:"boxes"`
+	UptimeS      float64           `json:"uptime_s"`
+	Epoch        int               `json:"epoch"`
+	Ingested     uint64            `json:"ingested"`
+	IngestErrors uint64            `json:"ingest_errors"`
+	EncodeErrors uint64            `json:"encode_errors"`
+	Alerts       uint64            `json:"alerts"`
+	TuplesPerS   float64           `json:"tuples_per_s"`
+	Queue        QueueStats        `json:"queue"`
+	QueueDropped uint64            `json:"queue_dropped_total"`
+	Subscribers  int               `json:"subscribers"`
+	SubDropped   uint64            `json:"sub_dropped"`
+	Boxes        []BoxStatsz       `json:"boxes"`
+	Epochs       []EpochStatsz     `json:"epochs,omitempty"`
+	Checkpoint   *CheckpointStatsz `json:"checkpoint,omitempty"`
+}
+
+func epochStatsz(ep *epoch) EpochStatsz {
+	row := EpochStatsz{
+		Epoch:     ep.n,
+		Running:   !ep.finished.Load(),
+		Recovered: ep.recovered,
+		Alerts:    ep.alerts.Load(),
+		Queue:     ep.queue.Stats(),
+	}
+	depths := ep.plan.Graph.QueueDepths()
+	for i, b := range ep.plan.Graph.Boxes() {
+		r := BoxStatsz{Name: b.Op.Name(), In: b.Stats().In, Out: b.Stats().Out}
+		if i < len(depths) {
+			r.Queue = depths[i]
+		}
+		row.Boxes = append(row.Boxes, r)
+	}
+	return row
 }
 
 // Stats snapshots the server for monitoring.
@@ -593,17 +877,34 @@ func (s *Server) Stats() Statsz {
 	if up > 0 {
 		st.TuplesPerS = float64(st.Ingested) / up
 	}
-	if ep := s.epoch(); ep != nil {
-		st.Epoch = ep.n
-		st.Queue = ep.queue.Stats()
-		depths := ep.plan.Graph.QueueDepths()
-		for i, b := range ep.plan.Graph.Boxes() {
-			row := BoxStatsz{Name: b.Op.Name(), In: b.Stats().In, Out: b.Stats().Out}
-			if i < len(depths) {
-				row.Queue = depths[i]
-			}
-			st.Boxes = append(st.Boxes, row)
+	s.mu.Lock()
+	cur := s.ep
+	eps := append([]*epoch(nil), s.eps...)
+	st.QueueDropped = s.prunedDrops
+	s.mu.Unlock()
+	for _, ep := range eps {
+		row := epochStatsz(ep)
+		st.Epochs = append(st.Epochs, row)
+		st.QueueDropped += row.Queue.Dropped
+		if ep == cur {
+			st.Epoch, st.Queue, st.Boxes = row.Epoch, row.Queue, row.Boxes
 		}
+	}
+	if s.cfg.Store != nil {
+		ck := &CheckpointStatsz{Count: s.ckptN.Load(), Errors: s.ckptErrs.Load()}
+		s.ckptMu.Lock()
+		last := s.ckptLast
+		s.ckptMu.Unlock()
+		if !last.at.IsZero() {
+			ck.LastUnixMS = last.at.UnixMilli()
+			ck.LastBytes = last.bytes
+			ck.LastDurationMS = float64(last.took.Microseconds()) / 1e3
+		}
+		ck.LastError = last.err
+		if epochs, err := s.cfg.Store.List(); err == nil {
+			ck.EpochsOnDisk = epochs
+		}
+		st.Checkpoint = ck
 	}
 	return st
 }

@@ -14,6 +14,7 @@
 //	   "attrs":{"x":[41.2,1.5],"y":[7.0,1.5],"z":2.25,"weight":140}}
 //	  {"kind":"sub"}      subscribe this connection to the alert stream
 //	  {"kind":"end"}      end of input: drain the plan, flush open windows
+//	  {"kind":"ckpt"}     checkpoint now: quiesce, snapshot, persist
 //
 //	server → client
 //	  {"kind":"ok"}                        command acknowledged
@@ -126,6 +127,7 @@ const (
 	KindTuple = "tuple"
 	KindSub   = "sub"
 	KindEnd   = "end"
+	KindCkpt  = "ckpt"
 	KindOK    = "ok"
 	KindErr   = "err"
 	KindAlert = "alert"

@@ -1,0 +1,238 @@
+// Package snap provides the minimal binary encoding used by every
+// snapshot/restore codec in the engine (window buffers, accumulators,
+// lineage multisets, checkpoint manifests).
+//
+// The format is deliberately primitive: uvarint/varint integers, fixed
+// 64-bit IEEE-754 floats (bit-exact — recovery must reproduce alert bytes
+// to the last ulp, so floats round-trip through math.Float64bits, never
+// through text), and length-prefixed strings/byte slices. Every codec
+// built on top writes its own leading version byte; snap itself is
+// versionless plumbing.
+//
+// Reader uses a sticky error: after the first malformed read every
+// subsequent read returns a zero value, and the caller checks Err() once
+// at the end. That keeps restore code linear instead of threading an
+// error through every field.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates an encoded snapshot. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded snapshot. The slice aliases the writer's
+// buffer; the writer must not be reused after.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Uvarint writes an unsigned varint.
+func (w *Writer) Uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+
+// Varint writes a signed (zig-zag) varint.
+func (w *Writer) Varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+
+// U64 writes a fixed-width little-endian 64-bit value.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// F64 writes a float64 as its fixed 64-bit IEEE-754 bit pattern.
+// NaN payloads and signed zeros round-trip exactly.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Blob writes a length-prefixed byte slice.
+func (w *Writer) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// F64s writes a length-prefixed slice of float64s.
+func (w *Writer) F64s(xs []float64) {
+	w.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		w.F64(x)
+	}
+}
+
+// ErrCorrupt is the base error for malformed snapshot bytes.
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// Reader decodes a snapshot produced by Writer. Reads after a decoding
+// error return zero values; check Err once after the last field.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps encoded bytes for decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err reports the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Fail records a decoding error (used by codecs for semantic checks,
+// e.g. an unknown version byte) if none is recorded yet.
+func (r *Reader) Fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.Fail("truncated (%d bytes wanted at offset %d of %d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.Fail("bad varint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// U64 reads a fixed-width little-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 reads a float64 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Len reads a uvarint length prefix and validates it against the bytes
+// actually remaining, so a corrupt length can't drive a giant allocation.
+func (r *Reader) Len() int {
+	n := r.Uvarint()
+	if r.err == nil && n > uint64(r.Remaining()) {
+		r.Fail("length %d exceeds %d remaining bytes", n, r.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.Len()
+	b := r.take(n)
+	return string(b)
+}
+
+// Blob reads a length-prefixed byte slice (copied; does not alias).
+func (r *Reader) Blob() []byte {
+	n := r.Len()
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// F64s reads a length-prefixed slice of float64s.
+func (r *Reader) F64s() []float64 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n*8 > uint64(r.Remaining()) {
+		r.Fail("float slice length %d exceeds remaining bytes", n)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.F64()
+	}
+	return xs
+}
+
+// Close verifies the reader consumed every byte and returns the first
+// error (decoding or trailing garbage).
+func (r *Reader) Close() error {
+	if r.err == nil && r.Remaining() != 0 {
+		r.Fail("%d trailing bytes", r.Remaining())
+	}
+	return r.err
+}

@@ -1,0 +1,181 @@
+package snap
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestRoundTrip writes one value of every primitive and reads them back in
+// order; floats must round-trip bit-exactly, including NaN payloads and
+// signed zero.
+func TestRoundTrip(t *testing.T) {
+	weirdNaN := math.Float64frombits(0x7ff8dead_beef0001)
+	w := &Writer{}
+	w.U8(0xab)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uvarint(0)
+	w.Uvarint(math.MaxUint64)
+	w.Varint(-1)
+	w.Varint(math.MinInt64)
+	w.U64(0x0123456789abcdef)
+	w.F64(math.Copysign(0, -1))
+	w.F64(weirdNaN)
+	w.F64(math.Inf(-1))
+	w.String("")
+	w.String("héllo\x00world")
+	w.Blob(nil)
+	w.Blob([]byte{1, 2, 3})
+	w.F64s([]float64{1.5, -2.25, math.Pi})
+	w.F64s(nil)
+
+	r := NewReader(w.Bytes())
+	if got := r.U8(); got != 0xab {
+		t.Errorf("U8 = %#x", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("Uvarint(0) = %d", got)
+	}
+	if got := r.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("Uvarint(max) = %d", got)
+	}
+	if got := r.Varint(); got != -1 {
+		t.Errorf("Varint(-1) = %d", got)
+	}
+	if got := r.Varint(); got != math.MinInt64 {
+		t.Errorf("Varint(min) = %d", got)
+	}
+	if got := r.U64(); got != 0x0123456789abcdef {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.F64(); math.Float64bits(got) != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("-0.0 bits = %#x", math.Float64bits(got))
+	}
+	if got := r.F64(); math.Float64bits(got) != math.Float64bits(weirdNaN) {
+		t.Errorf("NaN payload bits = %#x", math.Float64bits(got))
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("-Inf = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty string = %q", got)
+	}
+	if got := r.String(); got != "héllo\x00world" {
+		t.Errorf("string = %q", got)
+	}
+	if got := r.Blob(); len(got) != 0 {
+		t.Errorf("nil blob = %v", got)
+	}
+	if got := r.Blob(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("blob = %v", got)
+	}
+	xs := r.F64s()
+	if len(xs) != 3 || xs[0] != 1.5 || xs[1] != -2.25 || xs[2] != math.Pi {
+		t.Errorf("F64s = %v", xs)
+	}
+	if got := r.F64s(); got != nil {
+		t.Errorf("empty F64s = %v", got)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestBlobDoesNotAlias pins Blob's copy contract: mutating the source bytes
+// after the read must not change the decoded blob.
+func TestBlobDoesNotAlias(t *testing.T) {
+	w := &Writer{}
+	w.Blob([]byte{7, 8, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	b := r.Blob()
+	buf[len(buf)-1] = 0
+	if b[2] != 9 {
+		t.Fatalf("Blob aliases the reader's buffer: %v", b)
+	}
+}
+
+// TestTruncation: every truncation point of a valid encoding must surface
+// ErrCorrupt, never panic and never succeed.
+func TestTruncation(t *testing.T) {
+	w := &Writer{}
+	w.U8(1)
+	w.Uvarint(300)
+	w.F64(3.5)
+	w.String("abcdef")
+	w.F64s([]float64{1, 2})
+	full := w.Bytes()
+	for n := 0; n < len(full); n++ {
+		r := NewReader(full[:n])
+		r.U8()
+		r.Uvarint()
+		r.F64()
+		_ = r.String()
+		r.F64s()
+		if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated at %d/%d bytes: err = %v, want ErrCorrupt", n, len(full), err)
+		}
+	}
+}
+
+// TestStickyError: after the first failure every read returns a zero value
+// and the original error is preserved.
+func TestStickyError(t *testing.T) {
+	r := NewReader([]byte{})
+	r.U8() // fails: empty
+	first := r.Err()
+	if first == nil {
+		t.Fatal("read from empty input did not fail")
+	}
+	if got := r.Uvarint(); got != 0 {
+		t.Errorf("post-error Uvarint = %d", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("post-error String = %q", got)
+	}
+	r.Fail("should not overwrite")
+	if r.Err() != first {
+		t.Errorf("error was overwritten: %v", r.Err())
+	}
+}
+
+// TestLenBoundsAllocation: a length prefix larger than the remaining bytes
+// must fail instead of driving a giant allocation.
+func TestLenBoundsAllocation(t *testing.T) {
+	w := &Writer{}
+	w.Uvarint(1 << 40)
+	r := NewReader(w.Bytes())
+	if n := r.Len(); n != 0 {
+		t.Errorf("oversized Len = %d, want 0", n)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("oversized Len err = %v", r.Err())
+	}
+
+	w2 := &Writer{}
+	w2.Uvarint(1 << 40)
+	r2 := NewReader(w2.Bytes())
+	if xs := r2.F64s(); xs != nil {
+		t.Errorf("oversized F64s = %v", xs)
+	}
+	if !errors.Is(r2.Err(), ErrCorrupt) {
+		t.Errorf("oversized F64s err = %v", r2.Err())
+	}
+}
+
+// TestCloseRejectsTrailingBytes: a codec must consume its whole blob; spare
+// bytes mean the reader and writer disagree about the format.
+func TestCloseRejectsTrailingBytes(t *testing.T) {
+	w := &Writer{}
+	w.U8(1)
+	w.U8(2)
+	r := NewReader(w.Bytes())
+	r.U8()
+	if err := r.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Close with trailing bytes: %v, want ErrCorrupt", err)
+	}
+}

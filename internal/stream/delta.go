@@ -35,6 +35,11 @@ type deltaWindowOp struct {
 	started  bool
 	winStart Time
 	evictBuf []*Tuple
+
+	// state, when non-nil, is the consumer's durable-state hook: its blob
+	// rides along in this operator's snapshot, and on restore it rebuilds
+	// the accumulators that shadow the ring (see NewDeltaWindowState).
+	state DeltaConsumerState
 }
 
 // NewDeltaWindow creates a delta-aware sliding time window: spec must have

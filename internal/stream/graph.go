@@ -2,8 +2,10 @@ package stream
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Box is a node in the box-arrow diagram: an operator plus its outgoing arrows.
@@ -192,6 +194,7 @@ const batchSize = 32
 // batcher accumulates a producer's pending batches, one per outgoing arrow
 // (or per injection target for the feeder).
 type batcher struct {
+	r     *chanRun
 	chans []chan batch
 	// pending[i] is the open batch for arrow/target i.
 	pending [][]*Tuple
@@ -200,6 +203,7 @@ type batcher struct {
 func (w *batcher) add(ch chan batch, port, i int, t *Tuple) {
 	w.pending[i] = append(w.pending[i], t)
 	if len(w.pending[i]) >= batchSize {
+		w.r.inflight.Add(1)
 		ch <- batch{port: port, ts: w.pending[i]}
 		w.pending[i] = nil // the consumer owns the flushed slice
 	}
@@ -214,6 +218,13 @@ type chanRun struct {
 	producers []int
 	mu        sync.Mutex
 	wg        sync.WaitGroup
+	// inflight counts batches whose downstream effects have not yet fully
+	// propagated: incremented before every channel send, decremented by the
+	// consuming box only after it has processed the batch AND flushed the
+	// outputs it caused into downstream channels (which increments them
+	// first). With the feeder idle, inflight == 0 therefore means the graph
+	// is fully quiescent — the checkpoint barrier's consistency condition.
+	inflight atomic.Int64
 }
 
 // startRun transitions the graph to running and launches one goroutine per
@@ -265,11 +276,12 @@ func (r *chanRun) release(id int) {
 func (r *chanRun) runBox(b *Box) {
 	defer r.wg.Done()
 	chans := r.chans
-	w := batcher{chans: chans, pending: make([][]*Tuple, len(b.outs))}
+	w := batcher{r: r, chans: chans, pending: make([][]*Tuple, len(b.outs))}
 	flushAll := func() {
 		for i, p := range w.pending {
 			if len(p) > 0 {
 				a := b.outs[i]
+				r.inflight.Add(1)
 				chans[a.to.id] <- batch{port: a.port, ts: p}
 				w.pending[i] = nil
 			}
@@ -310,6 +322,7 @@ func (r *chanRun) runBox(b *Box) {
 			break
 		}
 		process(bt)
+		taken := int64(1)
 		// Drain whatever is already queued without blocking, then run the
 		// idle flush (operator Idle hook + partial batches) before the next
 		// blocking receive — a pending tuple must never wait on a producer
@@ -324,11 +337,16 @@ func (r *chanRun) runBox(b *Box) {
 					break drain
 				}
 				process(bt)
+				taken++
 			default:
 				break drain
 			}
 		}
 		idleFlush()
+		// Only now have this round's batches fully propagated: their outputs
+		// sit in downstream channels (counted by the sends above), so the
+		// inflight count can never transiently hit zero with work pending.
+		r.inflight.Add(-taken)
 	}
 	b.Op.Flush(emit)
 	flushAll()
@@ -342,9 +360,25 @@ func (r *chanRun) runBox(b *Box) {
 // will idle-flush on its own once it drains.
 func (r *chanRun) tick() {
 	for _, ch := range r.chans {
+		r.inflight.Add(1)
 		select {
 		case ch <- batch{port: tickPort}:
 		default:
+			r.inflight.Add(-1)
+		}
+	}
+}
+
+// quiesce blocks until no batch is queued or mid-processing anywhere in the
+// graph. The caller must guarantee no producer injects concurrently — in
+// RunLive the feeder goroutine itself calls this after flushing its own
+// pending batches, and it is the only external producer.
+func (r *chanRun) quiesce() {
+	for i := 0; r.inflight.Load() != 0; i++ {
+		if i < 100 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
 		}
 	}
 }
@@ -372,7 +406,7 @@ type feeder struct {
 }
 
 func (r *chanRun) newFeeder() *feeder {
-	return &feeder{r: r, w: batcher{chans: r.chans}, targets: map[[2]int]int{}}
+	return &feeder{r: r, w: batcher{r: r, chans: r.chans}, targets: map[[2]int]int{}}
 }
 
 func (f *feeder) inject(b *Box, port int, t *Tuple) {
@@ -394,6 +428,7 @@ func (f *feeder) flush() {
 	for i, p := range f.w.pending {
 		if len(p) > 0 {
 			key := f.tkeys[i]
+			f.r.inflight.Add(1)
 			f.r.chans[key[0]] <- batch{port: key[1], ts: p}
 			f.w.pending[i] = nil
 		}

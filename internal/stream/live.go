@@ -67,6 +67,29 @@ func SliceSource(sts []SourceTuple) Source {
 // non-positive one.
 const DefaultFlushEvery = 100 * time.Millisecond
 
+// LiveOptions configures RunLiveOpts.
+type LiveOptions struct {
+	// Buffer is the per-box input channel capacity (<= 0 selects the
+	// default).
+	Buffer int
+	// FlushEvery bounds output latency when the graph is quiet: every
+	// interval the feeder wakes each box to run its idle flush.
+	// Non-positive selects DefaultFlushEvery.
+	FlushEvery time.Duration
+	// Barriers, when non-nil, delivers quiesce requests to the running
+	// graph. For each function received the executor stops feeding, flushes
+	// its pending injections, waits until no tuple is queued or
+	// mid-processing anywhere, invokes the function (checkpoints read
+	// operator state here — every box is idle, so Snapshot is safe), then
+	// resumes feeding. The function runs on the feeder goroutine.
+	Barriers <-chan func()
+	// BeforeFlush, when non-nil, runs once after the feed has ended and the
+	// graph has quiesced, but before operators flush — open windows have not
+	// yet emitted their final results. It is the final-checkpoint hook: a
+	// snapshot taken here restores to a graph that still drains identically.
+	BeforeFlush func()
+}
+
 // RunLive executes the graph continuously against a live source: one
 // goroutine per box exactly like RunChan, but with a context-driven feeder
 // built for streams that never end. Tuples flow downstream as they arrive
@@ -83,14 +106,28 @@ const DefaultFlushEvery = 100 * time.Millisecond
 // the feeder wakes each box to run its idle flush. Non-positive selects
 // DefaultFlushEvery.
 func (g *Graph) RunLive(ctx context.Context, buffer int, src Source, flushEvery time.Duration) error {
+	return g.RunLiveOpts(ctx, src, LiveOptions{Buffer: buffer, FlushEvery: flushEvery})
+}
+
+// RunLiveOpts is RunLive with checkpoint hooks; see LiveOptions.
+func (g *Graph) RunLiveOpts(ctx context.Context, src Source, opts LiveOptions) error {
+	flushEvery := opts.FlushEvery
 	if flushEvery <= 0 {
 		flushEvery = DefaultFlushEvery
 	}
-	r := g.startRun(buffer)
+	r := g.startRun(opts.Buffer)
 	f := r.newFeeder()
 	in := src.Tuples()
 	ticker := time.NewTicker(flushEvery)
 	defer ticker.Stop()
+	// barrier quiesces the graph and runs fn while every box is idle. The
+	// feeder is the only external producer, so flushing its batches and
+	// waiting out the inflight count is a complete quiescence proof.
+	barrier := func(fn func()) {
+		f.flush()
+		r.quiesce()
+		fn()
+	}
 	// drainPending consumes whatever the source already holds — on
 	// cancellation, tuples the producer handed over before the cancel are
 	// still processed, so shutdown never silently discards accepted input.
@@ -118,6 +155,9 @@ loop:
 			}
 			f.inject(st.Box, st.Port, st.T)
 			continue
+		case fn := <-opts.Barriers:
+			barrier(fn)
+			continue
 		case <-ctx.Done():
 			err = ctx.Err()
 			drainPending()
@@ -134,6 +174,8 @@ loop:
 				break loop
 			}
 			f.inject(st.Box, st.Port, st.T)
+		case fn := <-opts.Barriers:
+			barrier(fn)
 		case <-ctx.Done():
 			err = ctx.Err()
 			drainPending()
@@ -143,6 +185,10 @@ loop:
 		}
 	}
 	f.flush()
+	if opts.BeforeFlush != nil {
+		r.quiesce()
+		opts.BeforeFlush()
+	}
 	r.finish()
 	return err
 }
