@@ -1,5 +1,5 @@
 // Package repro's root benchmark suite regenerates the performance side of
-// every table and figure in the paper (see DESIGN.md §6 for the experiment
+// every table and figure in the paper (see DESIGN.md §7 for the experiment
 // index and EXPERIMENTS.md for paper-vs-measured numbers):
 //
 //	BenchmarkTable1AveragingSweep  — Table 1 (moment generation + detection per size)

@@ -226,12 +226,33 @@ func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float6
 	emit(compiled.Close())
 }
 
+// dialRetry dials addr with growing backoff inside the budget: a daemon (or
+// cluster router) started in parallel with the replay — the smoke-test
+// shape — may still be binding its listener on the first attempts.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	delay := 50 * time.Millisecond
+	for {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().Add(delay).After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
 // replayTrace drives a live streamd daemon: subscribe on one connection,
 // replay the trace's wire tuples on another, send "end", and print the
 // received alert lines until "done".
 func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, out *bufio.Writer) error {
 	// Subscribe first so no alert can slip out before we listen.
-	subConn, err := net.Dial("tcp", addr)
+	subConn, err := dialRetry(addr, 10*time.Second)
 	if err != nil {
 		return fmt.Errorf("subscribe dial %s: %w", addr, err)
 	}
@@ -244,7 +265,7 @@ func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, 
 		return fmt.Errorf("subscribe: %w", err)
 	}
 
-	ingest, err := net.Dial("tcp", addr)
+	ingest, err := dialRetry(addr, 10*time.Second)
 	if err != nil {
 		return fmt.Errorf("ingest dial %s: %w", addr, err)
 	}

@@ -11,6 +11,7 @@
 //	 "attrs":{"x":[41.2,1.5],"y":[7.0,1.5],"z":2.25,"weight":140}}
 //	{"kind":"sub"}   → subscribe to the alert stream
 //	{"kind":"end"}   → drain: flush open windows, broadcast "done"
+//	{"kind":"ping"}  → health check; answered with {"kind":"pong",...}
 //
 // After a drain the daemon compiles a fresh plan and serves the next
 // stream, unless -once is set (the smoke-test mode: exit after the first
@@ -18,10 +19,13 @@
 //
 // Usage:
 //
-//	streamd [-addr :9090] [-http :9091] [-query q1|q2] [-shards N]
+//	streamd [-mode server|worker|router] [-addr :9090] [-http :9091]
+//	        [-query q1|q2] [-shards N]
 //	        [-window MS] [-slide MS] [-threshold LBS] [-area-ft FT]
 //	        [-queue N] [-policy block|drop-oldest] [-flush-every DUR]
 //	        [-data-dir DIR] [-checkpoint-every DUR] [-once]
+//	        [-workers ADDR,ADDR,...] [-replicas N] [-vnodes N]
+//	        [-weights W,W,...] [-ping-every DUR]
 //
 // With -data-dir set the daemon is crash-safe: it checkpoints the running
 // plan's durable state (window buffers, accumulators, lineage) to
@@ -30,7 +34,25 @@
 // alerts are byte-identical to an uninterrupted run. A SIGTERM drain writes
 // the final checkpoint before open windows flush.
 //
-// cmd/rfidtrace -replay ADDR is the matching load generator.
+// # Cluster execution
+//
+// -mode worker starts a cluster worker: it waits for a router to join it,
+// then runs the worker half of the cluster split (partial aggregates over
+// its key subset). -mode router starts the front end: it owns the window
+// clock, routes each tuple by key over a consistent-hash ring across
+// -workers, merges the workers' partials, and serves clients the exact
+// protocol above — alerts are byte-identical to a single-process run. With
+// -replicas 2 every tuple is dual-written to the owner's ring successor,
+// and -checkpoint-every drives cluster checkpoints so a killed worker fails
+// over from snapshot + replay tail. See DESIGN.md "Cluster execution".
+//
+//	streamd -mode worker -addr :9191 &
+//	streamd -mode worker -addr :9192 &
+//	streamd -mode worker -addr :9193 &
+//	streamd -mode router -addr :9090 -workers :9191,:9192,:9193 -replicas 2
+//
+// cmd/rfidtrace -replay ADDR is the matching load generator for both
+// single-process and router addresses.
 package main
 
 import (
@@ -38,9 +60,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/router"
 	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/uop"
@@ -50,10 +75,11 @@ func main() {
 	// Q1 flag defaults come from the shared config so the daemon and the
 	// rfidtrace -wire offline reference can never disagree silently.
 	def := server.DefaultQ1Config()
+	mode := flag.String("mode", "server", "server (single-process), worker (cluster worker), or router (cluster front end)")
 	addr := flag.String("addr", "127.0.0.1:9090", "TCP listen address for the JSON-lines protocol")
 	httpAddr := flag.String("http", "", "HTTP listen address for /statsz (empty disables)")
 	query := flag.String("query", "q1", "query plan to serve: q1 (fire code) or q2 (flammable co-location)")
-	shards := flag.Int("shards", 2, "shard-parallel instances per eligible box (0 = unsharded)")
+	shards := flag.Int("shards", 2, "shard-parallel instances per eligible box (0 = unsharded; server mode only)")
 	windowMS := flag.Int64("window", int64(def.WindowMS), "q1 window Range in ms")
 	slideMS := flag.Int64("slide", 0, "q1 window Slide in ms (0 = tumbling)")
 	threshold := flag.Float64("threshold", def.ThresholdLbs, "q1 weight threshold in pounds / q2 temperature threshold in °C (q2 default 60)")
@@ -63,52 +89,88 @@ func main() {
 	policyName := flag.String("policy", "block", "backpressure policy when the queue fills: block or drop-oldest")
 	buffer := flag.Int("buffer", 128, "per-box channel buffer of the live executor")
 	flushEvery := flag.Duration("flush-every", stream.DefaultFlushEvery, "idle flush cadence bounding quiet-stream alert latency")
-	dataDir := flag.String("data-dir", "", "checkpoint directory for crash-safe durable state (empty disables)")
-	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint cadence when -data-dir is set (0 = only on drain/shutdown)")
+	dataDir := flag.String("data-dir", "", "checkpoint directory for crash-safe durable state (empty disables; server mode only)")
+	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint cadence: plan checkpoints with -data-dir (server mode), cluster checkpoints with -replicas 2 (router mode)")
 	once := flag.Bool("once", false, "exit after the first end-of-stream drain")
+	workersFlag := flag.String("workers", "", "router mode: comma-separated worker addresses (slot i = i-th address)")
+	replicas := flag.Int("replicas", 1, "router mode: per-key copy count (2 dual-writes each tuple to the owner's ring successor for failover)")
+	vnodes := flag.Int("vnodes", 0, "router mode: ring virtual nodes per weight unit (0 = default)")
+	weightsFlag := flag.String("weights", "", "router mode: comma-separated per-worker ring weights (arity must match -workers)")
+	pingEvery := flag.Duration("ping-every", time.Second, "router mode: worker liveness-probe cadence (0 disables)")
 	flag.Parse()
 
-	policy, err := server.ParsePolicy(*policyName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "streamd:", err)
-		os.Exit(2)
-	}
 	// The threshold and min-prob flags default for q1; q2 falls back to its
 	// own documented defaults (60 °C, 0.05) unless set explicitly.
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
-	var newPlan func() *uop.Compiled
-	switch *query {
-	case "q1":
-		cfg := def
-		cfg.WindowMS = stream.Time(*windowMS)
-		cfg.SlideMS = stream.Time(*slideMS)
-		cfg.ThresholdLbs = *threshold
-		cfg.AreaFt = *areaFt
-		cfg.MinAlertProb = *minProb
-		cfg.Shards = *shards
-		newPlan = server.Q1Plan(cfg)
-	case "q2":
-		q2 := server.Q2PlanConfig{Shards: *shards}
-		if explicit["threshold"] {
-			q2.TempThreshold = *threshold
+	q1cfg := def
+	q1cfg.WindowMS = stream.Time(*windowMS)
+	q1cfg.SlideMS = stream.Time(*slideMS)
+	q1cfg.ThresholdLbs = *threshold
+	q1cfg.AreaFt = *areaFt
+	q1cfg.MinAlertProb = *minProb
+
+	// Cluster modes split one query across processes, so they compile from
+	// the cluster plan, not the per-process sharded one.
+	clusterPlan := func() *uop.ClusterPlan {
+		if *query != "q1" {
+			fatalf(2, "-mode %s supports -query q1 only (q2's join does not cluster; run it with -mode server)", *mode)
 		}
-		if explicit["min-prob"] {
-			q2.MinProb = *minProb
+		if *dataDir != "" {
+			fatalf(2, "-data-dir applies to -mode server (cluster checkpoints are router-coordinated; use -checkpoint-every on the router)")
 		}
-		newPlan = server.Q2Plan(q2)
+		plan, err := uop.BuildQ1(q1cfg).Cluster()
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		return plan
+	}
+
+	switch *mode {
+	case "router":
+		runRouter(routerConfig(clusterPlan(), *addr, *httpAddr, *workersFlag, *weightsFlag,
+			*replicas, *vnodes, *queueCap, *pingEvery, *ckptEvery, *once, explicit))
+		return
+	case "worker", "server":
 	default:
-		fmt.Fprintf(os.Stderr, "streamd: unknown query %q (want q1 or q2)\n", *query)
-		os.Exit(2)
+		fatalf(2, "unknown -mode %q (want server, worker, or router)", *mode)
+	}
+
+	policy, err := server.ParsePolicy(*policyName)
+	if err != nil {
+		fatalf(2, "%v", err)
+	}
+
+	var newPlan func() *uop.Compiled
+	cluster := *mode == "worker"
+	if cluster {
+		newPlan = clusterPlan().CompileWorker
+	} else {
+		switch *query {
+		case "q1":
+			cfg := q1cfg
+			cfg.Shards = *shards
+			newPlan = server.Q1Plan(cfg)
+		case "q2":
+			q2 := server.Q2PlanConfig{Shards: *shards}
+			if explicit["threshold"] {
+				q2.TempThreshold = *threshold
+			}
+			if explicit["min-prob"] {
+				q2.MinProb = *minProb
+			}
+			newPlan = server.Q2Plan(q2)
+		default:
+			fatalf(2, "unknown query %q (want q1 or q2)", *query)
+		}
 	}
 
 	var store server.Store
 	if *dataDir != "" {
 		fs, err := server.NewFileStore(*dataDir)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "streamd:", err)
-			os.Exit(1)
+			fatalf(1, "%v", err)
 		}
 		store = fs
 	}
@@ -124,13 +186,17 @@ func main() {
 		Once:            *once,
 		Store:           store,
 		CheckpointEvery: *ckptEvery,
+		Cluster:         cluster,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "streamd:", err)
-		os.Exit(1)
+		fatalf(1, "%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "streamd: serving %s (shards=%d, policy=%s) on %s\n",
-		*query, *shards, policy, s.Addr())
+	if cluster {
+		fmt.Fprintf(os.Stderr, "streamd: cluster worker (query=%s) on %s, waiting for a router join\n", *query, s.Addr())
+	} else {
+		fmt.Fprintf(os.Stderr, "streamd: serving %s (shards=%d, policy=%s) on %s\n",
+			*query, *shards, policy, s.Addr())
+	}
 	if store != nil {
 		fmt.Fprintf(os.Stderr, "streamd: checkpointing to %s every %v\n", *dataDir, *ckptEvery)
 		if st := s.Stats(); st.Checkpoint != nil && st.Checkpoint.LastError != "" {
@@ -163,4 +229,90 @@ func main() {
 		fmt.Fprintf(os.Stderr, "streamd: final checkpoint: %d bytes, %d checkpoints this run, %d on disk\n",
 			st.Checkpoint.LastBytes, st.Checkpoint.Count, len(st.Checkpoint.EpochsOnDisk))
 	}
+}
+
+// routerConfig assembles and validates the router-mode configuration.
+func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFlag string,
+	replicas, vnodes, sendBuffer int, pingEvery, ckptEvery time.Duration, once bool,
+	explicit map[string]bool) router.Config {
+	if workersFlag == "" {
+		fatalf(2, "-mode router requires -workers ADDR,ADDR,...")
+	}
+	workers := strings.Split(workersFlag, ",")
+	for i, w := range workers {
+		workers[i] = strings.TrimSpace(w)
+		if workers[i] == "" {
+			fatalf(2, "-workers has an empty address at position %d", i)
+		}
+	}
+	var weights []int
+	if weightsFlag != "" {
+		for _, f := range strings.Split(weightsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				fatalf(2, "-weights %q: each weight must be a positive integer", weightsFlag)
+			}
+			weights = append(weights, v)
+		}
+		if len(weights) != len(workers) {
+			fatalf(2, "-weights has %d entries for %d workers", len(weights), len(workers))
+		}
+	}
+	// Cluster checkpoints need a replica to install snapshots on: with
+	// -replicas 1 an explicit cadence is a configuration error, and the
+	// 5s server-mode default silently means "off".
+	if explicit["checkpoint-every"] && ckptEvery > 0 && replicas < 2 {
+		fatalf(2, "-checkpoint-every in router mode needs -replicas 2 (no replica to install snapshots on)")
+	}
+	if !explicit["checkpoint-every"] || replicas < 2 {
+		ckptEvery = 0
+	}
+	return router.Config{
+		Addr:       addr,
+		HTTPAddr:   httpAddr,
+		Workers:    workers,
+		Replicas:   replicas,
+		Vnodes:     vnodes,
+		Weights:    weights,
+		Plan:       plan,
+		SendBuffer: sendBuffer,
+		PingEvery:  pingEvery,
+		CkptEvery:  ckptEvery,
+		Once:       once,
+	}
+}
+
+// runRouter serves the cluster front end until SIGTERM or the -once drain.
+func runRouter(cfg router.Config) {
+	r, err := router.New(cfg)
+	if err != nil {
+		fatalf(1, "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "streamd: router over %d workers (replicas=%d) on %s\n",
+		len(cfg.Workers), cfg.Replicas, r.Addr())
+	if ha := r.HTTPAddr(); ha != nil {
+		fmt.Fprintf(os.Stderr, "streamd: /statsz on http://%s/statsz\n", ha)
+	}
+	if cfg.CkptEvery > 0 {
+		fmt.Fprintf(os.Stderr, "streamd: cluster checkpoints every %v\n", cfg.CkptEvery)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-r.Done():
+		// -once drain finished.
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "streamd: router shutting down")
+	}
+	r.Close()
+	st := r.Stats()
+	fmt.Fprintf(os.Stderr,
+		"streamd: router served %d tuples (%.0f/s), %d alerts, %d failovers, %d checkpoints, %d worker errors\n",
+		st.Ingested, st.TuplesPerS, st.Alerts, st.Failovers, st.Checkpoints, st.WorkerErrors)
+}
+
+func fatalf(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "streamd: "+format+"\n", args...)
+	os.Exit(code)
 }

@@ -82,6 +82,27 @@ func (o *groupSumOp) Shard(p int) stream.ShardPlan {
 	return plan
 }
 
+// GroupSumConfig exposes the aggregate's configuration to the cluster
+// planner (internal/uop.Cluster), which splits the box at the same
+// partial/merge boundary Shard uses — partials on remote workers, the
+// deterministic merge on the router.
+func (o *groupSumOp) GroupSumConfig() GroupSumOpConfig { return o.cfg }
+
+// NewGroupSumPartialOp builds one worker-process instance of a clustered
+// group aggregate: the externally clocked partial form that Shard deploys
+// in-process, emitting per-group partials plus the forwarded close
+// punctuations the cluster merge counts.
+func NewGroupSumPartialOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	return newPartialGroupSumOp(name, cfg)
+}
+
+// NewGroupSumMergeOp builds the p-way deterministic merge of a clustered
+// group aggregate, identical to the in-process merge behind a Partition
+// box: port i carries worker i's partials and closes.
+func NewGroupSumMergeOp(name string, cfg GroupSumOpConfig, p int) stream.Operator {
+	return newGroupSumMerge(name, cfg, p)
+}
+
 // partialContrib is one gated contribution to a group, tagged with the
 // contributing tuple's global arrival sequence.
 type partialContrib struct {

@@ -1,0 +1,237 @@
+package ring
+
+import (
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func uniform(ids ...string) *Ring {
+	r := New(0)
+	for _, id := range ids {
+		r.Add(Member{ID: id, Weight: 1})
+	}
+	return r
+}
+
+// The ring must be a pure function of its member set: any insertion
+// order yields the same points and the same key→owner mapping.
+func TestDeterministicAcrossInsertionOrder(t *testing.T) {
+	a := uniform("worker0", "worker1", "worker2", "worker3")
+	b := uniform("worker3", "worker1", "worker0", "worker2")
+	if len(a.points) != len(b.points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i] != b.points[i] {
+			t.Fatalf("point %d differs: %v vs %v", i, a.points[i], b.points[i])
+		}
+	}
+	for key := int64(0); key < 1000; key++ {
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %d: owner %q vs %q", key, oa, ob)
+		}
+	}
+}
+
+func TestLookupDistribution(t *testing.T) {
+	r := uniform("worker0", "worker1", "worker2", "worker3")
+	counts := map[string]int{}
+	const n = 20000
+	for key := int64(0); key < n; key++ {
+		o, ok := r.Owner(key)
+		if !ok {
+			t.Fatal("empty ring")
+		}
+		counts[o]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d members received keys: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		share := float64(c) / n
+		if share < 0.13 || share > 0.40 {
+			t.Errorf("%s share %.3f outside [0.13, 0.40]: %v", id, share, counts)
+		}
+	}
+}
+
+func TestWeightedDistribution(t *testing.T) {
+	r := New(0)
+	r.Add(Member{ID: "small", Weight: 1})
+	r.Add(Member{ID: "big", Weight: 3})
+	counts := map[string]int{}
+	const n = 20000
+	for key := int64(0); key < n; key++ {
+		o, _ := r.Owner(key)
+		counts[o]++
+	}
+	ratio := float64(counts["big"]) / float64(counts["small"])
+	if ratio < 1.8 || ratio > 5.0 {
+		t.Fatalf("weight-3 over weight-1 key ratio %.2f outside [1.8, 5.0]: %v", ratio, counts)
+	}
+	shares := r.Spread()
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("spread shares sum to %.6f, want 1", sum)
+	}
+}
+
+func TestOwnerMatchesKeyHash(t *testing.T) {
+	// Owner must be Lookup(KeyHash64(key)) — the same hash the in-process
+	// partitioner feeds ShardOfKey — not a second hash of the key.
+	r := uniform("a", "b", "c")
+	for key := int64(-50); key < 50; key++ {
+		viaOwner, _ := r.Owner(key)
+		viaLookup, _ := r.Lookup(stream.KeyHash64(key))
+		if viaOwner != viaLookup {
+			t.Fatalf("key %d: Owner %q != Lookup(KeyHash64) %q", key, viaOwner, viaLookup)
+		}
+	}
+}
+
+func TestVersionBumps(t *testing.T) {
+	r := New(0)
+	if r.Version() != 0 {
+		t.Fatalf("fresh ring version = %d", r.Version())
+	}
+	r.Add(Member{ID: "a"})
+	r.Add(Member{ID: "b"})
+	if r.Version() != 2 {
+		t.Fatalf("after two adds version = %d", r.Version())
+	}
+	r.Remove("missing") // no-op
+	if r.Version() != 2 {
+		t.Fatalf("no-op remove bumped version to %d", r.Version())
+	}
+	r.Remove("a")
+	if r.Version() != 3 {
+		t.Fatalf("after remove version = %d", r.Version())
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	r := uniform("worker0", "worker1", "worker2")
+	seen := map[string]string{}
+	for _, m := range r.Members() {
+		s, ok := r.Successor(m.ID)
+		if !ok {
+			t.Fatalf("no successor for %s", m.ID)
+		}
+		if s == m.ID {
+			t.Fatalf("successor of %s is itself", m.ID)
+		}
+		seen[m.ID] = s
+	}
+	// Deterministic across rebuilds.
+	r2 := uniform("worker2", "worker0", "worker1")
+	for id, s := range seen {
+		if s2, _ := r2.Successor(id); s2 != s {
+			t.Fatalf("successor of %s differs across builds: %q vs %q", id, s, s2)
+		}
+	}
+	if _, ok := uniform("solo").Successor("solo"); ok {
+		t.Fatal("single-member ring reported a successor")
+	}
+	if _, ok := r.Successor("ghost"); ok {
+		t.Fatal("non-member reported a successor")
+	}
+}
+
+func TestSuccessorsStartWithOwner(t *testing.T) {
+	r := uniform("worker0", "worker1", "worker2", "worker3")
+	for key := int64(0); key < 200; key++ {
+		owner, _ := r.Owner(key)
+		ss := r.Successors(key, 2)
+		if len(ss) != 2 {
+			t.Fatalf("key %d: got %d successors", key, len(ss))
+		}
+		if ss[0] != owner {
+			t.Fatalf("key %d: successors start with %q, owner is %q", key, ss[0], owner)
+		}
+		if ss[1] == ss[0] {
+			t.Fatalf("key %d: duplicate successor %q", key, ss[1])
+		}
+	}
+}
+
+// A rebalance plan must cover exactly the keys whose owner changed:
+// every changed key falls in a move with matching From/To, and every key
+// inside a move range did change that way.
+func TestRebalanceCoversExactlyTheChangedKeys(t *testing.T) {
+	old := uniform("worker0", "worker1", "worker2")
+	cur := uniform("worker0", "worker1", "worker2")
+	cur.Add(Member{ID: "worker3", Weight: 1})
+	moves := Rebalance(old, cur)
+	if len(moves) == 0 {
+		t.Fatal("adding a member produced no moves")
+	}
+	for _, m := range moves {
+		if m.To != "worker3" {
+			t.Fatalf("add-only rebalance moved keys to %q: %v", m.To, m)
+		}
+		if m.From == "worker3" {
+			t.Fatalf("add-only rebalance moved keys away from the new member: %v", m)
+		}
+	}
+	inMove := func(h uint64) (Move, bool) {
+		for _, m := range moves {
+			if m.Start < m.End {
+				if h > m.Start && h <= m.End {
+					return m, true
+				}
+			} else if h > m.Start || h <= m.End { // wrap range
+				return m, true
+			}
+		}
+		return Move{}, false
+	}
+	var moved int
+	for key := int64(0); key < 20000; key++ {
+		h := stream.KeyHash64(key)
+		was, _ := old.Lookup(h)
+		now, _ := cur.Lookup(h)
+		m, covered := inMove(h)
+		if was == now {
+			if covered {
+				t.Fatalf("key %d (owner %q unchanged) inside move %v", key, was, m)
+			}
+			continue
+		}
+		moved++
+		if !covered {
+			t.Fatalf("key %d moved %q→%q but no move covers it", key, was, now)
+		}
+		if m.From != was || m.To != now {
+			t.Fatalf("key %d moved %q→%q but covering move says %v", key, was, now, m)
+		}
+	}
+	// Adding a 4th uniform member should claim roughly a quarter of keys.
+	if frac := float64(moved) / 20000; frac < 0.10 || frac > 0.45 {
+		t.Fatalf("add of 1-of-4 moved %.3f of keys, want ~0.25", frac)
+	}
+
+	// Remove direction: every move originates at the removed member.
+	back := Rebalance(cur, old)
+	if len(back) == 0 {
+		t.Fatal("removing a member produced no moves")
+	}
+	for _, m := range back {
+		if m.From != "worker3" {
+			t.Fatalf("remove-only rebalance moved keys from %q: %v", m.From, m)
+		}
+	}
+}
+
+func TestRebalanceIdentical(t *testing.T) {
+	a := uniform("x", "y")
+	b := uniform("y", "x")
+	if moves := Rebalance(a, b); len(moves) != 0 {
+		t.Fatalf("identical rings produced moves: %v", moves)
+	}
+}

@@ -1,0 +1,125 @@
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/uop"
+)
+
+// BenchmarkClusterWire measures end-to-end cluster throughput: JSON tuples
+// over localhost TCP into the router, through partition + routing, the
+// worker hop (ship, partial-aggregate, part lines back), the head merge,
+// and the alert stream to a subscriber. Each iteration replays the trace as
+// one epoch. Comparing tuples/s against BenchmarkServerWire (the same trace
+// through a single-process daemon) isolates the router-hop overhead; the
+// replicas=2 variant adds the dual-write cost.
+func BenchmarkClusterWire(b *testing.B) {
+	for _, bc := range []struct {
+		workers, replicas int
+	}{
+		{1, 1},
+		{3, 1},
+		{3, 2},
+	} {
+		b.Run(fmt.Sprintf("workers=%d/replicas=%d", bc.workers, bc.replicas), func(b *testing.B) {
+			msgs := wireTrace(b, 40, 300)
+			lines := make([][]byte, len(msgs))
+			for i, m := range msgs {
+				line, err := server.EncodeLine(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lines[i] = line
+			}
+			endLine, _ := server.EncodeLine(server.Msg{Kind: server.KindEnd})
+			subLine, _ := server.EncodeLine(server.Msg{Kind: server.KindSub})
+
+			plan, err := uop.BuildQ1(clusterQ1Cfg()).Cluster()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var workers []*server.Server
+			var addrs []string
+			for i := 0; i < bc.workers; i++ {
+				s, err := server.New(server.Config{
+					Addr:       "127.0.0.1:0",
+					NewPlan:    plan.CompileWorker,
+					FlushEvery: 50 * time.Millisecond,
+					Cluster:    true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				workers = append(workers, s)
+				addrs = append(addrs, s.Addr().String())
+			}
+			rt, err := New(Config{
+				Addr:     "127.0.0.1:0",
+				Workers:  addrs,
+				Plan:     plan,
+				Replicas: bc.replicas,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+
+			b.ResetTimer()
+			start := time.Now()
+			alerts := 0
+			for i := 0; i < b.N; i++ {
+				sub, err := net.Dial("tcp", rt.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				subR := bufio.NewReader(sub)
+				if _, err := sub.Write(subLine); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := subR.ReadBytes('\n'); err != nil { // ok
+					b.Fatal(err)
+				}
+				ingest, err := net.Dial("tcp", rt.Addr().String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := bufio.NewWriterSize(ingest, 1<<16)
+				for _, line := range lines {
+					if _, err := w.Write(line); err != nil {
+						b.Fatal(err)
+					}
+				}
+				w.Write(endLine)
+				if err := w.Flush(); err != nil {
+					b.Fatal(err)
+				}
+				for {
+					line, err := subR.ReadBytes('\n')
+					if err != nil {
+						b.Fatal(err)
+					}
+					var m server.Msg
+					if err := json.Unmarshal(line, &m); err != nil {
+						b.Fatal(err)
+					}
+					if m.Kind == server.KindDone {
+						break
+					}
+					alerts++
+				}
+				sub.Close()
+				ingest.Close()
+			}
+			elapsed := time.Since(start)
+			b.ReportMetric(float64(len(lines)*b.N)/elapsed.Seconds(), "tuples/s")
+			b.ReportMetric(float64(alerts)/float64(b.N), "alerts/op")
+		})
+	}
+}

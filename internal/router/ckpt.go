@@ -1,0 +1,184 @@
+package router
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Cluster checkpoint rounds. A round asks every live worker to snapshot
+// each slot it hosts ("ckpt"), then installs each slot's snapshot on the
+// slot's replica ("snap"). Once a snap_ack confirms the install, the
+// replica has trimmed its replay tail to the post-checkpoint suffix, and a
+// later promotion restores snapshot + suffix instead of replaying the
+// whole epoch. The wire does the sequencing: the ckpt line rides each
+// link's send queue after every tuple it must cover, and the worker marks
+// its tails before snapshotting, so tail-trim points and snapshots agree.
+
+// ckptLoop drives periodic rounds.
+func (r *Router) ckptLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.CkptEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			if err := r.clusterCheckpoint(); err != nil {
+				r.ckptErrs.Add(1)
+			}
+		}
+	}
+}
+
+// clusterCheckpoint runs one round and waits for it to settle.
+func (r *Router) clusterCheckpoint() error {
+	if r.cfg.Replicas < 2 {
+		return errors.New("checkpointing needs -replicas 2 (no replica to install snapshots on)")
+	}
+	r.ckptMu.Lock()
+	defer r.ckptMu.Unlock()
+	ep := r.epoch()
+	if ep == nil || ep.ended.Load() {
+		return errors.New("no stream running")
+	}
+	id := r.ckptSeq.Add(1)
+	cr := &ckptRound{
+		id:       id,
+		ackNeed:  map[int]bool{},
+		snapNeed: map[int]bool{},
+		done:     make(chan struct{}),
+	}
+	line, err := server.EncodeLine(server.Msg{Kind: server.KindCkpt, Ckpt: id})
+	if err != nil {
+		return err
+	}
+	r.round.Store(cr)
+	defer r.round.Store(nil)
+	// One ckpt line per live link; each replies one ckpt_ack per slot it
+	// hosts. Slots routed to a dead link (degraded) are skipped.
+	r.routeMu.Lock()
+	sent := map[int]bool{}
+	cr.mu.Lock()
+	for slot, li := range r.routeSlot {
+		if li >= 0 && r.links[li].alive.Load() {
+			cr.ackNeed[slot] = true
+			sent[li] = true
+		}
+	}
+	cr.mu.Unlock()
+	if len(sent) == 0 {
+		return errors.New("no live workers")
+	}
+	for li := range sent {
+		if err := r.links[li].sendq.Put(r.ctx, line); err != nil && r.ctx.Err() == nil {
+			r.failLinkLocked(r.links[li])
+		}
+	}
+	r.routeMu.Unlock()
+	select {
+	case <-cr.done:
+	case <-r.ctx.Done():
+		return r.ctx.Err()
+	case <-time.After(30 * time.Second):
+		return errors.New("cluster checkpoint timed out")
+	}
+	cr.mu.Lock()
+	err = cr.err
+	cr.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	r.ckptN.Add(1)
+	return nil
+}
+
+// onCkptAck (link reader) forwards one slot's snapshot to the slot's
+// replica, or completes the slot if it has none to install on.
+func (r *Router) onCkptAck(l *link, m server.Msg) {
+	cr := r.round.Load()
+	if cr == nil || m.Shard == nil || m.Ckpt == 0 {
+		return
+	}
+	slot := *m.Shard
+	// Read the topology before taking the round lock: failover holds
+	// routeMu while aborting rounds, so cr.mu must never wait on routeMu.
+	r.routeMu.Lock()
+	rep := r.replicaSlot[slot]
+	serving := r.routeSlot[slot]
+	r.routeMu.Unlock()
+	cr.mu.Lock()
+	if m.Ckpt != cr.id || !cr.ackNeed[slot] {
+		cr.mu.Unlock()
+		return
+	}
+	delete(cr.ackNeed, slot)
+	// Install on the replica — unless the replica is the very link hosting
+	// the slot (post-failover), or it is gone.
+	if rep < 0 || rep == serving || !r.links[rep].alive.Load() {
+		cr.finishLocked()
+		cr.mu.Unlock()
+		return
+	}
+	snap := server.Msg{
+		Kind:   server.KindSnap,
+		Shard:  m.Shard,
+		Ckpt:   m.Ckpt,
+		Closes: m.Closes,
+		Data:   m.Data,
+	}
+	line, err := server.EncodeLine(snap)
+	if err != nil {
+		r.encodeErrs.Add(1)
+		cr.finishLocked()
+		cr.mu.Unlock()
+		return
+	}
+	cr.snapNeed[slot] = true
+	cr.mu.Unlock()
+	if err := r.links[rep].sendq.Put(r.ctx, line); err != nil {
+		cr.mu.Lock()
+		delete(cr.snapNeed, slot)
+		cr.finishLocked()
+		cr.mu.Unlock()
+	}
+}
+
+// onSnapAck records a confirmed install: from here on, a promotion of this
+// slot names this checkpoint.
+func (r *Router) onSnapAck(m server.Msg) {
+	cr := r.round.Load()
+	if cr == nil || m.Shard == nil {
+		return
+	}
+	slot := *m.Shard
+	cr.mu.Lock()
+	if m.Ckpt == cr.id && cr.snapNeed[slot] {
+		delete(cr.snapNeed, slot)
+		r.lastSnap[slot].Store(m.Ckpt)
+		cr.finishLocked()
+	}
+	cr.mu.Unlock()
+}
+
+// failRound aborts an in-flight round when a worker dies: acks still
+// outstanding may never come (the dead link's, or a just-redirected
+// slot's), so the round fails fast instead of stalling to the timeout. The
+// next round covers the new topology; lastSnap keeps only acked installs.
+func (r *Router) failRound(l *link) {
+	cr := r.round.Load()
+	if cr == nil {
+		return
+	}
+	cr.mu.Lock()
+	if len(cr.ackNeed)+len(cr.snapNeed) > 0 {
+		cr.err = fmt.Errorf("worker %d died mid-checkpoint", l.slot)
+		cr.ackNeed = map[int]bool{}
+		cr.snapNeed = map[int]bool{}
+	}
+	cr.finishLocked()
+	cr.mu.Unlock()
+}

@@ -1,0 +1,132 @@
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net"
+
+	"repro/internal/server"
+)
+
+// The router's client side speaks the same protocol subset as a
+// single-process streamd: tuple, sub, end, ckpt, ping. Clients cannot tell
+// the difference — that is the point.
+
+func (r *Router) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		c, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		if r.shutdown {
+			r.mu.Unlock()
+			c.Close()
+			continue
+		}
+		r.conns[c] = struct{}{}
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.handleConn(c)
+	}
+}
+
+func (r *Router) handleConn(c net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		r.mu.Lock()
+		delete(r.conns, c)
+		r.mu.Unlock()
+		c.Close()
+	}()
+	w := bufio.NewWriter(c)
+	var sub *server.Subscriber
+	defer func() {
+		if sub != nil && r.hub.Remove(sub) {
+			sub.Close()
+		}
+	}()
+	reply := func(m server.Msg) {
+		line, err := server.EncodeLine(m)
+		if err != nil {
+			return
+		}
+		if sub != nil {
+			sub.SendControl(line, r.hub)
+			return
+		}
+		w.Write(line)
+		w.Flush()
+	}
+	errReply := func(format string, args ...any) {
+		reply(server.Msg{Kind: server.KindErr, Error: sprintf(format, args...)})
+	}
+	sc := bufio.NewScanner(c)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m server.Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			r.ingestErrs.Add(1)
+			errReply("bad line: %v", err)
+			continue
+		}
+		switch m.Kind {
+		case server.KindTuple:
+			if err := r.routeTuple(m); err != nil {
+				r.ingestErrs.Add(1)
+				errReply("%v", err)
+				continue
+			}
+			r.ingested.Add(1)
+		case server.KindPing:
+			reply(server.Msg{Kind: server.KindPong, Version: r.ring.Version()})
+		case server.KindSub:
+			if sub != nil {
+				errReply("already subscribed")
+				continue
+			}
+			newSub := server.NewSubscriber(r.cfg.SubBuffer)
+			if !r.hub.Add(newSub) {
+				errReply("router shutting down")
+				continue
+			}
+			w.Write(mustLine(server.Msg{Kind: server.KindOK}))
+			w.Flush()
+			sub = newSub
+			go r.hub.Pump(c, w, sub)
+		case server.KindEnd:
+			if err := r.endStream(); err != nil {
+				errReply("%v", err)
+				continue
+			}
+			reply(server.Msg{Kind: server.KindOK})
+		case server.KindCkpt:
+			if err := r.clusterCheckpoint(); err != nil {
+				errReply("checkpoint: %v", err)
+				continue
+			}
+			reply(server.Msg{Kind: server.KindOK})
+		default:
+			r.ingestErrs.Add(1)
+			errReply("unknown kind %q", m.Kind)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		r.ingestErrs.Add(1)
+		errReply("read error: %v", err)
+	}
+}
+
+func mustLine(m server.Msg) []byte {
+	line, err := server.EncodeLine(m)
+	if err != nil {
+		panic(err) // fixed-shape control messages always encode
+	}
+	return line
+}

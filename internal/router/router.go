@@ -1,0 +1,940 @@
+// Package router is the cluster front end: it speaks the same JSON-lines
+// wire protocol as a single-process streamd to its clients, but executes
+// the plan across worker processes. The router owns exactly the state the
+// in-process sharded plan keeps in its partition and merge boxes:
+//
+//   - A consistent-hash ring (internal/ring) maps each tuple's dedup key to
+//     a logical worker slot; keyless tuples round-robin, exactly like the
+//     in-process partitioner.
+//   - The partition box itself runs here, so the window clock — which must
+//     observe the full, unsharded arrival stream — emits the same close
+//     sequence a single process would, broadcast to every worker as
+//     explicit "close" punctuations.
+//   - Each worker streams back "part" lines (per-group partial aggregates,
+//     then the forwarded close, per window); the router buffers each port's
+//     partials until its close arrives and feeds the same deterministic
+//     merge the in-process plan uses, so client-facing alerts are
+//     byte-identical to single-process execution.
+//
+// With Replicas >= 2 every routed tuple is dual-written to the owner's
+// ring successor, which tails the raw lines (and all closes). When a worker
+// dies, the router promotes the successor: it restores the slot's last
+// installed checkpoint, replays the tail suffix, suppresses the window
+// ordinals the router already merged, and takes over the slot — the
+// subscriber stream continues without a missing or duplicated alert.
+//
+// Failover keeps the ring itself immutable within a run: routing stays
+// stable in *logical slots* (key locality is what dedup correctness needs);
+// a slot indirection table redirects a dead slot's traffic to the link that
+// hosts it now.
+package router
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ring"
+	"repro/internal/server"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+// Config parameterizes the router.
+type Config struct {
+	// Addr is the client-facing TCP listen address (":0" picks a port).
+	Addr string
+	// HTTPAddr, when non-empty, serves GET /statsz.
+	HTTPAddr string
+	// Workers are the worker addresses; index i is logical slot i.
+	Workers []string
+	// Replicas is the per-key copy count: 1 routes only to the owner, 2
+	// dual-writes to the owner's ring successor (values above the worker
+	// count are clamped). Only 2 is meaningful today — promotion reads one
+	// successor tail.
+	Replicas int
+	// Vnodes is the ring's virtual-node count per weight unit (0 selects
+	// ring.DefaultVnodes).
+	Vnodes int
+	// Weights are optional per-worker ring weights (len must match Workers
+	// when non-nil; a weight w gives that worker w times the key share).
+	Weights []int
+	// Plan is the cluster split this router executes (uop.Query.Cluster()).
+	Plan *uop.ClusterPlan
+	// SubBuffer bounds each subscriber's pending-line buffer (default 4096).
+	SubBuffer int
+	// SendBuffer bounds each worker link's outbound line queue (default
+	// 4096); a full queue blocks routing — backpressure, not loss.
+	SendBuffer int
+	// PingEvery is the worker liveness-probe cadence (0 disables pings;
+	// /statsz then reports last_seen from traffic alone).
+	PingEvery time.Duration
+	// CkptEvery, when positive, drives periodic cluster checkpoints: every
+	// interval the router snapshots each worker's slots and installs the
+	// snapshots on the slots' replicas, bounding failover replay tails.
+	CkptEvery time.Duration
+	// Once stops the router after the first end-of-stream drain.
+	Once bool
+	// DialTimeout bounds the startup dial+handshake per worker, retried
+	// with backoff (default 10s).
+	DialTimeout time.Duration
+}
+
+// link is one worker connection: slot i's process, its outbound line queue,
+// and its liveness.
+type link struct {
+	slot int
+	addr string
+	conn net.Conn
+	// sendq decouples routing from the socket; the sender goroutine drains
+	// it. Closed (by failover) it fails blocked Puts fast.
+	sendq *server.QueueOf[[]byte]
+	alive atomic.Bool
+	// lastSeen is the unix-milli stamp of the last line received.
+	lastSeen   atomic.Int64
+	version    atomic.Uint64
+	routed     atomic.Uint64
+	replicated atomic.Uint64
+}
+
+func (l *link) seen() { l.lastSeen.Store(time.Now().UnixMilli()) }
+
+// repoch is one router epoch: a fresh partition (window clock + routing), a
+// fresh head graph (merge + post stages), and the per-slot merge-feeding
+// state.
+type repoch struct {
+	n    int
+	part stream.Operator
+	head *uop.Compiled
+	// ended flips when the client's "end" has been processed (the final
+	// closes are on the wire); routing then waits for the next epoch.
+	ended  atomic.Bool
+	alerts atomic.Uint64
+	// pending buffers each port's partials until the port's close arrives,
+	// then feeds partials+close to the merge atomically — the envelope
+	// discipline failover depends on: a half-shipped window from a dead
+	// worker is discarded wholesale and re-emitted by its replica.
+	pending [][]*stream.Tuple
+	// closes counts closes fed to the merge per port: the suppression floor
+	// a promotion sends.
+	closes []uint64
+	// doneNeed tracks links whose end-of-stream "done" is still pending.
+	doneNeed map[int]bool
+	// pendingPromotes counts promotions issued during the drain whose
+	// "promoted" ack is still pending; the epoch cannot finish under one.
+	pendingPromotes int
+	finished        bool
+}
+
+// Router is the cluster front end.
+type Router struct {
+	cfg    Config
+	ring   *ring.Ring
+	slotOf map[string]int // ring member id -> slot
+	ln     net.Listener
+	httpLn net.Listener
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	// done closes after the Once drain (or shutdown).
+	done     chan struct{}
+	doneOnce sync.Once
+
+	hub   *server.Hub
+	links []*link
+
+	// routeMu orders everything that routes: the partition box, the slot
+	// indirection tables, and sendq enqueues (held across blocking Puts —
+	// backpressure stalls routing, deliberately). Lock order: routeMu
+	// strictly before headMu.
+	routeMu sync.Mutex
+	// routeSlot maps logical slot -> link index currently serving it
+	// (identity until a failover redirects it; -1 when unservable).
+	routeSlot []int
+	// replicaSlot maps logical slot -> link index of its ring successor
+	// (-1 without replication).
+	replicaSlot []int
+
+	// headMu orders merge feeding and drain state.
+	headMu sync.Mutex
+	ep     *repoch
+	epochs int
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	start      time.Time
+	ingested   atomic.Uint64
+	ingestErrs atomic.Uint64
+	encodeErrs atomic.Uint64
+	alerts     atomic.Uint64
+	failovers  atomic.Uint64
+	degraded   atomic.Bool
+	workerErrs atomic.Uint64
+
+	// ckptMu serializes cluster checkpoint rounds.
+	ckptMu   sync.Mutex
+	ckptSeq  atomic.Uint64
+	round    atomic.Pointer[ckptRound]
+	ckptN    atomic.Uint64
+	ckptErrs atomic.Uint64
+	// lastSnap is, per slot, the checkpoint id last confirmed installed on
+	// the slot's replica (what a promote names).
+	lastSnap []atomic.Uint64
+}
+
+// ckptRound tracks one in-flight cluster checkpoint.
+type ckptRound struct {
+	id uint64
+	mu sync.Mutex
+	// ackNeed / snapNeed track slots awaiting ckpt_ack / snap_ack.
+	ackNeed  map[int]bool
+	snapNeed map[int]bool
+	err      error
+	done     chan struct{}
+	closed   bool
+}
+
+func (cr *ckptRound) finishLocked() {
+	if !cr.closed && len(cr.ackNeed) == 0 && len(cr.snapNeed) == 0 {
+		cr.closed = true
+		close(cr.done)
+	}
+}
+
+// memberID names slot i on the ring. Slot-stable ids (not addresses) keep
+// the key->slot mapping identical across runs with the same geometry, which
+// the equivalence tests pin.
+func memberID(i int) string { return "w" + strconv.Itoa(i) }
+
+// New dials and joins every worker, binds the client listener, and starts
+// routing. It fails fast if any worker cannot be reached within the dial
+// budget.
+func New(cfg Config) (*Router, error) {
+	if cfg.Plan == nil {
+		return nil, errors.New("router: Config.Plan is required")
+	}
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("router: Config.Workers is required")
+	}
+	if cfg.Addr == "" {
+		return nil, errors.New("router: Config.Addr is required")
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Workers) {
+		return nil, fmt.Errorf("router: %d weights for %d workers", len(cfg.Weights), len(cfg.Workers))
+	}
+	if cfg.SubBuffer <= 0 {
+		cfg.SubBuffer = 4096
+	}
+	if cfg.SendBuffer <= 0 {
+		cfg.SendBuffer = 4096
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > len(cfg.Workers) {
+		cfg.Replicas = len(cfg.Workers)
+	}
+
+	w := len(cfg.Workers)
+	rg := ring.New(cfg.Vnodes)
+	slotOf := make(map[string]int, w)
+	for i := range cfg.Workers {
+		weight := 1
+		if cfg.Weights != nil {
+			weight = cfg.Weights[i]
+		}
+		rg.Add(ring.Member{ID: memberID(i), Weight: weight})
+		slotOf[memberID(i)] = i
+	}
+
+	r := &Router{
+		cfg:         cfg,
+		ring:        rg,
+		slotOf:      slotOf,
+		done:        make(chan struct{}),
+		hub:         server.NewHub(),
+		routeSlot:   make([]int, w),
+		replicaSlot: make([]int, w),
+		lastSnap:    make([]atomic.Uint64, w),
+		conns:       map[net.Conn]struct{}{},
+		start:       time.Now(),
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	for i := 0; i < w; i++ {
+		r.routeSlot[i] = i
+		r.replicaSlot[i] = -1
+		if cfg.Replicas >= 2 {
+			if succ, ok := rg.Successor(memberID(i)); ok {
+				r.replicaSlot[i] = slotOf[succ]
+			}
+		}
+	}
+
+	// Dial and handshake every worker before accepting clients: join (slot
+	// + geometry), then subscribe to its part stream.
+	for i, addr := range cfg.Workers {
+		l, err := r.dialWorker(i, addr)
+		if err != nil {
+			r.teardownLinks()
+			return nil, err
+		}
+		r.links = append(r.links, l)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		r.teardownLinks()
+		return nil, fmt.Errorf("router: listen %s: %w", cfg.Addr, err)
+	}
+	r.ln = ln
+	if cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			r.teardownLinks()
+			return nil, fmt.Errorf("router: listen %s: %w", cfg.HTTPAddr, err)
+		}
+		r.httpLn = httpLn
+		mux := http.NewServeMux()
+		mux.HandleFunc("/statsz", r.handleStatsz)
+		srv := &http.Server{Handler: mux}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			srv.Serve(httpLn)
+		}()
+	}
+
+	r.headMu.Lock()
+	r.newEpochLocked()
+	r.headMu.Unlock()
+
+	for _, l := range r.links {
+		r.wg.Add(2)
+		go r.linkSender(l)
+		go r.linkReader(l)
+	}
+	if cfg.PingEvery > 0 {
+		r.wg.Add(1)
+		go r.pingLoop()
+	}
+	if cfg.CkptEvery > 0 {
+		r.wg.Add(1)
+		go r.ckptLoop()
+	}
+	r.wg.Add(1)
+	go r.acceptLoop()
+	return r, nil
+}
+
+// Addr returns the client listener's address.
+func (r *Router) Addr() net.Addr { return r.ln.Addr() }
+
+// HTTPAddr returns the /statsz listener's address, or nil.
+func (r *Router) HTTPAddr() net.Addr {
+	if r.httpLn == nil {
+		return nil
+	}
+	return r.httpLn.Addr()
+}
+
+// Done closes after the first end-of-stream drain with Config.Once.
+func (r *Router) Done() <-chan struct{} { return r.done }
+
+// Close shuts the router down: client connections drain their queued
+// lines, worker links close.
+func (r *Router) Close() error {
+	r.cancel()
+	r.ln.Close()
+	if r.httpLn != nil {
+		r.httpLn.Close()
+	}
+	r.hub.CloseAll()
+	r.hub.WaitPumps()
+	r.mu.Lock()
+	r.shutdown = true
+	for c := range r.conns {
+		c.Close()
+	}
+	r.mu.Unlock()
+	for _, l := range r.links {
+		l.sendq.Close()
+		l.conn.Close()
+	}
+	r.wg.Wait()
+	r.doneOnce.Do(func() { close(r.done) })
+	return nil
+}
+
+func (r *Router) teardownLinks() {
+	for _, l := range r.links {
+		l.sendq.Close()
+		l.conn.Close()
+	}
+}
+
+// dialWorker connects, joins, and subscribes one worker with retry/backoff
+// inside the dial budget — workers started in parallel with the router may
+// still be binding.
+func (r *Router) dialWorker(slot int, addr string) (*link, error) {
+	deadline := time.Now().Add(r.cfg.DialTimeout)
+	delay := 50 * time.Millisecond
+	var lastErr error
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			l, herr := r.handshake(slot, addr, c)
+			if herr == nil {
+				return l, nil
+			}
+			c.Close()
+			err = herr
+		}
+		lastErr = err
+		if time.Now().Add(delay).After(deadline) {
+			return nil, fmt.Errorf("router: worker %d (%s): %w", slot, addr, lastErr)
+		}
+		time.Sleep(delay)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}
+
+// handshake performs join + sub synchronously on a fresh worker connection.
+func (r *Router) handshake(slot int, addr string, c net.Conn) (*link, error) {
+	bw := bufio.NewWriter(c)
+	br := bufio.NewReaderSize(c, 64*1024)
+	expect := func(m server.Msg) error {
+		line, err := server.EncodeLine(m)
+		if err != nil {
+			return err
+		}
+		c.SetDeadline(time.Now().Add(5 * time.Second))
+		defer c.SetDeadline(time.Time{})
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		reply, err := br.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		var rm server.Msg
+		if err := json.Unmarshal(reply, &rm); err != nil {
+			return err
+		}
+		if rm.Kind != server.KindOK {
+			return fmt.Errorf("%s handshake: %s", m.Kind, rm.Error)
+		}
+		return nil
+	}
+	s := slot
+	join := server.Msg{
+		Kind:     server.KindJoin,
+		Shard:    &s,
+		Workers:  len(r.cfg.Workers),
+		Replicas: r.cfg.Replicas,
+		Version:  r.ring.Version(),
+	}
+	if err := expect(join); err != nil {
+		return nil, err
+	}
+	if err := expect(server.Msg{Kind: server.KindSub}); err != nil {
+		return nil, err
+	}
+	l := &link{
+		slot:  slot,
+		addr:  addr,
+		conn:  c,
+		sendq: server.NewQueueOf[[]byte](r.cfg.SendBuffer, server.Block),
+	}
+	l.alive.Store(true)
+	l.seen()
+	return l, nil
+}
+
+// linkSender drains a worker's outbound queue onto its socket.
+func (r *Router) linkSender(l *link) {
+	defer r.wg.Done()
+	bw := bufio.NewWriter(l.conn)
+	for line := range l.sendq.Tuples() {
+		l.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+		if _, err := bw.Write(line); err != nil {
+			r.failLink(l)
+			return
+		}
+		if l.sendq.Depth() == 0 {
+			if err := bw.Flush(); err != nil {
+				r.failLink(l)
+				return
+			}
+		}
+	}
+	bw.Flush()
+}
+
+// linkReader consumes a worker's line stream: part lines feed the merge,
+// control acks resolve checkpoint/promotion state.
+func (r *Router) linkReader(l *link) {
+	defer r.wg.Done()
+	sc := bufio.NewScanner(l.conn)
+	// ckpt_ack lines carry whole plan checkpoints (base64).
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m server.Msg
+		if err := json.Unmarshal(line, &m); err != nil {
+			r.workerErrs.Add(1)
+			continue
+		}
+		l.seen()
+		switch m.Kind {
+		case server.KindPart:
+			r.feedPart(l, m)
+		case server.KindDone:
+			r.onWorkerDone(l)
+		case server.KindPong:
+			l.version.Store(m.Version)
+		case server.KindCkptAck:
+			r.onCkptAck(l, m)
+		case server.KindSnapAck:
+			r.onSnapAck(m)
+		case server.KindPromoted:
+			r.onPromoted(m)
+		case server.KindOK:
+			// late ack (end); nothing to resolve
+		case server.KindErr:
+			r.workerErrs.Add(1)
+		}
+	}
+	r.failLink(l)
+}
+
+// feedPart buffers a worker's partials per port and releases each window to
+// the merge atomically when the port's close arrives. Everything below
+// headMu: PushTuple runs the merge (and post stages, and alert emission)
+// synchronously.
+func (r *Router) feedPart(l *link, m server.Msg) {
+	if m.Shard == nil || len(m.Data) == 0 {
+		r.workerErrs.Add(1)
+		return
+	}
+	slot := *m.Shard
+	t, err := stream.DecodeWireTuple(m.Data)
+	if err != nil {
+		r.workerErrs.Add(1)
+		return
+	}
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	ep := r.ep
+	if ep == nil || ep.finished || slot < 0 || slot >= len(ep.pending) {
+		return
+	}
+	if !l.alive.Load() {
+		// A straggling part from a link that failover already discarded:
+		// the slot's replica re-emits this window in full.
+		return
+	}
+	if _, isClose := stream.WindowCloseOf(t); isClose {
+		port := uop.ClusterPort(slot)
+		for _, pt := range ep.pending[slot] {
+			ep.head.PushTuple(port, pt)
+		}
+		ep.pending[slot] = nil
+		ep.head.PushTuple(port, t)
+		ep.closes[slot]++
+		return
+	}
+	ep.pending[slot] = append(ep.pending[slot], t)
+}
+
+// emitClientAlert mirrors the single-process server's alert path: encode
+// once, broadcast to every subscriber.
+func (r *Router) emitClientAlert(ep *repoch, t *stream.Tuple) {
+	m, err := server.AlertMsg(t)
+	if err != nil {
+		r.encodeErrs.Add(1)
+		return
+	}
+	line, err := server.EncodeLine(m)
+	if err != nil {
+		r.encodeErrs.Add(1)
+		return
+	}
+	ep.alerts.Add(1)
+	r.alerts.Add(1)
+	r.hub.Broadcast(line)
+}
+
+// newEpochLocked (headMu held) builds a fresh partition + head graph. The
+// slot indirection tables persist — a failed-over slot stays on its host.
+func (r *Router) newEpochLocked() {
+	w := len(r.cfg.Workers)
+	spec := r.cfg.Plan.Window
+	key := r.cfg.Plan.Key
+	ep := &repoch{
+		n: r.epochs,
+		part: stream.NewPartition("route", w, stream.PartitionSpec{
+			Clock: &spec,
+			Route: func(ct *stream.Tuple) (int, bool) {
+				u := core.Unwrap(ct)
+				if key == "" || !u.HasKey(key) {
+					return 0, false
+				}
+				owner, ok := r.ring.Owner(u.Key(key))
+				if !ok {
+					return 0, false
+				}
+				return r.slotOf[owner], true
+			},
+		}),
+		head:     r.cfg.Plan.CompileHead(w),
+		pending:  make([][]*stream.Tuple, w),
+		closes:   make([]uint64, w),
+		doneNeed: map[int]bool{},
+	}
+	ep.head.OnResult(func(t *stream.Tuple) { r.emitClientAlert(ep, t) })
+	r.epochs++
+	r.ep = ep
+}
+
+// epoch returns the current router epoch.
+func (r *Router) epoch() *repoch {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	return r.ep
+}
+
+// sendLine enqueues a pre-encoded line on the link serving logical slot,
+// failing the link over (and retrying on the new host) if its queue is
+// closed. routeMu must be held. Reports whether the line was accepted.
+func (r *Router) sendLine(slot int, line []byte, replica bool) bool {
+	for {
+		li := r.routeSlot[slot]
+		if li < 0 {
+			r.degraded.Store(true)
+			return false
+		}
+		l := r.links[li]
+		err := l.sendq.Put(r.ctx, line)
+		if err == nil {
+			if replica {
+				l.replicated.Add(1)
+			} else {
+				l.routed.Add(1)
+			}
+			return true
+		}
+		if r.ctx.Err() != nil {
+			return false
+		}
+		// Queue closed: the link died under us; redirect and retry.
+		r.failLinkLocked(l)
+	}
+}
+
+// emitRouted handles one partition output under routeMu: closes broadcast
+// to every live link (and through the slot indirection, so hosted slots
+// hear them too — sendLine dedupes by link? no: closes go per *link*, once).
+func (r *Router) emitRouted(ep *repoch, m server.Msg, out *stream.Tuple) {
+	if end, ok := stream.WindowCloseOf(out); ok {
+		seq, _ := stream.CloseSeq(out)
+		line, err := server.EncodeLine(server.Msg{
+			Kind:   server.KindClose,
+			Source: r.cfg.Plan.Source,
+			T:      int64(end),
+			Seq:    seq,
+		})
+		if err != nil {
+			r.encodeErrs.Add(1)
+			return
+		}
+		r.broadcastToLinks(line)
+		return
+	}
+	slot, ok := out.RouteShard()
+	if !ok {
+		r.encodeErrs.Add(1)
+		return
+	}
+	om := m
+	om.Seq = out.Seq
+	om.Shard = &slot
+	line, err := server.EncodeLine(om)
+	if err != nil {
+		r.encodeErrs.Add(1)
+		return
+	}
+	if !r.sendLine(slot, line, false) {
+		return
+	}
+	rep := r.replicaSlot[slot]
+	if rep < 0 || rep == r.routeSlot[slot] || !r.links[rep].alive.Load() {
+		return
+	}
+	om.Replica = true
+	rline, err := server.EncodeLine(om)
+	if err != nil {
+		r.encodeErrs.Add(1)
+		return
+	}
+	r.links[rep].sendq.Put(r.ctx, rline)
+	r.links[rep].replicated.Add(1)
+}
+
+// broadcastToLinks enqueues one line on every live link (routeMu held).
+func (r *Router) broadcastToLinks(line []byte) {
+	for _, l := range r.links {
+		if !l.alive.Load() {
+			continue
+		}
+		if err := l.sendq.Put(r.ctx, line); err != nil && r.ctx.Err() == nil {
+			r.failLinkLocked(l)
+		}
+	}
+}
+
+// routeTuple parses and routes one client tuple line, waiting out the
+// between-epochs gap like the single-process server does.
+func (r *Router) routeTuple(m server.Msg) error {
+	source := m.Source
+	if source == "" {
+		source = "locations"
+	}
+	if source != r.cfg.Plan.Source {
+		return fmt.Errorf("unknown source %q", source)
+	}
+	u, err := server.ParseTuple(m)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.routeMu.Lock()
+		ep := r.epoch()
+		if ep != nil && !ep.ended.Load() {
+			ep.part.Process(0, core.Wrap(u), func(out *stream.Tuple) {
+				r.emitRouted(ep, m, out)
+			})
+			r.routeMu.Unlock()
+			return nil
+		}
+		r.routeMu.Unlock()
+		if r.ctx.Err() != nil {
+			return errors.New("router shutting down")
+		}
+		select {
+		case <-r.done:
+			return errors.New("router stopped; no further streams accepted")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errors.New("stream draining; retry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// endStream processes a client "end": flush the partition (the final window
+// closes reach every worker ahead of the end line, in queue order), then
+// ask every live worker to drain.
+func (r *Router) endStream() error {
+	r.routeMu.Lock()
+	ep := r.epoch()
+	if ep == nil || ep.ended.Swap(true) {
+		r.routeMu.Unlock()
+		return errors.New("no stream to end")
+	}
+	ep.part.Flush(func(out *stream.Tuple) {
+		r.emitRouted(ep, server.Msg{Kind: server.KindTuple}, out)
+	})
+	endLine, err := server.EncodeLine(server.Msg{Kind: server.KindEnd})
+	if err != nil {
+		r.routeMu.Unlock()
+		return err
+	}
+	var need []int
+	for i, l := range r.links {
+		if l.alive.Load() {
+			need = append(need, i)
+		}
+	}
+	r.broadcastToLinks(endLine)
+	r.headMu.Lock()
+	for _, i := range need {
+		if r.links[i].alive.Load() {
+			ep.doneNeed[i] = true
+		}
+	}
+	r.checkFinishLocked(ep)
+	r.headMu.Unlock()
+	r.routeMu.Unlock()
+	return nil
+}
+
+// onWorkerDone records one worker's end-of-stream drain.
+func (r *Router) onWorkerDone(l *link) {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	ep := r.ep
+	if ep == nil || !ep.ended.Load() {
+		return
+	}
+	delete(ep.doneNeed, l.slot)
+	r.checkFinishLocked(ep)
+}
+
+// onPromoted resolves a drain-time promotion ack.
+func (r *Router) onPromoted(m server.Msg) {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	ep := r.ep
+	if ep == nil || ep.pendingPromotes == 0 {
+		return
+	}
+	ep.pendingPromotes--
+	r.checkFinishLocked(ep)
+}
+
+// checkFinishLocked (headMu held) completes the epoch once the stream has
+// ended, every live worker has drained, and no promotion is in flight: the
+// client-facing "done" goes out, and the next epoch (or shutdown, with
+// Once) begins.
+func (r *Router) checkFinishLocked(ep *repoch) {
+	if ep.finished || !ep.ended.Load() || len(ep.doneNeed) > 0 || ep.pendingPromotes > 0 {
+		return
+	}
+	ep.finished = true
+	// Defensive flush: with every close merged per port the graph is
+	// already drained; Close also releases its goroutines' state.
+	ep.head.Graph.Close()
+	line, err := server.EncodeLine(server.Msg{Kind: server.KindDone, Alerts: ep.alerts.Load()})
+	if err == nil {
+		r.hub.BroadcastControl(line)
+	}
+	if r.cfg.Once {
+		r.doneOnce.Do(func() { close(r.done) })
+		return
+	}
+	r.newEpochLocked()
+}
+
+// failLink is the unlocked entry to failover (reader/sender error paths).
+func (r *Router) failLink(l *link) {
+	if r.ctx.Err() != nil {
+		return
+	}
+	r.routeMu.Lock()
+	r.failLinkLocked(l)
+	r.routeMu.Unlock()
+}
+
+// failLinkLocked (routeMu held) fails a worker link over: every logical
+// slot it served is redirected to the slot's replica, which is promoted
+// with the router's merge progress (closes[slot]) as the suppression floor
+// and the last installed snapshot as the restore point. Idempotent.
+func (r *Router) failLinkLocked(l *link) {
+	if !l.alive.CompareAndSwap(true, false) {
+		return
+	}
+	l.sendq.Close()
+	l.conn.Close()
+	r.failovers.Add(1)
+	ep := r.epoch()
+	for slot, li := range r.routeSlot {
+		if li != l.slot {
+			continue
+		}
+		rep := r.replicaSlot[slot]
+		if rep < 0 || rep == li || !r.links[rep].alive.Load() {
+			// No live replica: the slot's keys are unservable for the rest
+			// of the run.
+			r.routeSlot[slot] = -1
+			r.degraded.Store(true)
+			continue
+		}
+		var closes uint64
+		if ep != nil {
+			r.headMu.Lock()
+			closes = ep.closes[slot]
+			ep.pending[slot] = nil // half-shipped window: replica re-emits it
+			r.headMu.Unlock()
+		}
+		s := slot
+		promote := server.Msg{
+			Kind:   server.KindPromote,
+			Shard:  &s,
+			Closes: closes,
+			Ckpt:   r.lastSnap[slot].Load(),
+		}
+		line, err := server.EncodeLine(promote)
+		if err != nil {
+			r.encodeErrs.Add(1)
+			continue
+		}
+		r.routeSlot[slot] = rep
+		if err := r.links[rep].sendq.Put(r.ctx, line); err != nil {
+			// Replica died too; next sendLine attempt will cascade.
+			continue
+		}
+		if ep != nil && ep.ended.Load() {
+			r.headMu.Lock()
+			if !ep.finished {
+				ep.pendingPromotes++
+			}
+			r.headMu.Unlock()
+		}
+	}
+	// The dead worker sends no "done"; release the drain from waiting on it.
+	if ep != nil {
+		r.headMu.Lock()
+		delete(ep.doneNeed, l.slot)
+		r.checkFinishLocked(ep)
+		r.headMu.Unlock()
+	}
+	r.failRound(l)
+}
+
+// pingLoop probes worker liveness.
+func (r *Router) pingLoop() {
+	defer r.wg.Done()
+	line, err := server.EncodeLine(server.Msg{Kind: server.KindPing})
+	if err != nil {
+		return
+	}
+	t := time.NewTicker(r.cfg.PingEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.routeMu.Lock()
+			r.broadcastToLinks(line)
+			r.routeMu.Unlock()
+		}
+	}
+}

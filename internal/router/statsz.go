@@ -1,0 +1,141 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+func sprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// MemberStatsz is one ring member's row.
+type MemberStatsz struct {
+	ID     string  `json:"id"`
+	Slot   int     `json:"slot"`
+	Weight int     `json:"weight"`
+	Share  float64 `json:"share"`
+}
+
+// RingStatsz is the /statsz ring section.
+type RingStatsz struct {
+	Version uint64         `json:"version"`
+	Vnodes  int            `json:"vnodes"`
+	Members []MemberStatsz `json:"members"`
+}
+
+// WorkerStatsz is one worker link's row.
+type WorkerStatsz struct {
+	Slot  int    `json:"slot"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+	// LastSeenMS is how long ago the last line arrived from this worker
+	// (pong or any traffic), in milliseconds; -1 before first contact.
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Version is the ring version the worker last echoed on pong.
+	Version    uint64            `json:"version"`
+	Routed     uint64            `json:"routed"`
+	Replicated uint64            `json:"replicated"`
+	SendQueue  server.QueueStats `json:"send_queue"`
+	// ServesSlots lists the logical slots this link currently serves
+	// (normally its own; more after failovers promoted it).
+	ServesSlots []int `json:"serves_slots,omitempty"`
+}
+
+// Statsz is the router's /statsz report.
+type Statsz struct {
+	UptimeS      float64        `json:"uptime_s"`
+	Epoch        int            `json:"epoch"`
+	Ingested     uint64         `json:"ingested"`
+	IngestErrors uint64         `json:"ingest_errors"`
+	EncodeErrors uint64         `json:"encode_errors"`
+	WorkerErrors uint64         `json:"worker_errors"`
+	Alerts       uint64         `json:"alerts"`
+	TuplesPerS   float64        `json:"tuples_per_s"`
+	Subscribers  int            `json:"subscribers"`
+	SubDropped   uint64         `json:"sub_dropped"`
+	Replicas     int            `json:"replicas"`
+	Failovers    uint64         `json:"failovers"`
+	Degraded     bool           `json:"degraded"`
+	Checkpoints  uint64         `json:"checkpoints"`
+	CkptErrors   uint64         `json:"ckpt_errors"`
+	Ring         RingStatsz     `json:"ring"`
+	Workers      []WorkerStatsz `json:"workers"`
+	// Closes is the per-slot count of window closes merged this epoch.
+	Closes []uint64 `json:"closes,omitempty"`
+}
+
+// Stats snapshots the router for monitoring.
+func (r *Router) Stats() Statsz {
+	up := time.Since(r.start).Seconds()
+	st := Statsz{
+		UptimeS:      up,
+		Ingested:     r.ingested.Load(),
+		IngestErrors: r.ingestErrs.Load(),
+		EncodeErrors: r.encodeErrs.Load(),
+		WorkerErrors: r.workerErrs.Load(),
+		Alerts:       r.alerts.Load(),
+		Subscribers:  r.hub.Count(),
+		SubDropped:   r.hub.Dropped(),
+		Replicas:     r.cfg.Replicas,
+		Failovers:    r.failovers.Load(),
+		Degraded:     r.degraded.Load(),
+		Checkpoints:  r.ckptN.Load(),
+		CkptErrors:   r.ckptErrs.Load(),
+	}
+	if up > 0 {
+		st.TuplesPerS = float64(st.Ingested) / up
+	}
+	st.Ring = RingStatsz{Version: r.ring.Version(), Vnodes: r.ring.Vnodes()}
+	spread := r.ring.Spread()
+	for _, m := range r.ring.Members() {
+		st.Ring.Members = append(st.Ring.Members, MemberStatsz{
+			ID:     m.ID,
+			Slot:   r.slotOf[m.ID],
+			Weight: m.Weight,
+			Share:  spread[m.ID],
+		})
+	}
+	r.routeMu.Lock()
+	serves := make(map[int][]int, len(r.links))
+	for slot, li := range r.routeSlot {
+		if li >= 0 {
+			serves[li] = append(serves[li], slot)
+		}
+	}
+	r.routeMu.Unlock()
+	now := time.Now().UnixMilli()
+	for _, l := range r.links {
+		row := WorkerStatsz{
+			Slot:        l.slot,
+			Addr:        l.addr,
+			Alive:       l.alive.Load(),
+			LastSeenMS:  -1,
+			Version:     l.version.Load(),
+			Routed:      l.routed.Load(),
+			Replicated:  l.replicated.Load(),
+			SendQueue:   l.sendq.Stats(),
+			ServesSlots: serves[l.slot],
+		}
+		if seen := l.lastSeen.Load(); seen > 0 {
+			row.LastSeenMS = now - seen
+		}
+		st.Workers = append(st.Workers, row)
+	}
+	r.headMu.Lock()
+	if r.ep != nil {
+		st.Epoch = r.ep.n
+		st.Closes = append([]uint64(nil), r.ep.closes...)
+	}
+	r.headMu.Unlock()
+	return st
+}
+
+func (r *Router) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(r.Stats())
+}

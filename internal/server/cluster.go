@@ -1,0 +1,650 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/uop"
+)
+
+// This file is the worker side of cluster execution. A router (see
+// internal/router) owns the window clock and key routing; this worker runs
+// one partial-aggregate plan over its key subset and ships every result —
+// per-group partials, then the forwarded close, per window — back to the
+// router as "part" lines carrying stream.EncodeWireTuple blobs.
+//
+// Beyond its own slot, a worker plays two supporting roles:
+//
+//   - Replica host: tuples dual-written with {"replica":true} are appended,
+//     as raw lines, to a per-slot replay tail. "close" punctuations are
+//     appended to every tail, so a tail is always a complete suffix of the
+//     slot's input stream — replaying it through a fresh plan reproduces
+//     the dead worker's state (and, crucially, its close count, which the
+//     output-suppression accounting below depends on).
+//   - Failover host: on "promote" the worker spawns an in-process instance
+//     for the dead slot — restored from the last installed snapshot when
+//     one matches, fresh otherwise — replays the tail, and from then on
+//     runs the slot alongside its own. The instance suppresses output for
+//     window ordinals the router has already merged (Closes on the promote
+//     line), so the merged alert stream sees each window's parts exactly
+//     once.
+type clusterState struct {
+	s *Server
+
+	// shard is this worker's assigned slot (-1 until the router joins it).
+	shard atomic.Int64
+
+	mu       sync.Mutex
+	joined   bool
+	workers  int
+	replicas int
+	version  uint64
+	// epochEnded flips when "end" arrives (or the epoch's run returns) and
+	// back when the next epoch begins; a promote that lands after it must
+	// drain its instance inline before acking.
+	epochEnded bool
+	ownPE      *partEmitter
+	// tails holds, per non-own slot, the raw replica/close lines received
+	// since the slot's last installed snapshot (or epoch start).
+	tails map[int][][]byte
+	// marks records, per cluster-checkpoint id, each tail's length when the
+	// checkpoint was taken — the replay suffix boundary once the snapshot
+	// installs.
+	marks map[uint64]map[int]int
+	// snaps holds the last snapshot installed per slot ("snap" lines).
+	snaps map[int]snapRec
+	// insts are the promoted failover instances, by slot.
+	insts map[int]*instance
+	// hosted marks slots this worker has permanently taken over: once a
+	// slot is promoted here, every later epoch spawns a fresh instance for
+	// it up front, so the new epoch's closes reach it from the first
+	// punctuation (the router keeps routing the slot here).
+	hosted map[int]bool
+
+	parts        atomic.Uint64
+	closes       atomic.Uint64
+	replicaLines atomic.Uint64
+	promotions   atomic.Uint64
+}
+
+// snapRec is one installed replica snapshot.
+type snapRec struct {
+	id     uint64 // cluster checkpoint id
+	closes uint64 // window closes consumed before the snapshot
+	data   []byte
+}
+
+// instance is a promoted slot running in-process alongside the worker's own
+// epoch: its own plan, ingest queue, and live run.
+type instance struct {
+	slot     int
+	plan     *uop.Compiled
+	queue    *Queue
+	barriers chan func()
+	runDone  chan struct{}
+	pe       *partEmitter
+}
+
+// partEmitter tracks one plan's outbound part stream: how many window
+// closes it has emitted (the window ordinal), and the suppression floor a
+// promotion sets so already-merged windows are not re-shipped.
+type partEmitter struct {
+	// slot is the emitting slot, or -1 to read clusterState.shard at emit
+	// time (the worker's own epoch starts before the router joins it).
+	slot     int
+	ordinal  atomic.Uint64
+	suppress uint64
+}
+
+func newClusterState(s *Server) *clusterState {
+	cl := &clusterState{
+		s:      s,
+		tails:  map[int][][]byte{},
+		marks:  map[uint64]map[int]int{},
+		snaps:  map[int]snapRec{},
+		insts:  map[int]*instance{},
+		hosted: map[int]bool{},
+	}
+	cl.shard.Store(-1)
+	return cl
+}
+
+// ringVersion reports the membership version from the last join (for pong).
+func (cl *clusterState) ringVersion() uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.version
+}
+
+// beginEpoch resets per-epoch cluster state for a fresh engine epoch and
+// returns the epoch's own part emitter. Hosted slots (taken over by a past
+// failover) get a fresh instance up front, so the epoch's very first close
+// punctuation reaches them.
+func (cl *clusterState) beginEpoch(ep *epoch) *partEmitter {
+	cl.mu.Lock()
+	cl.insts = map[int]*instance{}
+	cl.marks = map[uint64]map[int]int{}
+	cl.snaps = map[int]snapRec{}
+	cl.resetTailsLocked()
+	pe := &partEmitter{slot: -1}
+	cl.ownPE = pe
+	hosted := make([]int, 0, len(cl.hosted))
+	for slot := range cl.hosted {
+		hosted = append(hosted, slot)
+	}
+	cl.mu.Unlock()
+	sort.Ints(hosted)
+	for _, slot := range hosted {
+		cl.spawnInstance(slot, snapRec{}, false, 0)
+	}
+	// Flip last: a promote or close waiting out the epoch gap may proceed
+	// only once the hosted instances exist.
+	cl.mu.Lock()
+	cl.epochEnded = false
+	cl.mu.Unlock()
+	return pe
+}
+
+// resetTailsLocked re-creates an empty tail for every slot this worker
+// neither owns nor hosts, so closes accumulate per slot from the epoch's
+// first punctuation onward.
+func (cl *clusterState) resetTailsLocked() {
+	cl.tails = map[int][][]byte{}
+	if !cl.joined {
+		return
+	}
+	own := int(cl.shard.Load())
+	for i := 0; i < cl.workers; i++ {
+		if i != own && !cl.hosted[i] {
+			cl.tails[i] = nil
+		}
+	}
+}
+
+// endEpoch marks end-of-stream for the cluster layer and closes every
+// promoted instance's queue so they drain alongside the worker's own epoch.
+func (cl *clusterState) endEpoch() {
+	cl.mu.Lock()
+	cl.epochEnded = true
+	insts := cl.instancesLocked()
+	cl.mu.Unlock()
+	for _, inst := range insts {
+		inst.queue.Close()
+	}
+}
+
+// finishEpoch (engine loop, after the epoch's own run returns) waits for
+// every promoted instance to drain, so the worker's "done" line provably
+// follows the last part of every hosted slot.
+func (cl *clusterState) finishEpoch() {
+	cl.mu.Lock()
+	cl.epochEnded = true
+	insts := cl.instancesLocked()
+	cl.mu.Unlock()
+	for _, inst := range insts {
+		inst.queue.Close()
+		<-inst.runDone
+	}
+}
+
+func (cl *clusterState) instancesLocked() []*instance {
+	insts := make([]*instance, 0, len(cl.insts))
+	for _, inst := range cl.insts {
+		insts = append(insts, inst)
+	}
+	return insts
+}
+
+// emitPart runs on a plan's sink goroutine: serialize the partial (or
+// forwarded close) and broadcast it to the router's subscription as a
+// "part" line. ep is the worker's own epoch, nil for promoted instances.
+func (cl *clusterState) emitPart(ep *epoch, pe *partEmitter, t *stream.Tuple) {
+	_, isClose := stream.WindowCloseOf(t)
+	ord := pe.ordinal.Load()
+	if isClose {
+		pe.ordinal.Add(1)
+	}
+	if ord < pe.suppress {
+		return // the router already merged this window from the dead worker
+	}
+	slot := pe.slot
+	if slot < 0 {
+		slot = int(cl.shard.Load())
+		if slot < 0 {
+			return // never joined; nobody is listening
+		}
+	}
+	data, err := stream.EncodeWireTuple(t)
+	if err != nil {
+		cl.s.encodeErrs.Add(1)
+		return
+	}
+	line, err := EncodeLine(Msg{Kind: KindPart, Shard: &slot, Data: data})
+	if err != nil {
+		cl.s.encodeErrs.Add(1)
+		return
+	}
+	cl.parts.Add(1)
+	if ep != nil {
+		ep.alerts.Add(1)
+	}
+	// Bounded-wait, never drop: losing a part line would wedge the router's
+	// merge, which counts closes per port.
+	cl.s.hub.BroadcastControl(line)
+}
+
+// handleTuple dispatches one routed "tuple" line: replica copies append to
+// the slot's tail, tuples for a hosted (promoted) slot feed that instance,
+// and everything else is this worker's own traffic.
+func (cl *clusterState) handleTuple(raw []byte, m Msg) error {
+	if m.Replica {
+		if m.Shard == nil {
+			return errors.New("replica tuple carries no shard")
+		}
+		cl.appendTail(*m.Shard, raw)
+		cl.replicaLines.Add(1)
+		return nil
+	}
+	if m.Shard != nil && *m.Shard != int(cl.shard.Load()) {
+		return cl.feedInstance(*m.Shard, m)
+	}
+	return cl.s.ingest(m)
+}
+
+// appendTail records a raw line in slot's replay tail. The scanner reuses
+// its buffer, so the line is copied.
+func (cl *clusterState) appendTail(slot int, raw []byte) {
+	cp := append([]byte(nil), raw...)
+	cl.mu.Lock()
+	cl.tails[slot] = append(cl.tails[slot], cp)
+	cl.mu.Unlock()
+}
+
+// feedInstance delivers a routed tuple to a promoted slot's instance. Like
+// Server.enqueue, it waits out the between-epochs gap: the next beginEpoch
+// re-spawns hosted instances, and tuples that race it must not be lost.
+func (cl *clusterState) feedInstance(slot int, m Msg) error {
+	u, err := ParseTuple(m)
+	if err != nil {
+		return err
+	}
+	t := core.Wrap(u)
+	t.Seq = m.Seq
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl.mu.Lock()
+		inst, hosted := cl.insts[slot], cl.hosted[slot]
+		cl.mu.Unlock()
+		if inst != nil {
+			err := cl.pushInstance(inst, sourceOf(m), t)
+			if !errors.Is(err, ErrQueueClosed) {
+				return err
+			}
+		} else if !hosted {
+			return fmt.Errorf("tuple for slot %d, which this worker neither owns nor hosts", slot)
+		}
+		select {
+		case <-cl.s.done:
+			return errors.New("engine stopped; no further streams accepted")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("slot %d instance not running; retry", slot)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (cl *clusterState) pushInstance(inst *instance, source string, t *stream.Tuple) error {
+	box, port, ok := inst.plan.LookupSource(source)
+	if !ok {
+		return fmt.Errorf("unknown source %q", source)
+	}
+	return inst.queue.Put(cl.s.ctx, stream.SourceTuple{Box: box, Port: port, T: t})
+}
+
+// handleControl dispatches the cluster control kinds; replies (possibly
+// several, for multi-slot checkpoint acks) go back on the same connection.
+func (cl *clusterState) handleControl(raw []byte, m Msg) ([]Msg, error) {
+	switch m.Kind {
+	case KindJoin:
+		return cl.handleJoin(m)
+	case KindClose:
+		return nil, cl.handleClose(raw, m)
+	case KindCkpt:
+		return cl.handleCkpt(m)
+	case KindSnap:
+		return cl.handleSnap(m)
+	case KindPromote:
+		return cl.handlePromote(m)
+	}
+	return nil, fmt.Errorf("unknown cluster kind %q", m.Kind)
+}
+
+// handleJoin assigns this worker's slot and cluster geometry. Idempotent
+// per router run: a reconnecting router re-joins with the same geometry.
+func (cl *clusterState) handleJoin(m Msg) ([]Msg, error) {
+	if m.Shard == nil || *m.Shard < 0 {
+		return nil, errors.New("join carries no shard")
+	}
+	if m.Workers < 1 || *m.Shard >= m.Workers {
+		return nil, fmt.Errorf("join slot %d out of range for %d workers", *m.Shard, m.Workers)
+	}
+	cl.mu.Lock()
+	cl.joined = true
+	cl.workers = m.Workers
+	cl.replicas = m.Replicas
+	cl.version = m.Version
+	cl.shard.Store(int64(*m.Shard))
+	cl.resetTailsLocked()
+	cl.mu.Unlock()
+	return []Msg{{Kind: KindOK, Version: m.Version}}, nil
+}
+
+// handleClose replays one router-clock window-close punctuation into the
+// worker's own epoch, every promoted instance, and every replica tail. A
+// close that lands in the between-epochs gap waits for the next epoch (and
+// its re-spawned hosted instances) first, so no hosted slot ever misses a
+// punctuation — the merge counts one close per port per window.
+func (cl *clusterState) handleClose(raw []byte, m Msg) error {
+	if m.T < 0 {
+		return fmt.Errorf("close t_ms %d is negative", m.T)
+	}
+	cp := append([]byte(nil), raw...)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl.mu.Lock()
+		if !cl.epochEnded {
+			break // still holding cl.mu
+		}
+		cl.mu.Unlock()
+		select {
+		case <-cl.s.done:
+			return errors.New("engine stopped; no further streams accepted")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return errors.New("stream draining; retry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for slot := range cl.tails {
+		cl.tails[slot] = append(cl.tails[slot], cp)
+	}
+	insts := cl.instancesLocked()
+	cl.mu.Unlock()
+	cl.closes.Add(1)
+	source := sourceOf(m)
+	for _, inst := range insts {
+		if err := cl.pushInstance(inst, source, stream.NewWindowClose(stream.Time(m.T), m.Seq)); err != nil {
+			return fmt.Errorf("slot %d: %w", inst.slot, err)
+		}
+	}
+	return cl.s.enqueue(source, stream.NewWindowClose(stream.Time(m.T), m.Seq))
+}
+
+// handleCkpt takes a cluster checkpoint: snapshot the worker's own slot and
+// every hosted instance at a quiesce barrier, and mark every replica tail's
+// current length so the tails can be trimmed once the router confirms the
+// snapshots are installed on the slots' replicas ("snap"). One ckpt_ack per
+// hosted slot rides back, carrying the snapshot blob and the slot's
+// consumed-close count.
+func (cl *clusterState) handleCkpt(m Msg) ([]Msg, error) {
+	if m.Ckpt == 0 {
+		return nil, errors.New("cluster checkpoint needs a nonzero id")
+	}
+	cl.mu.Lock()
+	if cl.epochEnded {
+		cl.mu.Unlock()
+		return nil, errors.New("epoch ended before checkpoint ran")
+	}
+	mk := map[int]int{}
+	for slot, tail := range cl.tails {
+		mk[slot] = len(tail)
+	}
+	cl.marks[m.Ckpt] = mk
+	ep := cl.s.epoch()
+	ownPE := cl.ownPE
+	insts := cl.instancesLocked()
+	cl.mu.Unlock()
+	if ep == nil {
+		return nil, errors.New("no epoch running")
+	}
+	own := int(cl.shard.Load())
+	var acks []Msg
+	data, closes, err := snapshotPlan(ep.queue, ep.barriers, ep.runDone, ep.plan, ownPE)
+	if err != nil {
+		return nil, fmt.Errorf("slot %d: %w", own, err)
+	}
+	slot := own
+	acks = append(acks, Msg{Kind: KindCkptAck, Shard: &slot, Ckpt: m.Ckpt, Closes: closes, Data: data})
+	sort.Slice(insts, func(i, j int) bool { return insts[i].slot < insts[j].slot })
+	for _, inst := range insts {
+		data, closes, err := snapshotPlan(inst.queue, inst.barriers, inst.runDone, inst.plan, inst.pe)
+		if err != nil {
+			return nil, fmt.Errorf("slot %d: %w", inst.slot, err)
+		}
+		is := inst.slot
+		acks = append(acks, Msg{Kind: KindCkptAck, Shard: &is, Ckpt: m.Ckpt, Closes: closes, Data: data})
+	}
+	return acks, nil
+}
+
+// snapshotPlan quiesces one live plan through its barrier channel and
+// captures its checkpoint plus the part emitter's close ordinal — read
+// inside the barrier, where the graph is idle, so the pair is consistent.
+func snapshotPlan(q *Queue, barriers chan func(), runDone chan struct{}, plan *uop.Compiled, pe *partEmitter) (data []byte, closes uint64, err error) {
+	deadline := time.Now().Add(10 * time.Second)
+	for q.Depth() > 0 {
+		select {
+		case <-runDone:
+			return nil, 0, errors.New("run ended before checkpoint ran")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, 0, errors.New("checkpoint timed out waiting for queue drain")
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	errc := make(chan error, 1)
+	fn := func() {
+		var ferr error
+		data, ferr = plan.Checkpoint()
+		closes = pe.ordinal.Load()
+		errc <- ferr
+	}
+	select {
+	case barriers <- fn:
+		select {
+		case err := <-errc:
+			return data, closes, err
+		case <-runDone:
+			return nil, 0, errors.New("run ended before checkpoint completed")
+		}
+	case <-runDone:
+		return nil, 0, errors.New("run ended before checkpoint ran")
+	case <-time.After(10 * time.Second):
+		return nil, 0, errors.New("checkpoint request timed out")
+	}
+}
+
+// handleSnap installs a snapshot for a slot this worker replicates, and
+// trims the slot's replay tail to the suffix past the checkpoint mark: a
+// later promote restores the snapshot and replays only that suffix.
+func (cl *clusterState) handleSnap(m Msg) ([]Msg, error) {
+	if m.Shard == nil {
+		return nil, errors.New("snap carries no shard")
+	}
+	slot := *m.Shard
+	cl.mu.Lock()
+	cl.snaps[slot] = snapRec{id: m.Ckpt, closes: m.Closes, data: m.Data}
+	if mk, ok := cl.marks[m.Ckpt][slot]; ok {
+		if tail, ok := cl.tails[slot]; ok && mk <= len(tail) {
+			cl.tails[slot] = tail[mk:]
+			// Older/newer marks recorded lengths of the untrimmed tail.
+			for _, mm := range cl.marks {
+				if v, ok := mm[slot]; ok {
+					mm[slot] = max(v-mk, 0)
+				}
+			}
+		}
+	}
+	cl.mu.Unlock()
+	return []Msg{{Kind: KindSnapAck, Shard: m.Shard, Ckpt: m.Ckpt}}, nil
+}
+
+// handlePromote fails a dead worker's slot over to this one: spawn an
+// instance from the last installed snapshot (when the router names one we
+// hold), replay the tail suffix, and suppress output for the window
+// ordinals the router already merged. If the epoch has already ended, the
+// instance drains inline so the "promoted" ack provably follows its last
+// part line.
+func (cl *clusterState) handlePromote(m Msg) ([]Msg, error) {
+	if m.Shard == nil {
+		return nil, errors.New("promote carries no shard")
+	}
+	slot := *m.Shard
+	if slot == int(cl.shard.Load()) {
+		return nil, fmt.Errorf("cannot promote own slot %d", slot)
+	}
+	cl.mu.Lock()
+	if _, dup := cl.insts[slot]; dup {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("slot %d already promoted", slot)
+	}
+	rec, hasSnap := cl.snaps[slot]
+	hasSnap = hasSnap && m.Ckpt != 0 && rec.id == m.Ckpt
+	tail := cl.tails[slot]
+	delete(cl.tails, slot) // the slot is live here now; no more tailing
+	cl.hosted[slot] = true // later epochs spawn it fresh in beginEpoch
+	ended := cl.epochEnded
+	cl.mu.Unlock()
+
+	inst, err := cl.spawnInstance(slot, rec, hasSnap, m.Closes)
+	if err != nil {
+		return nil, err
+	}
+	for i, raw := range tail {
+		if err := cl.replayLine(inst, raw); err != nil {
+			return nil, fmt.Errorf("slot %d: replay tail line %d: %w", slot, i, err)
+		}
+	}
+	if ended {
+		inst.queue.Close()
+		<-inst.runDone
+	}
+	cl.promotions.Add(1)
+	return []Msg{{Kind: KindPromoted, Shard: m.Shard}}, nil
+}
+
+// spawnInstance starts a live plan instance for a hosted slot — restored
+// from a snapshot when one is given — and registers it.
+func (cl *clusterState) spawnInstance(slot int, rec snapRec, hasSnap bool, suppress uint64) (*instance, error) {
+	plan := cl.s.cfg.NewPlan()
+	if hasSnap {
+		if err := plan.RestoreFrom(rec.data); err != nil {
+			return nil, fmt.Errorf("slot %d: restore snapshot %d: %w", slot, rec.id, err)
+		}
+	}
+	pe := &partEmitter{slot: slot, suppress: suppress}
+	if hasSnap {
+		pe.ordinal.Store(rec.closes)
+	}
+	plan.OnResult(func(t *stream.Tuple) { cl.emitPart(nil, pe, t) })
+	inst := &instance{
+		slot:     slot,
+		plan:     plan,
+		queue:    NewQueue(cl.s.cfg.QueueCap, Block),
+		barriers: make(chan func()),
+		runDone:  make(chan struct{}),
+		pe:       pe,
+	}
+	go func() {
+		defer close(inst.runDone)
+		plan.RunLiveOpts(cl.s.ctx, inst.queue, stream.LiveOptions{
+			Buffer:     cl.s.cfg.Buffer,
+			FlushEvery: cl.s.cfg.FlushEvery,
+			Barriers:   inst.barriers,
+		})
+	}()
+	cl.mu.Lock()
+	cl.insts[slot] = inst
+	cl.mu.Unlock()
+	return inst, nil
+}
+
+// replayLine feeds one tail line (a replica tuple or a close punctuation)
+// into a promoted instance.
+func (cl *clusterState) replayLine(inst *instance, raw []byte) error {
+	var m Msg
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return err
+	}
+	switch m.Kind {
+	case KindTuple:
+		u, err := ParseTuple(m)
+		if err != nil {
+			return err
+		}
+		t := core.Wrap(u)
+		t.Seq = m.Seq
+		return cl.pushInstance(inst, sourceOf(m), t)
+	case KindClose:
+		return cl.pushInstance(inst, sourceOf(m), stream.NewWindowClose(stream.Time(m.T), m.Seq))
+	}
+	return fmt.Errorf("unexpected kind %q in replay tail", m.Kind)
+}
+
+// ClusterStatsz is the /statsz cluster-worker section.
+type ClusterStatsz struct {
+	Joined   bool   `json:"joined"`
+	Shard    int    `json:"shard"`
+	Workers  int    `json:"workers"`
+	Replicas int    `json:"replicas"`
+	Version  uint64 `json:"version"`
+	// Parts counts part lines shipped; Closes counts router punctuations
+	// consumed; ReplicaLines counts dual-written tuples tailed.
+	Parts        uint64 `json:"parts"`
+	Closes       uint64 `json:"closes"`
+	ReplicaLines uint64 `json:"replica_lines"`
+	Promotions   uint64 `json:"promotions"`
+	// Tails maps each replicated slot to its current replay-tail length.
+	Tails map[int]int `json:"tails,omitempty"`
+	// Hosted lists promoted slots currently running on this worker.
+	Hosted []int `json:"hosted,omitempty"`
+}
+
+// statsz snapshots the cluster section.
+func (cl *clusterState) statsz() *ClusterStatsz {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cs := &ClusterStatsz{
+		Joined:       cl.joined,
+		Shard:        int(cl.shard.Load()),
+		Workers:      cl.workers,
+		Replicas:     cl.replicas,
+		Version:      cl.version,
+		Parts:        cl.parts.Load(),
+		Closes:       cl.closes.Load(),
+		ReplicaLines: cl.replicaLines.Load(),
+		Promotions:   cl.promotions.Load(),
+	}
+	if len(cl.tails) > 0 {
+		cs.Tails = make(map[int]int, len(cl.tails))
+		for slot, tail := range cl.tails {
+			cs.Tails[slot] = len(tail)
+		}
+	}
+	for slot := range cl.insts {
+		cs.Hosted = append(cs.Hosted, slot)
+	}
+	sort.Ints(cs.Hosted)
+	return cs
+}

@@ -57,8 +57,14 @@ var ErrQueueClosed = errors.New("server: ingest queue closed (stream draining)")
 // continuously running plan: many producers Put; the engine consumes it as
 // a stream.Source. Closing it ends the stream — RunLive drains everything
 // accepted, then flushes the plan.
-type Queue struct {
-	ch   chan stream.SourceTuple
+type Queue = QueueOf[stream.SourceTuple]
+
+// QueueOf is the element-generic form of the bounded queue. The ingest
+// path instantiates it with stream.SourceTuple; the cluster router uses
+// QueueOf[[]byte] as each worker link's outbound line buffer, reusing the
+// same policies and accounting.
+type QueueOf[T any] struct {
+	ch   chan T
 	done chan struct{}
 
 	mu       sync.Mutex
@@ -71,28 +77,33 @@ type Queue struct {
 	highWater atomic.Int64
 }
 
-// NewQueue creates a bounded queue (capacity <= 0 selects 1024).
+// NewQueue creates a bounded ingest queue (capacity <= 0 selects 1024).
 func NewQueue(capacity int, policy Policy) *Queue {
+	return NewQueueOf[stream.SourceTuple](capacity, policy)
+}
+
+// NewQueueOf creates a bounded queue of any element type.
+func NewQueueOf[T any](capacity int, policy Policy) *QueueOf[T] {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &Queue{
-		ch:     make(chan stream.SourceTuple, capacity),
+	return &QueueOf[T]{
+		ch:     make(chan T, capacity),
 		done:   make(chan struct{}),
 		policy: policy,
 	}
 }
 
 // Tuples implements stream.Source; RunLive consumes the queue directly.
-func (q *Queue) Tuples() <-chan stream.SourceTuple { return q.ch }
+func (q *QueueOf[T]) Tuples() <-chan T { return q.ch }
 
 // Depth is the number of queued tuples not yet consumed by the engine.
-func (q *Queue) Depth() int { return len(q.ch) }
+func (q *QueueOf[T]) Depth() int { return len(q.ch) }
 
 // Put enqueues one tuple per the policy. Block waits for space (or ctx
 // cancellation, or queue close); DropOldest never waits — it evicts the
 // oldest queued tuple instead and counts the drop.
-func (q *Queue) Put(ctx context.Context, st stream.SourceTuple) error {
+func (q *QueueOf[T]) Put(ctx context.Context, st T) error {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -135,7 +146,7 @@ func (q *Queue) Put(ctx context.Context, st stream.SourceTuple) error {
 	}
 }
 
-func (q *Queue) accept() {
+func (q *QueueOf[T]) accept() {
 	q.accepted.Add(1)
 	// Best-effort high-water mark; racy reads are fine for monitoring.
 	if d := int64(len(q.ch)); d > q.highWater.Load() {
@@ -147,7 +158,7 @@ func (q *Queue) accept() {
 // in-flight Puts settle the channel closes, so the consuming RunLive
 // processes everything accepted and then drains the plan gracefully.
 // Idempotent and safe to call concurrently with Put.
-func (q *Queue) Close() {
+func (q *QueueOf[T]) Close() {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -176,7 +187,7 @@ type QueueStats struct {
 
 // Stats snapshots the queue counters; safe while producers and the engine
 // are running.
-func (q *Queue) Stats() QueueStats {
+func (q *QueueOf[T]) Stats() QueueStats {
 	return QueueStats{
 		Accepted:  q.accepted.Load(),
 		Dropped:   q.dropped.Load(),

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// Drop-oldest accounting under concurrent producers: with P goroutines
+// hammering a small queue while a consumer drains it, every accepted tuple
+// must be either delivered or counted as dropped — no double counts, no
+// losses. (The single-threaded form lives in server_test.go; this is the
+// contended form the queue meets as the cluster router's per-worker send
+// buffer.)
+func TestQueueDropOldestConcurrentAccounting(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 4000
+		capacity  = 64
+	)
+	q := NewQueue(capacity, DropOldest)
+
+	var delivered atomic.Uint64
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for range q.Tuples() {
+			delivered.Add(1)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				if err := q.Put(context.Background(), stream.SourceTuple{}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	<-consumerDone
+
+	st := q.Stats()
+	if st.Accepted != producers*perProd {
+		t.Fatalf("accepted %d, want %d", st.Accepted, producers*perProd)
+	}
+	if st.Depth != 0 {
+		t.Fatalf("depth %d after full drain", st.Depth)
+	}
+	if got := delivered.Load() + st.Dropped; got != st.Accepted {
+		t.Fatalf("delivered %d + dropped %d = %d, want accepted %d",
+			delivered.Load(), st.Dropped, got, st.Accepted)
+	}
+	if st.HighWater > capacity {
+		t.Fatalf("high water %d exceeds capacity %d", st.HighWater, capacity)
+	}
+}
+
+// The generic instantiation the router uses: byte-slice elements, block
+// policy, accounting intact across close.
+func TestQueueOfBytes(t *testing.T) {
+	q := NewQueueOf[[]byte](4, Block)
+	for i := 0; i < 4; i++ {
+		if err := q.Put(context.Background(), []byte{byte(i)}); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	q.Close()
+	var got []byte
+	for line := range q.Tuples() {
+		got = append(got, line...)
+	}
+	if string(got) != "\x00\x01\x02\x03" {
+		t.Fatalf("drained %q, want FIFO bytes", got)
+	}
+	if err := q.Put(context.Background(), []byte("late")); err != ErrQueueClosed {
+		t.Fatalf("Put after close: %v, want ErrQueueClosed", err)
+	}
+	if st := q.Stats(); st.Accepted != 4 || st.Dropped != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}

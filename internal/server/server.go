@@ -52,6 +52,12 @@ type Config struct {
 	// timer; drain/shutdown and client-triggered "ckpt" checkpoints still
 	// run whenever Store is set).
 	CheckpointEvery time.Duration
+	// Cluster runs this server as a cluster worker: a router "join" assigns
+	// it a slot, tuples arrive pre-routed with sequence stamps, window
+	// closes arrive as explicit "close" punctuations, and plan results ship
+	// back as "part" lines instead of client-facing alerts. NewPlan must
+	// compile a worker-side plan (uop.ClusterPlan.CompileWorker).
+	Cluster bool
 }
 
 // epoch is one continuous run of a freshly compiled plan: the engine serves
@@ -86,7 +92,7 @@ type Server struct {
 	// shutdown).
 	done chan struct{}
 
-	hub hub
+	hub Hub
 
 	mu       sync.Mutex
 	ep       *epoch
@@ -111,6 +117,9 @@ type Server struct {
 	ckptLast ckptRecord
 	ckptN    atomic.Uint64
 	ckptErrs atomic.Uint64
+
+	// cl is the worker-side cluster state (nil unless Config.Cluster).
+	cl *clusterState
 }
 
 // ckptRecord is the most recent checkpoint's vitals.
@@ -145,7 +154,10 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
-	s.hub.subs = map[*subscriber]struct{}{}
+	s.hub.subs = map[*Subscriber]struct{}{}
+	if cfg.Cluster {
+		s.cl = newClusterState(s)
+	}
 	if cfg.HTTPAddr != "" {
 		httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
 		if err != nil {
@@ -197,7 +209,7 @@ func (s *Server) Close() error {
 	// subscriber channels close; the pumps must then deliver everything
 	// queued before the connections close under them.
 	<-s.done
-	s.hub.closeAll()
+	s.hub.CloseAll()
 	s.hub.pumps.Wait()
 	// The shutdown flag closes the race with acceptLoop: a connection
 	// accepted just before the listener closed but not yet registered is
@@ -255,7 +267,16 @@ func (s *Server) engineLoop() {
 				ep.recovered = true
 			}
 		}
-		ep.plan.OnResult(func(t *stream.Tuple) { s.emitAlert(ep, t) })
+		if s.cl != nil {
+			// Worker mode: plan results are partial-aggregate tuples and
+			// forwarded closes; ship them to the router as "part" lines
+			// instead of alert lines. beginEpoch also resets the per-epoch
+			// replica tails and failover instances.
+			pe := s.cl.beginEpoch(ep)
+			ep.plan.OnResult(func(t *stream.Tuple) { s.cl.emitPart(ep, pe, t) })
+		} else {
+			ep.plan.OnResult(func(t *stream.Tuple) { s.emitAlert(ep, t) })
+		}
 		s.mu.Lock()
 		s.ep = ep
 		s.eps = append(s.eps, ep)
@@ -286,7 +307,13 @@ func (s *Server) engineLoop() {
 		close(ep.runDone)
 		ep.finished.Store(true)
 		ep.queue.Close() // idempotent; ensures producers fail fast after a cancel
-		s.hub.broadcastControl(mustLine(Msg{Kind: KindDone, Alerts: ep.alerts.Load()}))
+		if s.cl != nil {
+			// Promoted failover instances must drain before "done": the
+			// router counts this worker's ports complete only after every
+			// hosted slot's final parts are on the wire.
+			s.cl.finishEpoch()
+		}
+		s.hub.BroadcastControl(mustLine(Msg{Kind: KindDone, Alerts: ep.alerts.Load()}))
 		if err == nil && s.ctx.Err() == nil && s.cfg.Store != nil {
 			// Clean end-of-stream: the epoch is complete, its checkpoint must
 			// not be recovered into a fresh restart.
@@ -435,7 +462,7 @@ func (s *Server) emitAlert(ep *epoch, t *stream.Tuple) {
 	}
 	ep.alerts.Add(1)
 	s.alerts.Add(1)
-	s.hub.broadcast(line)
+	s.hub.Broadcast(line)
 }
 
 func mustLine(m Msg) []byte {
@@ -485,10 +512,10 @@ func (s *Server) handleConn(c net.Conn) {
 		c.Close()
 	}()
 	w := bufio.NewWriter(c)
-	var sub *subscriber
+	var sub *Subscriber
 	defer func() {
-		if sub != nil && s.hub.remove(sub) {
-			sub.close()
+		if sub != nil && s.hub.Remove(sub) {
+			sub.Close()
 		}
 	}()
 	// reply writes a control message to the client. Before subscribing it
@@ -500,14 +527,19 @@ func (s *Server) handleConn(c net.Conn) {
 			return
 		}
 		if sub != nil {
-			sub.sendControl(line, &s.hub)
+			sub.SendControl(line, &s.hub)
 			return
 		}
 		w.Write(line)
 		w.Flush()
 	}
 	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	maxLine := 1 << 20
+	if s.cl != nil {
+		// Cluster "snap" lines carry whole plan checkpoints (base64).
+		maxLine = 1 << 26
+	}
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
@@ -521,19 +553,45 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 		switch m.Kind {
 		case KindTuple:
-			if err := s.ingest(m); err != nil {
+			var err error
+			if s.cl != nil {
+				err = s.cl.handleTuple(line, m)
+			} else {
+				err = s.ingest(m)
+			}
+			if err != nil {
 				s.ingestErrs.Add(1)
 				reply(errMsg("%v", err))
 				continue
 			}
 			s.ingested.Add(1)
+		case KindPing:
+			pong := Msg{Kind: KindPong}
+			if s.cl != nil {
+				pong.Version = s.cl.ringVersion()
+			}
+			reply(pong)
+		case KindJoin, KindClose, KindSnap, KindPromote:
+			if s.cl == nil {
+				reply(errMsg("%q requires a cluster worker (-mode worker)", m.Kind))
+				continue
+			}
+			replies, err := s.cl.handleControl(line, m)
+			if err != nil {
+				s.ingestErrs.Add(1)
+				reply(errMsg("%v", err))
+				continue
+			}
+			for _, r := range replies {
+				reply(r)
+			}
 		case KindSub:
 			if sub != nil {
 				reply(errMsg("already subscribed"))
 				continue
 			}
-			newSub := &subscriber{ch: make(chan []byte, s.cfg.SubBuffer)}
-			if !s.hub.add(newSub) {
+			newSub := NewSubscriber(s.cfg.SubBuffer)
+			if !s.hub.Add(newSub) {
 				reply(errMsg("server shutting down"))
 				continue
 			}
@@ -542,16 +600,35 @@ func (s *Server) handleConn(c net.Conn) {
 			w.Write(mustLine(Msg{Kind: KindOK}))
 			w.Flush()
 			sub = newSub
-			go s.pumpSub(c, w, sub)
+			go s.hub.Pump(c, w, sub)
 		case KindEnd:
 			ep := s.epoch()
 			if ep == nil {
 				reply(errMsg("no epoch running"))
 				continue
 			}
+			if s.cl != nil {
+				// Mark end-of-epoch first: a promote that arrives after this
+				// line must drain its instance inline before acking.
+				s.cl.endEpoch()
+			}
 			ep.queue.Close()
 			reply(Msg{Kind: KindOK})
 		case KindCkpt:
+			if s.cl != nil {
+				// Cluster checkpoint: snapshot every hosted slot and reply
+				// one ckpt_ack per slot (the router installs them on the
+				// slots' replicas).
+				replies, err := s.cl.handleControl(line, m)
+				if err != nil {
+					reply(errMsg("checkpoint: %v", err))
+					continue
+				}
+				for _, r := range replies {
+					reply(r)
+				}
+				continue
+			}
 			ep := s.epoch()
 			if ep == nil {
 				reply(errMsg("no epoch running"))
@@ -586,10 +663,25 @@ func (s *Server) ingest(m Msg) error {
 	if err != nil {
 		return err
 	}
-	source := m.Source
-	if source == "" {
-		source = "locations"
+	t := core.Wrap(u)
+	// Routed cluster tuples carry the router partitioner's global arrival
+	// stamp; the partial aggregate's dedup ordering depends on it. Client
+	// tuples leave it zero and the plan stamps arrival order itself.
+	t.Seq = m.Seq
+	return s.enqueue(sourceOf(m), t)
+}
+
+// sourceOf resolves a tuple line's plan input stream.
+func sourceOf(m Msg) string {
+	if m.Source == "" {
+		return "locations"
 	}
+	return m.Source
+}
+
+// enqueue delivers one carrier tuple into the current epoch's ingest queue,
+// waiting out the between-epochs gap.
+func (s *Server) enqueue(source string, t *stream.Tuple) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		ep := s.epoch()
@@ -598,7 +690,7 @@ func (s *Server) ingest(m Msg) error {
 			if !ok {
 				return fmt.Errorf("unknown source %q", source)
 			}
-			err := ep.queue.Put(s.ctx, stream.SourceTuple{Box: box, Port: port, T: core.Wrap(u)})
+			err := ep.queue.Put(s.ctx, stream.SourceTuple{Box: box, Port: port, T: t})
 			if !errors.Is(err, ErrQueueClosed) {
 				return err
 			}
@@ -621,12 +713,12 @@ func (s *Server) ingest(m Msg) error {
 	}
 }
 
-// pumpSub owns the connection's writer after subscription: it streams
-// queued lines, flushing whenever the queue momentarily empties (the same
+// Pump owns the connection's writer after subscription: it streams queued
+// lines, flushing whenever the queue momentarily empties (the same
 // flush-on-idle rule the engine's batches follow, for the same latency
 // reason).
-func (s *Server) pumpSub(c net.Conn, w *bufio.Writer, sub *subscriber) {
-	defer s.hub.pumps.Done()
+func (h *Hub) Pump(c net.Conn, w *bufio.Writer, sub *Subscriber) {
+	defer h.pumps.Done()
 	for line := range sub.ch {
 		// Bound each write so a subscriber that stopped reading cannot
 		// wedge shutdown behind a full TCP buffer.
@@ -645,8 +737,8 @@ func (s *Server) pumpSub(c net.Conn, w *bufio.Writer, sub *subscriber) {
 	w.Flush()
 }
 
-// subscriber is one alert-stream consumer.
-type subscriber struct {
+// Subscriber is one alert-stream consumer.
+type Subscriber struct {
 	ch      chan []byte
 	dropped atomic.Uint64
 	// mu guards closed and serializes bounded-wait control sends against
@@ -656,9 +748,21 @@ type subscriber struct {
 	closed bool
 }
 
-// close closes the subscriber's channel exactly once, never while a
+// NewSubscriber builds a subscriber whose queue holds buffer lines.
+func NewSubscriber(buffer int) *Subscriber {
+	return &Subscriber{ch: make(chan []byte, buffer)}
+}
+
+// Lines exposes the subscriber's queued lines for consumers that pump them
+// somewhere other than a TCP connection (the router's merge feed).
+func (sub *Subscriber) Lines() <-chan []byte { return sub.ch }
+
+// Dropped reports lines lost to this subscriber's full queue.
+func (sub *Subscriber) Dropped() uint64 { return sub.dropped.Load() }
+
+// Close closes the subscriber's channel exactly once, never while a
 // control send is in flight.
-func (sub *subscriber) close() {
+func (sub *Subscriber) Close() {
 	sub.mu.Lock()
 	if !sub.closed {
 		sub.closed = true
@@ -667,9 +771,9 @@ func (sub *subscriber) close() {
 	sub.mu.Unlock()
 }
 
-// send enqueues without blocking; a slow subscriber loses alert lines
+// Send enqueues without blocking; a slow subscriber loses alert lines
 // (counted) rather than stalling the engine.
-func (sub *subscriber) send(line []byte, h *hub) {
+func (sub *Subscriber) Send(line []byte, h *Hub) {
 	select {
 	case sub.ch <- line:
 	default:
@@ -678,7 +782,7 @@ func (sub *subscriber) send(line []byte, h *hub) {
 	}
 }
 
-// sendControl enqueues a control line ("done", "ok", "err") with a bounded
+// SendControl enqueues a control line ("done", "ok", "err") with a bounded
 // wait instead of the drop policy: losing an alert behind a slow reader is
 // survivable and counted, but losing "done" would leave a replay client
 // waiting forever (and losing the drop *report* with it). A subscriber
@@ -686,7 +790,7 @@ func (sub *subscriber) send(line []byte, h *hub) {
 // pump's write deadline will sever it. The wait holds only this
 // subscriber's mutex: a stalled consumer delays its own control lines,
 // never the hub lock the engine's broadcast path needs.
-func (sub *subscriber) sendControl(line []byte, h *hub) {
+func (sub *Subscriber) SendControl(line []byte, h *Hub) {
 	sub.mu.Lock()
 	defer sub.mu.Unlock()
 	if sub.closed {
@@ -700,21 +804,34 @@ func (sub *subscriber) sendControl(line []byte, h *hub) {
 	}
 }
 
-// hub fans alert lines out to subscribers.
-type hub struct {
+// Hub fans alert lines out to subscribers. The zero value is not ready:
+// use NewHub (the Server embeds one and initializes it in New).
+type Hub struct {
 	mu      sync.Mutex
-	subs    map[*subscriber]struct{}
+	subs    map[*Subscriber]struct{}
 	closed  bool
 	dropped atomic.Uint64
 	// pumps counts live pump goroutines. Every Add happens under mu
-	// strictly before closeAll flips closed, so shutdown's Wait can never
+	// strictly before CloseAll flips closed, so shutdown's Wait can never
 	// race a late registration.
 	pumps sync.WaitGroup
 }
 
-// add registers a subscriber and accounts for its pump; false once the hub
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: map[*Subscriber]struct{}{}}
+}
+
+// Dropped reports lines lost across all subscribers.
+func (h *Hub) Dropped() uint64 { return h.dropped.Load() }
+
+// WaitPumps blocks until every pump goroutine has exited; call after
+// CloseAll during shutdown.
+func (h *Hub) WaitPumps() { h.pumps.Wait() }
+
+// Add registers a subscriber and accounts for its pump; false once the hub
 // has shut down.
-func (h *hub) add(sub *subscriber) bool {
+func (h *Hub) Add(sub *Subscriber) bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
@@ -725,9 +842,9 @@ func (h *hub) add(sub *subscriber) bool {
 	return true
 }
 
-// remove reports whether the caller took the subscriber out (and therefore
+// Remove reports whether the caller took the subscriber out (and therefore
 // owns closing its channel).
-func (h *hub) remove(sub *subscriber) bool {
+func (h *Hub) Remove(sub *Subscriber) bool {
 	h.mu.Lock()
 	_, ok := h.subs[sub]
 	delete(h.subs, sub)
@@ -735,51 +852,51 @@ func (h *hub) remove(sub *subscriber) bool {
 	return ok
 }
 
-func (h *hub) broadcast(line []byte) {
+func (h *Hub) Broadcast(line []byte) {
 	h.mu.Lock()
 	for sub := range h.subs {
-		sub.send(line, h)
+		sub.Send(line, h)
 	}
 	h.mu.Unlock()
 }
 
-// broadcastControl delivers a control line to every subscriber with the
+// BroadcastControl delivers a control line to every subscriber with the
 // bounded-wait policy. Subscribers are snapshotted under the hub lock but
-// sent to outside it: the per-subscriber mutex (sendControl vs close)
+// sent to outside it: the per-subscriber mutex (SendControl vs Close)
 // makes the post-snapshot send safe, and a stalled consumer cannot hold
 // the hub lock against the engine's alert broadcasts.
-func (h *hub) broadcastControl(line []byte) {
+func (h *Hub) BroadcastControl(line []byte) {
 	h.mu.Lock()
-	subs := make([]*subscriber, 0, len(h.subs))
+	subs := make([]*Subscriber, 0, len(h.subs))
 	for sub := range h.subs {
 		subs = append(subs, sub)
 	}
 	h.mu.Unlock()
 	for _, sub := range subs {
-		sub.sendControl(line, h)
+		sub.SendControl(line, h)
 	}
 }
 
-// closeAll detaches every remaining subscriber; their pumps flush queued
+// CloseAll detaches every remaining subscriber; their pumps flush queued
 // lines and exit. Called once the engine has stopped broadcasting; no
 // subscriber can register afterwards. The channel closes happen outside
 // the hub lock (the per-subscriber mutex orders them against in-flight
 // control sends).
-func (h *hub) closeAll() {
+func (h *Hub) CloseAll() {
 	h.mu.Lock()
 	h.closed = true
-	subs := make([]*subscriber, 0, len(h.subs))
+	subs := make([]*Subscriber, 0, len(h.subs))
 	for sub := range h.subs {
 		delete(h.subs, sub)
 		subs = append(subs, sub)
 	}
 	h.mu.Unlock()
 	for _, sub := range subs {
-		sub.close()
+		sub.Close()
 	}
 }
 
-func (h *hub) count() int {
+func (h *Hub) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.subs)
@@ -841,6 +958,8 @@ type Statsz struct {
 	Boxes        []BoxStatsz       `json:"boxes"`
 	Epochs       []EpochStatsz     `json:"epochs,omitempty"`
 	Checkpoint   *CheckpointStatsz `json:"checkpoint,omitempty"`
+	// Cluster is present when the server runs as a cluster worker.
+	Cluster *ClusterStatsz `json:"cluster,omitempty"`
 }
 
 func epochStatsz(ep *epoch) EpochStatsz {
@@ -871,7 +990,7 @@ func (s *Server) Stats() Statsz {
 		IngestErrors: s.ingestErrs.Load(),
 		EncodeErrors: s.encodeErrs.Load(),
 		Alerts:       s.alerts.Load(),
-		Subscribers:  s.hub.count(),
+		Subscribers:  s.hub.Count(),
 		SubDropped:   s.hub.dropped.Load(),
 	}
 	if up > 0 {
@@ -905,6 +1024,9 @@ func (s *Server) Stats() Statsz {
 			ck.EpochsOnDisk = epochs
 		}
 		st.Checkpoint = ck
+	}
+	if s.cl != nil {
+		st.Cluster = s.cl.statsz()
 	}
 	return st
 }

@@ -120,6 +120,38 @@ type Msg struct {
 	Error string `json:"error,omitempty"`
 	// Alerts is the epoch's alert count, on "done".
 	Alerts uint64 `json:"alerts,omitempty"`
+
+	// Cluster-protocol fields (router ↔ worker; every one is omitempty, so
+	// client-facing lines — alerts, done — are byte-identical to the
+	// single-process protocol).
+
+	// Seq is the router partitioner's global arrival stamp on routed
+	// tuples, and the close counter on "close" lines.
+	Seq uint64 `json:"seq,omitempty"`
+	// Shard is the logical worker slot a line concerns: the routed slot on
+	// tuples, the originating slot on "part"/"ckpt_ack" lines, the promoted
+	// slot on "promote"/"promoted"/"snap". A pointer because slot 0 is
+	// meaningful.
+	Shard *int `json:"shard,omitempty"`
+	// Replica marks a dual-written tuple copy: the receiver appends it to
+	// the slot's replay tail instead of feeding a plan.
+	Replica bool `json:"replica,omitempty"`
+	// Workers and Replicas carry cluster geometry on "join".
+	Workers  int `json:"workers,omitempty"`
+	Replicas int `json:"replicas,omitempty"`
+	// Version is the ring membership version ("join", "pong").
+	Version uint64 `json:"version,omitempty"`
+	// Ckpt identifies a cluster checkpoint round ("ckpt", "ckpt_ack",
+	// "snap", "snap_ack", "promote").
+	Ckpt uint64 `json:"ckpt,omitempty"`
+	// Closes counts window-close punctuations: the snapshot's consumed
+	// prefix on "ckpt_ack"/"snap", the router-side suppression floor on
+	// "promote".
+	Closes uint64 `json:"closes,omitempty"`
+	// Data is an opaque binary payload (base64 on the wire): a
+	// stream.EncodeWireTuple blob on "part", a plan checkpoint on
+	// "ckpt_ack"/"snap".
+	Data []byte `json:"data,omitempty"`
 }
 
 // Protocol message kinds.
@@ -132,6 +164,27 @@ const (
 	KindErr   = "err"
 	KindAlert = "alert"
 	KindDone  = "done"
+
+	// Liveness probe: any peer may send "ping"; the reply is "pong" with
+	// the responder's cluster membership version (0 when unclustered).
+	KindPing = "ping"
+	KindPong = "pong"
+
+	// Cluster kinds (router ↔ worker). "join" configures a worker's slot
+	// and geometry; "close" replays the router clock's window-close
+	// punctuations; "part" ships a partial-aggregate tuple or forwarded
+	// close back to the router; "ckpt_ack" answers a cluster "ckpt" with
+	// the slot's snapshot; "snap"/"snap_ack" install that snapshot on the
+	// slot's replica; "promote"/"promoted" fail a dead worker's slot over
+	// to its replica.
+	KindJoin     = "join"
+	KindClose    = "close"
+	KindPart     = "part"
+	KindCkptAck  = "ckpt_ack"
+	KindSnap     = "snap"
+	KindSnapAck  = "snap_ack"
+	KindPromote  = "promote"
+	KindPromoted = "promoted"
 )
 
 // errMsg builds a per-connection error reply.

@@ -340,15 +340,41 @@ type ShardPlan struct {
 	Merge Operator
 }
 
-// shardOfKey maps a certain integer key to a shard deterministically
-// (SplitMix64 finalizer — stable across runs and platforms, unlike map
-// iteration or hash/maphash seeds).
-func ShardOfKey(key int64, p int) int {
+// KeyHash64 hashes a certain integer key deterministically (SplitMix64
+// finalizer — stable across runs and platforms, unlike map iteration or
+// hash/maphash seeds). ShardOfKey reduces it modulo the shard count; the
+// cluster ring (internal/ring) positions it on a hash circle. Both layers
+// sharing one hash keeps a key's in-process shard and cluster owner
+// derivations consistent.
+func KeyHash64(key int64) uint64 {
 	x := uint64(key)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return int(x % uint64(p))
+	return x
+}
+
+// ShardOfKey maps a certain integer key to a shard deterministically.
+func ShardOfKey(key int64, p int) int {
+	return int(KeyHash64(key) % uint64(p))
+}
+
+// NewWindowClose builds a window-close punctuation for the window ending
+// at end, stamped with the partitioner's close sequence number. The
+// cluster router uses it to reconstruct, on each worker, the exact close
+// stream its in-process partitioner emitted.
+func NewWindowClose(end Time, seq uint64) *Tuple {
+	return newControlTuple(ctlClose, end, seq)
+}
+
+// CloseSeq reports a window-close punctuation's sequence stamp — the
+// partitioner's running close counter, which the router forwards over the
+// wire so replayed closes are byte-faithful to the originals.
+func CloseSeq(t *Tuple) (uint64, bool) {
+	if c, ok := controlOf(t); ok && c.kind == ctlClose {
+		return c.seq, true
+	}
+	return 0, false
 }

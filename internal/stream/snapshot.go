@@ -287,6 +287,30 @@ func (c *TupleCodec) Decode(r *snap.Reader) *Tuple {
 	return t
 }
 
+// EncodeWireTuple serializes one tuple standalone — a fresh codec per
+// tuple, so the blob carries its schema inline and any receiver can decode
+// it without shared intern state. The cluster tier ships partial-aggregate
+// tuples and close punctuations between processes this way; the canonical
+// schema registry on the decode side restores pointer-identical schemas,
+// which control handling and the partial merge rely on.
+func EncodeWireTuple(t *Tuple) ([]byte, error) {
+	w := &snap.Writer{}
+	if err := NewTupleCodec().Encode(w, t); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeWireTuple reverses EncodeWireTuple.
+func DecodeWireTuple(data []byte) (*Tuple, error) {
+	r := snap.NewReader(data)
+	t := NewTupleCodec().Decode(r)
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 func encodeTuples(w *snap.Writer, c *TupleCodec, ts []*Tuple) error {
 	w.Uvarint(uint64(len(ts)))
 	for _, t := range ts {

@@ -99,6 +99,17 @@ type Tuple struct {
 	schema *Schema
 }
 
+// RouteShard reports the shard a Partition box directed this tuple to, if
+// any. It is only meaningful on tuples read straight off a partition
+// operator's emit callback (the cluster router drives one outside a
+// compiled graph); once the engine dispatches a tuple the route is spent.
+func (t *Tuple) RouteShard() (int, bool) {
+	if t.route <= 0 {
+		return 0, false
+	}
+	return int(t.route - 1), true
+}
+
 // NewTuple creates a tuple bound to a schema; the number of values must
 // match the schema arity.
 func NewTuple(s *Schema, ts Time, values ...Value) *Tuple {

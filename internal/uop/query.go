@@ -246,14 +246,7 @@ func (q *Query) Compile() *Compiled {
 	top := q.build(g, c.sources, memo)
 	sb := g.AddBox(c.sink)
 	g.Connect(top, sb, 0)
-	c.entry = make(map[string]srcEntry, len(c.sources))
-	for name, b := range c.sources {
-		if to, port, ok := b.SoleConsumer(); ok {
-			c.entry[name] = srcEntry{to, port}
-		} else {
-			c.entry[name] = srcEntry{b, 0}
-		}
-	}
+	c.wireEntries()
 	return c
 }
 
