@@ -250,28 +250,103 @@ func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
 // replayTrace drives a live streamd daemon: subscribe on one connection,
 // replay the trace's wire tuples on another, send "end", and print the
 // received alert lines until "done".
+//
+// The replay survives a mid-stream daemon restart (a crash-safe router
+// recovering from its -data-dir): when either connection drops, it redials
+// with bounded backoff and resumes from the subscribe ack's resume contract
+// — Seq is how many input tuples the recovered epoch still holds (resend
+// from there), Alerts how many alert lines it had emitted at its recovery
+// cut (skip already-written duplicates of the replayed suffix). The stdout
+// byte stream stays identical to an uninterrupted run.
 func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, out *bufio.Writer) error {
+	// Pre-encode every wire tuple: the T operator is seeded, so generating
+	// once up front makes reconnect resends byte-identical and cheap.
+	tx := transformer(w, seed)
+	var tuples [][]byte
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			line, err := server.EncodeLine(locMsg(lt, w))
+			if err != nil {
+				return fmt.Errorf("encode tuple: %w", err)
+			}
+			tuples = append(tuples, line)
+		}
+	}
+
+	seen := 0 // alert lines already written to stdout
+	sent := 0 // tuples sent across all sessions (wire throughput)
+	start := time.Now()
+	var sendElapsed time.Duration
+	var done server.Msg
+	deadline := time.Now().Add(60 * time.Second)
+	delay := 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		d, n, err := replaySession(addr, tuples, &seen, out, &sendElapsed)
+		sent += n
+		if err == nil {
+			done = d
+			break
+		}
+		if attempt >= 8 || time.Now().After(deadline) {
+			return fmt.Errorf("replay gave up after %d attempts: %w", attempt+1, err)
+		}
+		fmt.Fprintf(os.Stderr, "rfidtrace: stream lost (%v); reconnecting in %v\n", err, delay)
+		time.Sleep(delay)
+		if delay *= 2; delay > 3*time.Second {
+			delay = 3 * time.Second
+		}
+	}
+	elapsed := time.Since(start)
+	// done.Alerts counts every alert the epoch emitted — including the
+	// replayed duplicates a reconnect skipped — so a clean run (restarted
+	// or not) wrote exactly that many unique lines.
+	if uint64(seen) != done.Alerts {
+		return fmt.Errorf("daemon drained %d alerts but %d reached this subscriber (slow-subscriber drops?)", done.Alerts, seen)
+	}
+	fmt.Fprintf(os.Stderr,
+		"rfidtrace: replayed %d tuples in %v (%.0f tuples/s wire), %d alerts, end-to-end %v\n",
+		sent, sendElapsed.Round(time.Millisecond),
+		float64(sent)/sendElapsed.Seconds(), seen, elapsed.Round(time.Millisecond))
+	return nil
+}
+
+// replaySession runs one subscribe + ingest + drain pass. It returns the
+// "done" control message on success, and the number of tuples sent either
+// way; any connection or protocol failure returns an error the caller may
+// retry after a backoff — *seen already reflects every alert line written.
+func replaySession(addr string, tuples [][]byte, seen *int, out *bufio.Writer, sendElapsed *time.Duration) (server.Msg, int, error) {
+	var done server.Msg
 	// Subscribe first so no alert can slip out before we listen.
 	subConn, err := dialRetry(addr, 10*time.Second)
 	if err != nil {
-		return fmt.Errorf("subscribe dial %s: %w", addr, err)
+		return done, 0, fmt.Errorf("subscribe dial %s: %w", addr, err)
 	}
 	defer subConn.Close()
 	subR := bufio.NewReader(subConn)
 	if err := writeLine(subConn, server.Msg{Kind: server.KindSub}); err != nil {
-		return fmt.Errorf("subscribe: %w", err)
+		return done, 0, fmt.Errorf("subscribe: %w", err)
 	}
-	if err := expectOK(subR); err != nil {
-		return fmt.Errorf("subscribe: %w", err)
+	ack, err := readControl(subR)
+	if err != nil {
+		return done, 0, fmt.Errorf("subscribe: %w", err)
+	}
+	// The resume contract. A fresh daemon acks Seq=0/Alerts=0: send
+	// everything, skip nothing — the uninterrupted path.
+	resume := int(ack.Seq)
+	if resume > len(tuples) {
+		return done, 0, fmt.Errorf("subscribe ack resumes at tuple %d of %d", resume, len(tuples))
+	}
+	skip := *seen - int(ack.Alerts)
+	if skip < 0 {
+		return done, 0, fmt.Errorf("subscribe ack reports %d alerts emitted but %d already received", ack.Alerts, *seen)
 	}
 
 	ingest, err := dialRetry(addr, 10*time.Second)
 	if err != nil {
-		return fmt.Errorf("ingest dial %s: %w", addr, err)
+		return done, 0, fmt.Errorf("ingest dial %s: %w", addr, err)
 	}
 	defer ingest.Close()
 	ingestW := bufio.NewWriter(ingest)
-	ingestEnc := json.NewEncoder(ingestW)
 
 	// Drain ingest replies concurrently with the send: the server answers
 	// rejected tuples with per-line err messages, and a one-way writer
@@ -306,61 +381,55 @@ func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, 
 		}
 	}()
 
-	tx := transformer(w, seed)
-	tuples := 0
-	start := time.Now()
-	for _, ev := range trace.Events {
-		for _, lt := range tx.Process(ev) {
-			if err := ingestEnc.Encode(locMsg(lt, w)); err != nil {
-				return fmt.Errorf("send tuple: %w", err)
-			}
-			tuples++
+	sendStart := time.Now()
+	sent := 0
+	for _, line := range tuples[resume:] {
+		if _, err := ingestW.Write(line); err != nil {
+			return done, sent, fmt.Errorf("send tuple: %w", err)
 		}
+		sent++
 	}
-	if err := ingestEnc.Encode(server.Msg{Kind: server.KindEnd}); err != nil {
-		return fmt.Errorf("send end: %w", err)
+	endLine, err := server.EncodeLine(server.Msg{Kind: server.KindEnd})
+	if err != nil {
+		return done, sent, err
+	}
+	if _, err := ingestW.Write(endLine); err != nil {
+		return done, sent, fmt.Errorf("send end: %w", err)
 	}
 	if err := ingestW.Flush(); err != nil {
-		return fmt.Errorf("flush ingest: %w", err)
+		return done, sent, fmt.Errorf("flush ingest: %w", err)
 	}
-	sendElapsed := time.Since(start)
+	*sendElapsed += time.Since(sendStart)
 	if err := <-ingestDone; err != nil {
-		return fmt.Errorf("end not acknowledged: %w", err)
+		return done, sent, fmt.Errorf("end not acknowledged: %w", err)
 	}
 
-	// Stream alerts until the drain's "done".
-	alerts := 0
-	var done server.Msg
+	// Stream alerts until the drain's "done", skipping the replayed
+	// duplicates this session's ack accounted for.
 	for {
 		line, err := subR.ReadBytes('\n')
 		if err != nil {
-			return fmt.Errorf("alert stream: %w", err)
+			return done, sent, fmt.Errorf("alert stream: %w", err)
 		}
 		var m server.Msg
 		if err := json.Unmarshal(line, &m); err != nil {
-			return fmt.Errorf("alert stream: bad line %q: %w", line, err)
+			return done, sent, fmt.Errorf("alert stream: bad line %q: %w", line, err)
 		}
 		if m.Kind == server.KindDone {
-			done = m
-			break
+			return m, sent, nil
 		}
 		if m.Kind != server.KindAlert {
-			return fmt.Errorf("alert stream: unexpected %q line: %s", m.Kind, line)
+			return done, sent, fmt.Errorf("alert stream: unexpected %q line: %s", m.Kind, line)
+		}
+		if skip > 0 {
+			skip--
+			continue
 		}
 		if _, err := out.Write(line); err != nil {
-			return err
+			return done, sent, err
 		}
-		alerts++
+		*seen++
 	}
-	elapsed := time.Since(start)
-	if uint64(alerts) != done.Alerts {
-		return fmt.Errorf("daemon drained %d alerts but %d reached this subscriber (slow-subscriber drops?)", done.Alerts, alerts)
-	}
-	fmt.Fprintf(os.Stderr,
-		"rfidtrace: replayed %d tuples in %v (%.0f tuples/s wire), %d alerts, end-to-end %v\n",
-		tuples, sendElapsed.Round(time.Millisecond),
-		float64(tuples)/sendElapsed.Seconds(), alerts, elapsed.Round(time.Millisecond))
-	return nil
 }
 
 func writeLine(c net.Conn, m server.Msg) error {
@@ -372,21 +441,22 @@ func writeLine(c net.Conn, m server.Msg) error {
 	return err
 }
 
-// expectOK reads one control line and requires {"kind":"ok"}.
-func expectOK(r *bufio.Reader) error {
+// readControl reads one control line and requires an ok reply, returning
+// it whole — the subscribe ack carries the resume contract (Seq, Alerts).
+func readControl(r *bufio.Reader) (server.Msg, error) {
+	var m server.Msg
 	line, err := r.ReadBytes('\n')
 	if err != nil {
-		return err
+		return m, err
 	}
-	var m server.Msg
 	if err := json.Unmarshal(line, &m); err != nil {
-		return fmt.Errorf("bad reply %q: %w", line, err)
+		return m, fmt.Errorf("bad reply %q: %w", line, err)
 	}
 	if m.Kind == server.KindErr {
-		return fmt.Errorf("server error: %s", m.Error)
+		return m, fmt.Errorf("server error: %s", m.Error)
 	}
 	if m.Kind != server.KindOK {
-		return fmt.Errorf("expected ok, got %q", m.Kind)
+		return m, fmt.Errorf("expected ok, got %q", m.Kind)
 	}
-	return nil
+	return m, nil
 }

@@ -24,15 +24,19 @@
 //	        [-window MS] [-slide MS] [-threshold LBS] [-area-ft FT]
 //	        [-queue N] [-policy block|drop-oldest] [-flush-every DUR]
 //	        [-data-dir DIR] [-checkpoint-every DUR] [-once]
-//	        [-workers ADDR,ADDR,...] [-replicas N] [-vnodes N]
-//	        [-weights W,W,...] [-ping-every DUR]
+//	        [-workers ADDR,ADDR,...] [-slots N] [-replicas N] [-vnodes N]
+//	        [-weights W,W,...] [-ping-every DUR] [-join ROUTER_ADDR]
 //
 // With -data-dir set the daemon is crash-safe: it checkpoints the running
 // plan's durable state (window buffers, accumulators, lineage) to
 // DIR/epoch-<n>.ckpt periodically and on graceful shutdown, and on startup
 // recovers the newest checkpoint — resuming open windows so post-restart
 // alerts are byte-identical to an uninterrupted run. A SIGTERM drain writes
-// the final checkpoint before open windows flush.
+// the final checkpoint before open windows flush. In router mode -data-dir
+// makes the *router* crash-safe the same way: every cluster checkpoint
+// persists the router's window clock, routing tables, and merge state, and
+// a restarted router rewinds its workers to that cut and resumes the
+// subscriber feed byte-identically.
 //
 // # Cluster execution
 //
@@ -46,6 +50,12 @@
 // and -checkpoint-every drives cluster checkpoints so a killed worker fails
 // over from snapshot + replay tail. See DESIGN.md "Cluster execution".
 //
+// A worker started with -join ROUTER_ADDR offers itself to a running
+// router's client port and joins the ring at the next epoch-aligned cut —
+// rolling capacity adds without restarting the stream. SIGTERM on a worker
+// announces a graceful leave first, so the router migrates its slots away
+// before the process exits.
+//
 //	streamd -mode worker -addr :9191 &
 //	streamd -mode worker -addr :9192 &
 //	streamd -mode worker -addr :9193 &
@@ -56,8 +66,11 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -89,14 +102,16 @@ func main() {
 	policyName := flag.String("policy", "block", "backpressure policy when the queue fills: block or drop-oldest")
 	buffer := flag.Int("buffer", 128, "per-box channel buffer of the live executor")
 	flushEvery := flag.Duration("flush-every", stream.DefaultFlushEvery, "idle flush cadence bounding quiet-stream alert latency")
-	dataDir := flag.String("data-dir", "", "checkpoint directory for crash-safe durable state (empty disables; server mode only)")
+	dataDir := flag.String("data-dir", "", "checkpoint directory for crash-safe durable state (empty disables; server and router modes)")
 	ckptEvery := flag.Duration("checkpoint-every", 5*time.Second, "periodic checkpoint cadence: plan checkpoints with -data-dir (server mode), cluster checkpoints with -replicas 2 (router mode)")
 	once := flag.Bool("once", false, "exit after the first end-of-stream drain")
 	workersFlag := flag.String("workers", "", "router mode: comma-separated worker addresses (slot i = i-th address)")
+	slots := flag.Int("slots", 0, "router mode: logical key slots (0 = one per initial worker; more lets joiners take load)")
 	replicas := flag.Int("replicas", 1, "router mode: per-key copy count (2 dual-writes each tuple to the owner's ring successor for failover)")
 	vnodes := flag.Int("vnodes", 0, "router mode: ring virtual nodes per weight unit (0 = default)")
 	weightsFlag := flag.String("weights", "", "router mode: comma-separated per-worker ring weights (arity must match -workers)")
 	pingEvery := flag.Duration("ping-every", time.Second, "router mode: worker liveness-probe cadence (0 disables)")
+	joinAddr := flag.String("join", "", "worker mode: router client address to offer this worker to (rolling join)")
 	flag.Parse()
 
 	// The threshold and min-prob flags default for q1; q2 falls back to its
@@ -117,9 +132,6 @@ func main() {
 		if *query != "q1" {
 			fatalf(2, "-mode %s supports -query q1 only (q2's join does not cluster; run it with -mode server)", *mode)
 		}
-		if *dataDir != "" {
-			fatalf(2, "-data-dir applies to -mode server (cluster checkpoints are router-coordinated; use -checkpoint-every on the router)")
-		}
 		plan, err := uop.BuildQ1(q1cfg).Cluster()
 		if err != nil {
 			fatalf(1, "%v", err)
@@ -129,10 +141,14 @@ func main() {
 
 	switch *mode {
 	case "router":
-		runRouter(routerConfig(clusterPlan(), *addr, *httpAddr, *workersFlag, *weightsFlag,
-			*replicas, *vnodes, *queueCap, *pingEvery, *ckptEvery, *once, explicit))
+		runRouter(routerConfig(clusterPlan(), *addr, *httpAddr, *workersFlag, *weightsFlag, *dataDir,
+			*slots, *replicas, *vnodes, *queueCap, *pingEvery, *ckptEvery, *once, explicit))
 		return
-	case "worker", "server":
+	case "worker":
+		if *dataDir != "" {
+			fatalf(2, "-data-dir applies to -mode server or router (worker durable state is router-coordinated; use -checkpoint-every on the router)")
+		}
+	case "server":
 	default:
 		fatalf(2, "unknown -mode %q (want server, worker, or router)", *mode)
 	}
@@ -193,6 +209,9 @@ func main() {
 	}
 	if cluster {
 		fmt.Fprintf(os.Stderr, "streamd: cluster worker (query=%s) on %s, waiting for a router join\n", *query, s.Addr())
+		if *joinAddr != "" {
+			go offerJoin(*joinAddr, s.Addr().String(), s.Done())
+		}
 	} else {
 		fmt.Fprintf(os.Stderr, "streamd: serving %s (shards=%d, policy=%s) on %s\n",
 			*query, *shards, policy, s.Addr())
@@ -214,6 +233,16 @@ func main() {
 		// -once drain finished (or the engine stopped).
 	case <-sig:
 		fmt.Fprintln(os.Stderr, "streamd: shutting down (draining open windows)")
+		if cluster {
+			// Tell the router first so it migrates this worker's slots away
+			// at a clean cut instead of failing them over; give the removal
+			// round a moment to run before the connection drops.
+			s.AnnounceLeave()
+			select {
+			case <-s.Done():
+			case <-time.After(3 * time.Second):
+			}
+		}
 	}
 	start := time.Now()
 	s.Close()
@@ -232,8 +261,8 @@ func main() {
 }
 
 // routerConfig assembles and validates the router-mode configuration.
-func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFlag string,
-	replicas, vnodes, sendBuffer int, pingEvery, ckptEvery time.Duration, once bool,
+func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFlag, dataDir string,
+	slots, replicas, vnodes, sendBuffer int, pingEvery, ckptEvery time.Duration, once bool,
 	explicit map[string]bool) router.Config {
 	if workersFlag == "" {
 		fatalf(2, "-mode router requires -workers ADDR,ADDR,...")
@@ -245,6 +274,9 @@ func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFla
 			fatalf(2, "-workers has an empty address at position %d", i)
 		}
 	}
+	if slots == 0 {
+		slots = len(workers)
+	}
 	var weights []int
 	if weightsFlag != "" {
 		for _, f := range strings.Split(weightsFlag, ",") {
@@ -254,23 +286,36 @@ func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFla
 			}
 			weights = append(weights, v)
 		}
-		if len(weights) != len(workers) {
-			fatalf(2, "-weights has %d entries for %d workers", len(weights), len(workers))
+		if len(weights) != slots {
+			fatalf(2, "-weights has %d entries for %d slots", len(weights), slots)
 		}
 	}
-	// Cluster checkpoints need a replica to install snapshots on: with
-	// -replicas 1 an explicit cadence is a configuration error, and the
-	// 5s server-mode default silently means "off".
-	if explicit["checkpoint-every"] && ckptEvery > 0 && replicas < 2 {
-		fatalf(2, "-checkpoint-every in router mode needs -replicas 2 (no replica to install snapshots on)")
+	var store server.Store
+	if dataDir != "" {
+		fs, err := server.NewFileStore(dataDir)
+		if err != nil {
+			fatalf(1, "%v", err)
+		}
+		store = fs
 	}
-	if !explicit["checkpoint-every"] || replicas < 2 {
+	// Cluster checkpoints need somewhere to land: a replica to install
+	// snapshots on, or a -data-dir to persist the router's own state into.
+	// With neither, an explicit cadence is a configuration error, and the
+	// 5s server-mode default silently means "off". With -data-dir the
+	// default cadence kicks in — a durable router that never checkpoints
+	// would recover nothing.
+	canCkpt := replicas >= 2 || store != nil
+	if explicit["checkpoint-every"] && ckptEvery > 0 && !canCkpt {
+		fatalf(2, "-checkpoint-every in router mode needs -replicas 2 or -data-dir (nothing to install or persist)")
+	}
+	if !canCkpt || (!explicit["checkpoint-every"] && store == nil) {
 		ckptEvery = 0
 	}
 	return router.Config{
 		Addr:       addr,
 		HTTPAddr:   httpAddr,
 		Workers:    workers,
+		Slots:      slots,
 		Replicas:   replicas,
 		Vnodes:     vnodes,
 		Weights:    weights,
@@ -279,6 +324,7 @@ func routerConfig(plan *uop.ClusterPlan, addr, httpAddr, workersFlag, weightsFla
 		PingEvery:  pingEvery,
 		CkptEvery:  ckptEvery,
 		Once:       once,
+		Store:      store,
 	}
 }
 
@@ -290,6 +336,9 @@ func runRouter(cfg router.Config) {
 	}
 	fmt.Fprintf(os.Stderr, "streamd: router over %d workers (replicas=%d) on %s\n",
 		len(cfg.Workers), cfg.Replicas, r.Addr())
+	if n, ok := r.RecoveredEpoch(); ok {
+		fmt.Fprintf(os.Stderr, "streamd: router recovered mid-stream epoch %d from its checkpoint blob\n", n)
+	}
 	if ha := r.HTTPAddr(); ha != nil {
 		fmt.Fprintf(os.Stderr, "streamd: /statsz on http://%s/statsz\n", ha)
 	}
@@ -310,6 +359,64 @@ func runRouter(cfg router.Config) {
 	fmt.Fprintf(os.Stderr,
 		"streamd: router served %d tuples (%.0f/s), %d alerts, %d failovers, %d checkpoints, %d worker errors\n",
 		st.Ingested, st.TuplesPerS, st.Alerts, st.Failovers, st.Checkpoints, st.WorkerErrors)
+}
+
+// offerJoin offers this worker to a running router's client port and keeps
+// the offer alive: if the connection drops (router restart, network blip)
+// it re-offers with backoff. A router that already counts this address as a
+// live worker rejects the duplicate offer — harmless; the loop just keeps
+// watch until the next disconnect.
+func offerJoin(routerAddr, selfAddr string, done <-chan struct{}) {
+	delay := 500 * time.Millisecond
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		c, err := net.DialTimeout("tcp", routerAddr, 5*time.Second)
+		if err == nil {
+			offer, _ := json.Marshal(map[string]string{"kind": "join", "addr": selfAddr})
+			c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+			_, err = c.Write(append(offer, '\n'))
+			c.SetWriteDeadline(time.Time{})
+			if err == nil {
+				sc := bufio.NewScanner(c)
+				sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+				if sc.Scan() {
+					var m struct {
+						Kind    string `json:"kind"`
+						Error   string `json:"error"`
+						Version uint64 `json:"version"`
+					}
+					joined := false
+					if json.Unmarshal(sc.Bytes(), &m) == nil {
+						if m.Kind == "ok" {
+							fmt.Fprintf(os.Stderr, "streamd: joined router %s (ring version %d)\n", routerAddr, m.Version)
+							delay = 500 * time.Millisecond
+							joined = true
+						} else {
+							fmt.Fprintf(os.Stderr, "streamd: join offer to %s: %s\n", routerAddr, m.Error)
+						}
+					}
+					if joined {
+						// Hold the connection: its close is the re-offer signal.
+						for sc.Scan() {
+						}
+					}
+				}
+			}
+			c.Close()
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 10*time.Second {
+			delay = 10 * time.Second
+		}
+	}
 }
 
 func fatalf(code int, format string, args ...any) {

@@ -8,14 +8,30 @@ import (
 	"repro/internal/server"
 )
 
-// Cluster checkpoint rounds. A round asks every live worker to snapshot
-// each slot it hosts ("ckpt"), then installs each slot's snapshot on the
-// slot's replica ("snap"). Once a snap_ack confirms the install, the
-// replica has trimmed its replay tail to the post-checkpoint suffix, and a
-// later promotion restores snapshot + suffix instead of replaying the
-// whole epoch. The wire does the sequencing: the ckpt line rides each
-// link's send queue after every tuple it must cover, and the worker marks
-// its tails before snapshotting, so tail-trim points and snapshots agree.
+// Cluster checkpoint rounds. A round pauses routing (a quiesced cut), asks
+// every live worker to snapshot each slot it hosts ("ckpt"), then installs
+// each slot's snapshot on the slot's replica ("snap"). Once a snap_ack
+// confirms the install, the replica has trimmed its replay tail to the
+// post-checkpoint suffix, and a later promotion restores snapshot + suffix
+// instead of replaying the whole epoch. The wire does the sequencing: the
+// ckpt line rides each link's send queue after every tuple it must cover,
+// and the worker marks its tails before snapshotting, so tail-trim points
+// and snapshots agree.
+//
+// Because each worker's ckpt_ack rides the same FIFO connection as its part
+// lines — and the worker snapshots only after draining its ingest queue —
+// a completed round leaves the router having merged *everything* the cut
+// covers: per-slot merged-close counts equal the workers' emitted-close
+// ordinals, and no partials are pending. That uniform cut is what makes the
+// round a safe point to persist the router's own state (Config.Store) and
+// to migrate slots between hosts (membership changes reuse quiescedRound).
+
+// roundSnap is one slot's snapshot from a completed round: the plan
+// checkpoint bytes and the window-close count it covers.
+type roundSnap struct {
+	closes uint64
+	data   []byte
+}
 
 // ckptLoop drives periodic rounds.
 func (r *Router) ckptLoop() {
@@ -36,8 +52,8 @@ func (r *Router) ckptLoop() {
 
 // clusterCheckpoint runs one round and waits for it to settle.
 func (r *Router) clusterCheckpoint() error {
-	if r.cfg.Replicas < 2 {
-		return errors.New("checkpointing needs -replicas 2 (no replica to install snapshots on)")
+	if r.cfg.Replicas < 2 && r.cfg.Store == nil {
+		return errors.New("checkpointing needs -replicas 2 or a router -data-dir (nothing to install or persist)")
 	}
 	r.ckptMu.Lock()
 	defer r.ckptMu.Unlock()
@@ -45,70 +61,172 @@ func (r *Router) clusterCheckpoint() error {
 	if ep == nil || ep.ended.Load() {
 		return errors.New("no stream running")
 	}
+	r.pause()
+	defer r.unpause()
 	id := r.ckptSeq.Add(1)
+	snaps, err := r.quiescedRound(ep, id)
+	if err != nil {
+		return err
+	}
+	r.commitRound(ep, id, snaps)
+	r.ckptN.Add(1)
+	return nil
+}
+
+// quiescedRound (ckptMu held, routing paused) runs one snapshot round and
+// returns each live slot's snapshot. The ckpt line goes to every live link —
+// links serving no slot still mark their replica tails, so a later install
+// trims them at the same cut.
+func (r *Router) quiescedRound(ep *repoch, id uint64) (map[int]roundSnap, error) {
 	cr := &ckptRound{
 		id:       id,
 		ackNeed:  map[int]bool{},
 		snapNeed: map[int]bool{},
+		snaps:    map[int]roundSnap{},
 		done:     make(chan struct{}),
 	}
 	line, err := server.EncodeLine(server.Msg{Kind: server.KindCkpt, Ckpt: id})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	r.round.Store(cr)
 	defer r.round.Store(nil)
-	// One ckpt line per live link; each replies one ckpt_ack per slot it
-	// hosts. Slots routed to a dead link (degraded) are skipped.
 	r.routeMu.Lock()
-	sent := map[int]bool{}
 	cr.mu.Lock()
 	for slot, li := range r.routeSlot {
 		if li >= 0 && r.links[li].alive.Load() {
 			cr.ackNeed[slot] = true
-			sent[li] = true
 		}
 	}
 	cr.mu.Unlock()
-	if len(sent) == 0 {
-		return errors.New("no live workers")
+	if len(cr.ackNeed) == 0 {
+		r.routeMu.Unlock()
+		return nil, errors.New("no live workers")
 	}
-	for li := range sent {
-		if err := r.links[li].sendq.Put(r.ctx, line); err != nil && r.ctx.Err() == nil {
-			r.failLinkLocked(r.links[li])
+	for _, l := range r.links {
+		if !l.alive.Load() {
+			continue
+		}
+		if err := l.sendq.Put(r.ctx, line); err != nil && r.ctx.Err() == nil {
+			r.failLinkLocked(l)
 		}
 	}
 	r.routeMu.Unlock()
 	select {
 	case <-cr.done:
 	case <-r.ctx.Done():
-		return r.ctx.Err()
+		return nil, r.ctx.Err()
 	case <-time.After(30 * time.Second):
-		return errors.New("cluster checkpoint timed out")
+		return nil, errors.New("cluster checkpoint timed out")
 	}
 	cr.mu.Lock()
 	err = cr.err
+	snaps := cr.snaps
 	cr.mu.Unlock()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	r.ckptN.Add(1)
-	return nil
+	return snaps, nil
 }
 
-// onCkptAck (link reader) forwards one slot's snapshot to the slot's
-// replica, or completes the slot if it has none to install on.
+// commitRound (ckptMu held, routing paused) records the round's snapshots,
+// re-acquires replicas for slots that lost theirs, and — with a Store —
+// persists the router's own state at the same cut.
+func (r *Router) commitRound(ep *repoch, id uint64, snaps map[int]roundSnap) {
+	r.routeMu.Lock()
+	for slot := range r.slotSnaps {
+		r.slotSnaps[slot] = snaps[slot]
+	}
+	if r.cfg.Replicas >= 2 {
+		r.recomputeReplicasLocked(id, snaps)
+	}
+	r.routeMu.Unlock()
+	if r.cfg.Store != nil && !r.crashed.Load() {
+		if err := r.persistState(ep, id); err != nil {
+			r.ckptErrs.Add(1)
+		}
+	}
+}
+
+// recomputeReplicasLocked (routeMu held, at a quiesced cut with this
+// round's snapshots in hand) assigns a replica to every served slot that
+// lost one — a failover consumed it, or its host died — walking the
+// placement ring's successors. The fresh snapshot install starts the new
+// replica's tail exactly at the cut, so promote-from-replica stays exact.
+func (r *Router) recomputeReplicasLocked(id uint64, snaps map[int]roundSnap) {
+	for slot, li := range r.routeSlot {
+		if li < 0 {
+			r.replicaSlot[slot] = -1
+			continue
+		}
+		cur := r.replicaSlot[slot]
+		if cur >= 0 && cur != li && r.links[cur].alive.Load() {
+			continue // in-round install already refreshed it
+		}
+		r.replicaSlot[slot] = -1
+		for _, member := range r.place.Successors(int64(slot), r.place.Len()) {
+			idx, ok := r.memberLink[member]
+			if !ok || idx == li || !r.links[idx].alive.Load() {
+				continue
+			}
+			// A host never replicates its own home slot: its tails cover
+			// every slot but that one.
+			if r.links[idx].slot == slot {
+				continue
+			}
+			sn, hasSnap := snaps[slot]
+			if !hasSnap {
+				// No cut snapshot to seed the candidate's tail — assigning
+				// it anyway would leave a tail missing its prefix. Leave
+				// the slot unreplicated until a round that covers it.
+				break
+			}
+			s := slot
+			line, err := server.EncodeLine(server.Msg{
+				Kind:   server.KindSnap,
+				Shard:  &s,
+				Ckpt:   id,
+				Closes: sn.closes,
+				Data:   sn.data,
+			})
+			if err != nil {
+				r.encodeErrs.Add(1)
+				break
+			}
+			if r.links[idx].sendq.Put(r.ctx, line) == nil {
+				// FIFO: the install lands before any later promote that
+				// names it, so recording it now is safe.
+				r.replicaSlot[slot] = idx
+				r.lastSnap[slot].Store(id)
+			}
+			break
+		}
+	}
+}
+
+// onCkptAck (link reader) retains one slot's snapshot for the round and
+// forwards it to the slot's replica, or completes the slot if it has none
+// to install on.
 func (r *Router) onCkptAck(l *link, m server.Msg) {
 	cr := r.round.Load()
 	if cr == nil || m.Shard == nil || m.Ckpt == 0 {
 		return
 	}
 	slot := *m.Shard
+	if slot < 0 || slot >= r.nslots {
+		return // a slotless joiner's own-plan ack; nothing tracks it
+	}
 	// Read the topology before taking the round lock: failover holds
 	// routeMu while aborting rounds, so cr.mu must never wait on routeMu.
+	// The replica's link pointer is captured here too — joins grow the
+	// slice, so indexing it is only safe under routeMu.
 	r.routeMu.Lock()
 	rep := r.replicaSlot[slot]
 	serving := r.routeSlot[slot]
+	var repLink *link
+	if rep >= 0 {
+		repLink = r.links[rep]
+	}
 	r.routeMu.Unlock()
 	cr.mu.Lock()
 	if m.Ckpt != cr.id || !cr.ackNeed[slot] {
@@ -116,9 +234,10 @@ func (r *Router) onCkptAck(l *link, m server.Msg) {
 		return
 	}
 	delete(cr.ackNeed, slot)
+	cr.snaps[slot] = roundSnap{closes: m.Closes, data: m.Data}
 	// Install on the replica — unless the replica is the very link hosting
 	// the slot (post-failover), or it is gone.
-	if rep < 0 || rep == serving || !r.links[rep].alive.Load() {
+	if repLink == nil || rep == serving || !repLink.alive.Load() {
 		cr.finishLocked()
 		cr.mu.Unlock()
 		return
@@ -139,7 +258,7 @@ func (r *Router) onCkptAck(l *link, m server.Msg) {
 	}
 	cr.snapNeed[slot] = true
 	cr.mu.Unlock()
-	if err := r.links[rep].sendq.Put(r.ctx, line); err != nil {
+	if err := repLink.sendq.Put(r.ctx, line); err != nil {
 		cr.mu.Lock()
 		delete(cr.snapNeed, slot)
 		cr.finishLocked()
@@ -155,6 +274,9 @@ func (r *Router) onSnapAck(m server.Msg) {
 		return
 	}
 	slot := *m.Shard
+	if slot < 0 || slot >= r.nslots {
+		return
+	}
 	cr.mu.Lock()
 	if m.Ckpt == cr.id && cr.snapNeed[slot] {
 		delete(cr.snapNeed, slot)
@@ -175,7 +297,7 @@ func (r *Router) failRound(l *link) {
 	}
 	cr.mu.Lock()
 	if len(cr.ackNeed)+len(cr.snapNeed) > 0 {
-		cr.err = fmt.Errorf("worker %d died mid-checkpoint", l.slot)
+		cr.err = fmt.Errorf("worker %d died mid-checkpoint", l.idx)
 		cr.ackNeed = map[int]bool{}
 		cr.snapNeed = map[int]bool{}
 	}

@@ -85,7 +85,7 @@ func (r *Router) handleConn(c net.Conn) {
 			}
 			r.ingested.Add(1)
 		case server.KindPing:
-			reply(server.Msg{Kind: server.KindPong, Version: r.ring.Version()})
+			reply(server.Msg{Kind: server.KindPong, Version: r.placeVer.Load()})
 		case server.KindSub:
 			if sub != nil {
 				errReply("already subscribed")
@@ -96,7 +96,17 @@ func (r *Router) handleConn(c net.Conn) {
 				errReply("router shutting down")
 				continue
 			}
-			w.Write(mustLine(server.Msg{Kind: server.KindOK}))
+			// The ack doubles as the resume contract: Seq is how many
+			// client tuples this epoch has accepted (resend your input from
+			// there), Alerts how many it has emitted (skip that many of the
+			// replayed stream's duplicates). Both omitempty — a fresh
+			// subscribe still acks the plain {"kind":"ok"}.
+			ack := server.Msg{Kind: server.KindOK}
+			if ep := r.epoch(); ep != nil && !ep.ended.Load() {
+				ack.Seq = ep.routedSeq.Load()
+				ack.Alerts = ep.alerts.Load()
+			}
+			w.Write(mustLine(ack))
 			w.Flush()
 			sub = newSub
 			go r.hub.Pump(c, w, sub)
@@ -112,6 +122,40 @@ func (r *Router) handleConn(c net.Conn) {
 				continue
 			}
 			reply(server.Msg{Kind: server.KindOK})
+		case server.KindJoin:
+			// A worker (or operator) offering a new worker at Addr. The
+			// admit runs a full quiesced cut; synchronous is fine — this
+			// connection only learns the outcome from the ack anyway.
+			if m.Addr == "" {
+				errReply("join offer needs addr")
+				continue
+			}
+			if err := r.AdmitWorker(m.Addr); err != nil {
+				errReply("join %s: %v", m.Addr, err)
+				continue
+			}
+			reply(server.Msg{Kind: server.KindOK, Version: r.placeVer.Load()})
+		case server.KindLeave:
+			// An administrative drain request for the worker at Addr.
+			if m.Addr == "" {
+				errReply("leave needs addr")
+				continue
+			}
+			var target *link
+			r.routeMu.Lock()
+			for _, l := range r.links {
+				if l.alive.Load() && l.addr == m.Addr {
+					target = l
+					break
+				}
+			}
+			r.routeMu.Unlock()
+			if target == nil {
+				errReply("leave %s: no such worker", m.Addr)
+				continue
+			}
+			r.removeWorker(target)
+			reply(server.Msg{Kind: server.KindOK, Version: r.placeVer.Load()})
 		default:
 			r.ingestErrs.Add(1)
 			errReply("unknown kind %q", m.Kind)

@@ -88,13 +88,33 @@ type Config struct {
 	// DialTimeout bounds the startup dial+handshake per worker, retried
 	// with backoff (default 10s).
 	DialTimeout time.Duration
+	// Slots is the logical slot count (default len(Workers)). More slots
+	// than workers gives a mid-stream joiner something to take over: the
+	// key ring is built over slots and never changes, so routing — and the
+	// alert byte stream — is independent of which host serves each slot.
+	Slots int
+	// Store, when non-nil, makes the router itself crash-safe: every
+	// cluster checkpoint round also persists the router's own durable
+	// state (window clock, partition sequence, head-merge progress, slot
+	// snapshots, membership) as one atomic blob, and a restarted router
+	// recovers the newest blob, rewinds its workers to the same cut, and
+	// resumes the stream.
+	Store server.Store
 }
 
-// link is one worker connection: slot i's process, its outbound line queue,
-// and its liveness.
+// link is one worker connection: its home slot (the slot it joined with;
+// -1 for a mid-stream joiner), its outbound line queue, and its liveness.
 type link struct {
+	// idx is this link's index in Router.links (stable for the run).
+	idx int
+	// slot is the worker's home slot from its join handshake, -1 for a
+	// slotless joiner. Which slots the link actually serves is routeSlot.
 	slot int
-	addr string
+	// member is this host's placement-ring id ("h<n>").
+	member string
+	addr   string
+	// conn is nil for a stub link: a recovered-roster worker that could
+	// not be re-dialed, registered only so failover can redirect its slots.
 	conn net.Conn
 	// sendq decouples routing from the socket; the sender goroutine drains
 	// it. Closed (by failover) it fails blocked Puts fast.
@@ -120,6 +140,14 @@ type repoch struct {
 	// closes are on the wire); routing then waits for the next epoch.
 	ended  atomic.Bool
 	alerts atomic.Uint64
+	// routedSeq counts client tuples accepted this epoch — the resume
+	// index a subscriber ack reports, so a reconnecting load generator
+	// knows which suffix of its input a recovered router still needs.
+	routedSeq atomic.Uint64
+	// closeLog records every window-close punctuation the partition clock
+	// emitted this epoch (routeMu). A degraded slot's port is fed
+	// synthesized closes from this log so the merge keeps flowing.
+	closeLog []closePt
 	// pending buffers each port's partials until the port's close arrives,
 	// then feeds partials+close to the merge atomically — the envelope
 	// discipline failover depends on: a half-shipped window from a dead
@@ -134,6 +162,13 @@ type repoch struct {
 	// "promoted" ack is still pending; the epoch cannot finish under one.
 	pendingPromotes int
 	finished        bool
+}
+
+// closePt is one logged window-close punctuation: the window end and the
+// clock's close sequence number.
+type closePt struct {
+	t   stream.Time
+	seq uint64
 }
 
 // Router is the cluster front end.
@@ -154,17 +189,50 @@ type Router struct {
 	hub   *server.Hub
 	links []*link
 
+	// nslots is the logical slot count (fixed for the run: the key ring's
+	// member count, the partition width, the head's port count).
+	nslots int
+	// weights are the per-slot key-ring weights (all 1 unless configured);
+	// persisted so a recovered router rebuilds the identical key ring.
+	weights []int
+
 	// routeMu orders everything that routes: the partition box, the slot
 	// indirection tables, and sendq enqueues (held across blocking Puts —
 	// backpressure stalls routing, deliberately). Lock order: routeMu
 	// strictly before headMu.
 	routeMu sync.Mutex
+	// paused stalls routing and end-of-stream during a quiesced cut
+	// (checkpoint round, membership change); routeTuple/endStream wait it
+	// out instead of erroring.
+	paused bool
 	// routeSlot maps logical slot -> link index currently serving it
-	// (identity until a failover redirects it; -1 when unservable).
+	// (slot % initial workers until a failover or migration redirects it;
+	// -1 when unservable).
 	routeSlot []int
-	// replicaSlot maps logical slot -> link index of its ring successor
-	// (-1 without replication).
+	// replicaSlot maps logical slot -> link index tailing its dual writes
+	// (-1 without replication or after the replica died).
 	replicaSlot []int
+	// place is the host placement ring ("h<n>" members, one per live
+	// worker). It decides which slots move on join/leave — ring.Rebalance
+	// diffs against it — while routeSlot stays the serving truth.
+	place *ring.Ring
+	// memberLink maps placement member id -> link index.
+	memberLink map[string]int
+	// hostSeq numbers placement members across the router's lifetime.
+	hostSeq int
+	// slotSnaps holds each slot's snapshot from the last completed
+	// checkpoint round — what migrations install and recovery resets to.
+	slotSnaps []roundSnap
+	// lastMoved is the slot set the last rebalance migrated (statsz).
+	lastMoved []int
+
+	// placeVer is the placement membership version: initial worker count,
+	// +1 per join, leave, or death. Reported by pong, /statsz, and the
+	// join handshake.
+	placeVer atomic.Uint64
+
+	// memberMu serializes membership changes (join/leave) end to end.
+	memberMu sync.Mutex
 
 	// headMu orders merge feeding and drain state.
 	headMu sync.Mutex
@@ -183,6 +251,15 @@ type Router struct {
 	failovers  atomic.Uint64
 	degraded   atomic.Bool
 	workerErrs atomic.Uint64
+	// crashed marks a simulated kill -9 (Crash): no further state is
+	// persisted and the on-disk blob survives for recovery.
+	crashed atomic.Bool
+	// recovered is the epoch resumed from a durable blob at startup
+	// (-1: fresh start).
+	recovered int
+	// movedRanges / rebalances summarize the last ring.Rebalance diff.
+	movedRanges atomic.Uint64
+	rebalances  atomic.Uint64
 
 	// ckptMu serializes cluster checkpoint rounds.
 	ckptMu   sync.Mutex
@@ -202,9 +279,13 @@ type ckptRound struct {
 	// ackNeed / snapNeed track slots awaiting ckpt_ack / snap_ack.
 	ackNeed  map[int]bool
 	snapNeed map[int]bool
-	err      error
-	done     chan struct{}
-	closed   bool
+	// snaps retains each acked slot's snapshot for the round's commit:
+	// replica re-acquisition and the router's own persisted state both need
+	// the blobs, not just the acks.
+	snaps  map[int]roundSnap
+	err    error
+	done   chan struct{}
+	closed bool
 }
 
 func (cr *ckptRound) finishLocked() {
@@ -219,9 +300,16 @@ func (cr *ckptRound) finishLocked() {
 // the equivalence tests pin.
 func memberID(i int) string { return "w" + strconv.Itoa(i) }
 
+// hostID names placement member n ("h0", "h1", ...). Host ids are minted
+// once per admitted worker and never reused, so ring.Rebalance diffs across
+// membership changes are well defined.
+func hostID(n int) string { return "h" + strconv.Itoa(n) }
+
 // New dials and joins every worker, binds the client listener, and starts
 // routing. It fails fast if any worker cannot be reached within the dial
-// budget.
+// budget. With Config.Store set and a recovered blob on disk, the roster,
+// slot tables, and stream state come from the blob — a mid-stream restart —
+// and each reachable worker is rewound to the blob's checkpoint cut.
 func New(cfg Config) (*Router, error) {
 	if cfg.Plan == nil {
 		return nil, errors.New("router: Config.Plan is required")
@@ -232,7 +320,13 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Addr == "" {
 		return nil, errors.New("router: Config.Addr is required")
 	}
-	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Workers) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = len(cfg.Workers)
+	}
+	if cfg.Slots < len(cfg.Workers) {
+		return nil, fmt.Errorf("router: %d slots for %d workers (need at least one slot per worker)", cfg.Slots, len(cfg.Workers))
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != cfg.Slots {
 		return nil, fmt.Errorf("router: %d weights for %d workers", len(cfg.Weights), len(cfg.Workers))
 	}
 	if cfg.SubBuffer <= 0 {
@@ -251,15 +345,31 @@ func New(cfg Config) (*Router, error) {
 		cfg.Replicas = len(cfg.Workers)
 	}
 
-	w := len(cfg.Workers)
-	rg := ring.New(cfg.Vnodes)
-	slotOf := make(map[string]int, w)
-	for i := range cfg.Workers {
-		weight := 1
-		if cfg.Weights != nil {
-			weight = cfg.Weights[i]
+	var blob *routerState
+	if cfg.Store != nil {
+		if b, err := loadNewestState(cfg.Store); err != nil {
+			return nil, fmt.Errorf("router: recover: %w", err)
+		} else {
+			blob = b
 		}
-		rg.Add(ring.Member{ID: memberID(i), Weight: weight})
+	}
+
+	s := cfg.Slots
+	weights := make([]int, s)
+	for i := range weights {
+		weights[i] = 1
+		if cfg.Weights != nil {
+			weights[i] = cfg.Weights[i]
+		}
+	}
+	if blob != nil {
+		s = blob.nslots
+		weights = blob.weights
+	}
+	rg := ring.New(cfg.Vnodes)
+	slotOf := make(map[string]int, s)
+	for i := 0; i < s; i++ {
+		rg.Add(ring.Member{ID: memberID(i), Weight: weights[i]})
 		slotOf[memberID(i)] = i
 	}
 
@@ -267,34 +377,70 @@ func New(cfg Config) (*Router, error) {
 		cfg:         cfg,
 		ring:        rg,
 		slotOf:      slotOf,
+		nslots:      s,
+		weights:     weights,
 		done:        make(chan struct{}),
 		hub:         server.NewHub(),
-		routeSlot:   make([]int, w),
-		replicaSlot: make([]int, w),
-		lastSnap:    make([]atomic.Uint64, w),
+		routeSlot:   make([]int, s),
+		replicaSlot: make([]int, s),
+		lastSnap:    make([]atomic.Uint64, s),
+		slotSnaps:   make([]roundSnap, s),
+		place:       ring.New(cfg.Vnodes),
+		memberLink:  map[string]int{},
 		conns:       map[net.Conn]struct{}{},
 		start:       time.Now(),
+		recovered:   -1,
+	}
+	if blob != nil {
+		r.recovered = blob.n
 	}
 	r.ctx, r.cancel = context.WithCancel(context.Background())
-	for i := 0; i < w; i++ {
-		r.routeSlot[i] = i
-		r.replicaSlot[i] = -1
-		if cfg.Replicas >= 2 {
-			if succ, ok := rg.Successor(memberID(i)); ok {
-				r.replicaSlot[i] = slotOf[succ]
+
+	var stubs []*link
+	if blob == nil {
+		w := len(cfg.Workers)
+		for i := 0; i < s; i++ {
+			r.routeSlot[i] = i % w
+			r.replicaSlot[i] = -1
+			if cfg.Replicas >= 2 {
+				if succ, ok := rg.Successor(memberID(i)); ok {
+					if rep := slotOf[succ] % w; rep != r.routeSlot[i] {
+						r.replicaSlot[i] = rep
+					}
+				}
 			}
 		}
-	}
-
-	// Dial and handshake every worker before accepting clients: join (slot
-	// + geometry), then subscribe to its part stream.
-	for i, addr := range cfg.Workers {
-		l, err := r.dialWorker(i, addr)
+		for i := 0; i < w; i++ {
+			r.place.Add(ring.Member{ID: hostID(i)})
+			r.memberLink[hostID(i)] = i
+		}
+		r.hostSeq = w
+		r.placeVer.Store(r.place.Version())
+		// Dial and handshake every worker before accepting clients: join
+		// (home slot + geometry), then subscribe to its part stream. With a
+		// Store, a reset-to-empty rides between the two so a worker orphaned
+		// by a previous router run cannot leak mid-window state into this one.
+		for i, addr := range cfg.Workers {
+			var reset *server.ResetBlob
+			if cfg.Store != nil {
+				reset = &server.ResetBlob{Own: &server.SlotBlob{Slot: i}}
+			}
+			l, err := r.dialWorker(i, addr, reset)
+			if err != nil {
+				r.teardownLinks()
+				return nil, err
+			}
+			l.idx = i
+			l.member = hostID(i)
+			r.links = append(r.links, l)
+		}
+	} else {
+		var err error
+		stubs, err = r.recoverLinks(blob)
 		if err != nil {
 			r.teardownLinks()
 			return nil, err
 		}
-		r.links = append(r.links, l)
 	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -323,12 +469,36 @@ func New(cfg Config) (*Router, error) {
 
 	r.headMu.Lock()
 	r.newEpochLocked()
+	if blob != nil {
+		err = r.restoreEpochLocked(blob)
+	}
 	r.headMu.Unlock()
+	if err != nil {
+		ln.Close()
+		if r.httpLn != nil {
+			r.httpLn.Close()
+		}
+		r.teardownLinks()
+		return nil, fmt.Errorf("router: recover: %w", err)
+	}
+	if blob == nil {
+		// Slots beyond the worker count start as hosted instances on their
+		// home-modulo worker: an aligned promote (floor 0) enqueued before
+		// any tuple spawns them fresh.
+		r.routeMu.Lock()
+		for i := len(cfg.Workers); i < s; i++ {
+			r.migrateSlotLocked(r.epoch(), i, r.routeSlot[i], 0, roundSnap{})
+		}
+		r.routeMu.Unlock()
+	}
+	// A recovered-roster worker that could not be re-dialed fails over now
+	// that the epoch (and its merge floors) is restored.
+	for _, l := range stubs {
+		r.failLink(l)
+	}
 
 	for _, l := range r.links {
-		r.wg.Add(2)
-		go r.linkSender(l)
-		go r.linkReader(l)
+		r.startLink(l)
 	}
 	if cfg.PingEvery > 0 {
 		r.wg.Add(1)
@@ -343,6 +513,17 @@ func New(cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// startLink spawns the sender/reader pair for a dialed link (no-op for
+// stubs and links already failed).
+func (r *Router) startLink(l *link) {
+	if l.conn == nil {
+		return
+	}
+	r.wg.Add(2)
+	go r.linkSender(l)
+	go r.linkReader(l)
+}
+
 // Addr returns the client listener's address.
 func (r *Router) Addr() net.Addr { return r.ln.Addr() }
 
@@ -353,6 +534,10 @@ func (r *Router) HTTPAddr() net.Addr {
 	}
 	return r.httpLn.Addr()
 }
+
+// RecoveredEpoch reports the epoch this router resumed from a durable blob
+// at startup, or ok=false for a fresh start.
+func (r *Router) RecoveredEpoch() (n int, ok bool) { return r.recovered, r.recovered >= 0 }
 
 // Done closes after the first end-of-stream drain with Config.Once.
 func (r *Router) Done() <-chan struct{} { return r.done }
@@ -373,33 +558,50 @@ func (r *Router) Close() error {
 		c.Close()
 	}
 	r.mu.Unlock()
-	for _, l := range r.links {
+	r.routeMu.Lock()
+	links := append([]*link(nil), r.links...)
+	r.routeMu.Unlock()
+	for _, l := range links {
 		l.sendq.Close()
-		l.conn.Close()
+		if l.conn != nil {
+			l.conn.Close()
+		}
 	}
 	r.wg.Wait()
 	r.doneOnce.Do(func() { close(r.done) })
 	return nil
 }
 
+// Crash simulates abrupt router termination (kill -9) for recovery tests:
+// no further state is persisted and the on-disk blob survives, so a fresh
+// Router over the same Store resumes from the last completed round.
+func (r *Router) Crash() {
+	r.crashed.Store(true)
+	r.Close()
+}
+
 func (r *Router) teardownLinks() {
 	for _, l := range r.links {
 		l.sendq.Close()
-		l.conn.Close()
+		if l.conn != nil {
+			l.conn.Close()
+		}
 	}
 }
 
-// dialWorker connects, joins, and subscribes one worker with retry/backoff
-// inside the dial budget — workers started in parallel with the router may
-// still be binding.
-func (r *Router) dialWorker(slot int, addr string) (*link, error) {
+// dialWorker connects, joins, optionally resets, and subscribes one worker
+// with retry/backoff inside the dial budget — workers started in parallel
+// with the router may still be binding. A non-nil reset rides between join
+// and sub, rewinding the worker to a checkpoint cut (or to empty) before
+// any of its output can reach this router.
+func (r *Router) dialWorker(home int, addr string, reset *server.ResetBlob) (*link, error) {
 	deadline := time.Now().Add(r.cfg.DialTimeout)
 	delay := 50 * time.Millisecond
 	var lastErr error
 	for {
 		c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
 		if err == nil {
-			l, herr := r.handshake(slot, addr, c)
+			l, herr := r.handshake(home, addr, c, reset)
 			if herr == nil {
 				return l, nil
 			}
@@ -408,7 +610,7 @@ func (r *Router) dialWorker(slot int, addr string) (*link, error) {
 		}
 		lastErr = err
 		if time.Now().Add(delay).After(deadline) {
-			return nil, fmt.Errorf("router: worker %d (%s): %w", slot, addr, lastErr)
+			return nil, fmt.Errorf("router: worker %d (%s): %w", home, addr, lastErr)
 		}
 		time.Sleep(delay)
 		if delay *= 2; delay > time.Second {
@@ -417,16 +619,17 @@ func (r *Router) dialWorker(slot int, addr string) (*link, error) {
 	}
 }
 
-// handshake performs join + sub synchronously on a fresh worker connection.
-func (r *Router) handshake(slot int, addr string, c net.Conn) (*link, error) {
+// handshake performs join [+ reset] + sub synchronously on a fresh worker
+// connection.
+func (r *Router) handshake(home int, addr string, c net.Conn, reset *server.ResetBlob) (*link, error) {
 	bw := bufio.NewWriter(c)
 	br := bufio.NewReaderSize(c, 64*1024)
-	expect := func(m server.Msg) error {
+	expect := func(m server.Msg, budget time.Duration) error {
 		line, err := server.EncodeLine(m)
 		if err != nil {
 			return err
 		}
-		c.SetDeadline(time.Now().Add(5 * time.Second))
+		c.SetDeadline(time.Now().Add(budget))
 		defer c.SetDeadline(time.Time{})
 		if _, err := bw.Write(line); err != nil {
 			return err
@@ -447,22 +650,29 @@ func (r *Router) handshake(slot int, addr string, c net.Conn) (*link, error) {
 		}
 		return nil
 	}
-	s := slot
+	s := home
 	join := server.Msg{
 		Kind:     server.KindJoin,
 		Shard:    &s,
-		Workers:  len(r.cfg.Workers),
+		Workers:  r.nslots,
 		Replicas: r.cfg.Replicas,
-		Version:  r.ring.Version(),
+		Version:  r.placeVer.Load(),
 	}
-	if err := expect(join); err != nil {
+	if err := expect(join, 5*time.Second); err != nil {
 		return nil, err
 	}
-	if err := expect(server.Msg{Kind: server.KindSub}); err != nil {
+	if reset != nil {
+		// The worker acks only once the rewound epoch is live, which can
+		// wait out an epoch turnover — give it the worker's own 15s budget.
+		if err := expect(server.Msg{Kind: server.KindReset, Data: reset.Encode()}, 20*time.Second); err != nil {
+			return nil, err
+		}
+	}
+	if err := expect(server.Msg{Kind: server.KindSub}, 5*time.Second); err != nil {
 		return nil, err
 	}
 	l := &link{
-		slot:  slot,
+		slot:  home,
 		addr:  addr,
 		conn:  c,
 		sendq: server.NewQueueOf[[]byte](r.cfg.SendBuffer, server.Block),
@@ -523,6 +733,11 @@ func (r *Router) linkReader(l *link) {
 			r.onSnapAck(m)
 		case server.KindPromoted:
 			r.onPromoted(m)
+		case server.KindLeave:
+			// Graceful departure: migrate the worker's slots away on the
+			// next quiesced cut. Async — the removal round waits on acks
+			// this reader must keep consuming.
+			go r.removeWorker(l)
 		case server.KindOK:
 			// late ack (end); nothing to resolve
 		case server.KindErr:
@@ -592,7 +807,7 @@ func (r *Router) emitClientAlert(ep *repoch, t *stream.Tuple) {
 // newEpochLocked (headMu held) builds a fresh partition + head graph. The
 // slot indirection tables persist — a failed-over slot stays on its host.
 func (r *Router) newEpochLocked() {
-	w := len(r.cfg.Workers)
+	w := r.nslots
 	spec := r.cfg.Plan.Window
 	key := r.cfg.Plan.Key
 	ep := &repoch{
@@ -672,7 +887,16 @@ func (r *Router) emitRouted(ep *repoch, m server.Msg, out *stream.Tuple) {
 			r.encodeErrs.Add(1)
 			return
 		}
+		ep.closeLog = append(ep.closeLog, closePt{t: end, seq: seq})
 		r.broadcastToLinks(line)
+		// Degraded slots have no worker to forward this close back; feed
+		// their merge ports a synthesized one so surviving slots' windows
+		// keep completing (their data for this window is lost — documented).
+		for slot, li := range r.routeSlot {
+			if li < 0 {
+				r.synthClose(ep, slot, end, seq)
+			}
+		}
 		return
 	}
 	slot, ok := out.RouteShard()
@@ -705,6 +929,21 @@ func (r *Router) emitRouted(ep *repoch, m server.Msg, out *stream.Tuple) {
 	r.links[rep].replicated.Add(1)
 }
 
+// synthClose feeds one synthesized window-close to a degraded slot's merge
+// port (routeMu held; takes headMu). Half-shipped partials for the slot were
+// discarded at failover; anything left is dropped to keep the envelope
+// discipline — a degraded window carries no data.
+func (r *Router) synthClose(ep *repoch, slot int, end stream.Time, seq uint64) {
+	r.headMu.Lock()
+	defer r.headMu.Unlock()
+	if ep.finished || slot < 0 || slot >= len(ep.pending) {
+		return
+	}
+	ep.pending[slot] = nil
+	ep.head.PushTuple(uop.ClusterPort(slot), stream.NewWindowClose(end, seq))
+	ep.closes[slot]++
+}
+
 // broadcastToLinks enqueues one line on every live link (routeMu held).
 func (r *Router) broadcastToLinks(line []byte) {
 	for _, l := range r.links {
@@ -734,15 +973,23 @@ func (r *Router) routeTuple(m server.Msg) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		r.routeMu.Lock()
-		ep := r.epoch()
-		if ep != nil && !ep.ended.Load() {
-			ep.part.Process(0, core.Wrap(u), func(out *stream.Tuple) {
-				r.emitRouted(ep, m, out)
-			})
+		if r.paused {
+			// A quiesced cut (checkpoint round or membership change) is in
+			// flight; wait it out without burning the retry budget.
 			r.routeMu.Unlock()
-			return nil
+			deadline = time.Now().Add(5 * time.Second)
+		} else {
+			ep := r.epoch()
+			if ep != nil && !ep.ended.Load() {
+				ep.part.Process(0, core.Wrap(u), func(out *stream.Tuple) {
+					r.emitRouted(ep, m, out)
+				})
+				ep.routedSeq.Add(1)
+				r.routeMu.Unlock()
+				return nil
+			}
+			r.routeMu.Unlock()
 		}
-		r.routeMu.Unlock()
 		if r.ctx.Err() != nil {
 			return errors.New("router shutting down")
 		}
@@ -762,7 +1009,23 @@ func (r *Router) routeTuple(m server.Msg) error {
 // closes reach every worker ahead of the end line, in queue order), then
 // ask every live worker to drain.
 func (r *Router) endStream() error {
-	r.routeMu.Lock()
+	// Wait out any quiesced cut first: the final closes must not race a
+	// checkpoint or migration pause.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r.routeMu.Lock()
+		if !r.paused {
+			break
+		}
+		r.routeMu.Unlock()
+		if r.ctx.Err() != nil {
+			return errors.New("router shutting down")
+		}
+		if time.Now().After(deadline) {
+			return errors.New("router busy (checkpoint in flight); retry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 	ep := r.epoch()
 	if ep == nil || ep.ended.Swap(true) {
 		r.routeMu.Unlock()
@@ -803,7 +1066,7 @@ func (r *Router) onWorkerDone(l *link) {
 	if ep == nil || !ep.ended.Load() {
 		return
 	}
-	delete(ep.doneNeed, l.slot)
+	delete(ep.doneNeed, l.idx)
 	r.checkFinishLocked(ep)
 }
 
@@ -835,6 +1098,12 @@ func (r *Router) checkFinishLocked(ep *repoch) {
 	if err == nil {
 		r.hub.BroadcastControl(line)
 	}
+	// A cleanly finished stream deletes its durable blob — recovery must
+	// never resurrect a drained epoch.
+	if r.cfg.Store != nil && !r.crashed.Load() {
+		n := ep.n
+		go r.cfg.Store.Delete(n)
+	}
 	if r.cfg.Once {
 		r.doneOnce.Do(func() { close(r.done) })
 		return
@@ -861,19 +1130,45 @@ func (r *Router) failLinkLocked(l *link) {
 		return
 	}
 	l.sendq.Close()
-	l.conn.Close()
+	if l.conn != nil {
+		l.conn.Close()
+	}
 	r.failovers.Add(1)
+	// Death is a membership change: the host leaves the placement ring, so
+	// later join/leave diffs see the real topology.
+	if l.member != "" {
+		r.place.Remove(l.member)
+		delete(r.memberLink, l.member)
+		r.placeVer.Store(r.placeVer.Load() + 1)
+	}
 	ep := r.epoch()
 	for slot, li := range r.routeSlot {
-		if li != l.slot {
+		if li != l.idx {
 			continue
 		}
 		rep := r.replicaSlot[slot]
-		if rep < 0 || rep == li || !r.links[rep].alive.Load() {
-			// No live replica: the slot's keys are unservable for the rest
-			// of the run.
+		if rep >= 0 && (rep == li || !r.links[rep].alive.Load()) {
+			rep = -1
+		}
+		if rep < 0 {
+			// No live replica: the slot's keys are unservable until a new
+			// worker joins. Catch its merge port up to the clock (the dead
+			// worker's unmerged closes never arrive), then keep it fed by
+			// the synthesized-close path.
 			r.routeSlot[slot] = -1
+			r.replicaSlot[slot] = -1
+			r.lastSnap[slot].Store(0)
 			r.degraded.Store(true)
+			if ep != nil {
+				r.headMu.Lock()
+				ep.pending[slot] = nil
+				from := ep.closes[slot]
+				log := ep.closeLog
+				r.headMu.Unlock()
+				for _, cp := range log[min(int(from), len(log)):] {
+					r.synthClose(ep, slot, cp.t, cp.seq)
+				}
+			}
 			continue
 		}
 		var closes uint64
@@ -896,6 +1191,10 @@ func (r *Router) failLinkLocked(l *link) {
 			continue
 		}
 		r.routeSlot[slot] = rep
+		// The promoted host is the slot's replica no longer; a checkpoint
+		// round (or join) re-acquires one with a fresh snapshot install.
+		r.replicaSlot[slot] = -1
+		r.lastSnap[slot].Store(0)
 		if err := r.links[rep].sendq.Put(r.ctx, line); err != nil {
 			// Replica died too; next sendLine attempt will cascade.
 			continue
@@ -908,14 +1207,58 @@ func (r *Router) failLinkLocked(l *link) {
 			r.headMu.Unlock()
 		}
 	}
+	// Replica assignments pointing at the dead link are void.
+	for slot, rep := range r.replicaSlot {
+		if rep == l.idx {
+			r.replicaSlot[slot] = -1
+			r.lastSnap[slot].Store(0)
+		}
+	}
 	// The dead worker sends no "done"; release the drain from waiting on it.
 	if ep != nil {
 		r.headMu.Lock()
-		delete(ep.doneNeed, l.slot)
+		delete(ep.doneNeed, l.idx)
 		r.checkFinishLocked(ep)
 		r.headMu.Unlock()
 	}
 	r.failRound(l)
+}
+
+// pause stalls routing (and end-of-stream) for a quiesced cut. Callers hold
+// ckptMu, so cuts never overlap; unpause releases the stall.
+func (r *Router) pause() {
+	r.routeMu.Lock()
+	r.paused = true
+	r.routeMu.Unlock()
+}
+
+func (r *Router) unpause() {
+	r.routeMu.Lock()
+	r.paused = false
+	r.routeMu.Unlock()
+}
+
+// clonePlace copies the placement ring (ring.Ring is not thread-safe and
+// has no copy method; rebuilding from Members is version-independent, which
+// is all Rebalance reads).
+func (r *Router) clonePlace() *ring.Ring {
+	c := ring.New(r.cfg.Vnodes)
+	for _, m := range r.place.Members() {
+		c.Add(m)
+	}
+	return c
+}
+
+// recomputeHealthLocked (routeMu held) re-derives the degraded flag from
+// the slot table: the cluster is degraded while any slot is unservable.
+func (r *Router) recomputeHealthLocked() {
+	for _, li := range r.routeSlot {
+		if li < 0 {
+			r.degraded.Store(true)
+			return
+		}
+	}
+	r.degraded.Store(false)
 }
 
 // pingLoop probes worker liveness.

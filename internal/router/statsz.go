@@ -19,18 +19,38 @@ type MemberStatsz struct {
 	Share  float64 `json:"share"`
 }
 
-// RingStatsz is the /statsz ring section.
+// SlotStatsz is one logical slot's serving row.
+type SlotStatsz struct {
+	Slot int `json:"slot"`
+	// Owner / Replica are link indices into the workers array (-1: none).
+	Owner    int  `json:"owner"`
+	Replica  int  `json:"replica"`
+	Degraded bool `json:"degraded"`
+}
+
+// RingStatsz is the /statsz ring section. Version counts placement
+// membership changes (joins, leaves, deaths); MovedRanges and MovedSlots
+// describe the last rebalance; Slots maps every logical slot to the link
+// serving it.
 type RingStatsz struct {
-	Version uint64         `json:"version"`
-	Vnodes  int            `json:"vnodes"`
-	Members []MemberStatsz `json:"members"`
+	Version     uint64         `json:"version"`
+	Vnodes      int            `json:"vnodes"`
+	Rebalances  uint64         `json:"rebalances"`
+	MovedRanges uint64         `json:"moved_ranges"`
+	MovedSlots  []int          `json:"moved_slots,omitempty"`
+	Slots       []SlotStatsz   `json:"slots,omitempty"`
+	Members     []MemberStatsz `json:"members"`
 }
 
 // WorkerStatsz is one worker link's row.
 type WorkerStatsz struct {
-	Slot  int    `json:"slot"`
-	Addr  string `json:"addr"`
-	Alive bool   `json:"alive"`
+	// Slot is the worker's home slot from its join (-1: a mid-stream
+	// joiner with no home slot).
+	Slot int `json:"slot"`
+	// Member is the host's placement-ring id (empty once it left the ring).
+	Member string `json:"member,omitempty"`
+	Addr   string `json:"addr"`
+	Alive  bool   `json:"alive"`
 	// LastSeenMS is how long ago the last line arrived from this worker
 	// (pong or any traffic), in milliseconds; -1 before first contact.
 	LastSeenMS int64 `json:"last_seen_ms"`
@@ -88,7 +108,12 @@ func (r *Router) Stats() Statsz {
 	if up > 0 {
 		st.TuplesPerS = float64(st.Ingested) / up
 	}
-	st.Ring = RingStatsz{Version: r.ring.Version(), Vnodes: r.ring.Vnodes()}
+	st.Ring = RingStatsz{
+		Version:     r.placeVer.Load(),
+		Vnodes:      r.ring.Vnodes(),
+		Rebalances:  r.rebalances.Load(),
+		MovedRanges: r.movedRanges.Load(),
+	}
 	spread := r.ring.Spread()
 	for _, m := range r.ring.Members() {
 		st.Ring.Members = append(st.Ring.Members, MemberStatsz{
@@ -99,17 +124,31 @@ func (r *Router) Stats() Statsz {
 		})
 	}
 	r.routeMu.Lock()
+	st.Ring.MovedSlots = append([]int(nil), r.lastMoved...)
 	serves := make(map[int][]int, len(r.links))
 	for slot, li := range r.routeSlot {
 		if li >= 0 {
 			serves[li] = append(serves[li], slot)
 		}
+		st.Ring.Slots = append(st.Ring.Slots, SlotStatsz{
+			Slot:     slot,
+			Owner:    li,
+			Replica:  r.replicaSlot[slot],
+			Degraded: li < 0,
+		})
+	}
+	// Snapshot the link slice under the lock: joins append to it.
+	links := append([]*link(nil), r.links...)
+	members := make([]string, len(links))
+	for i, l := range links {
+		members[i] = l.member
 	}
 	r.routeMu.Unlock()
 	now := time.Now().UnixMilli()
-	for _, l := range r.links {
+	for i, l := range links {
 		row := WorkerStatsz{
 			Slot:        l.slot,
+			Member:      members[i],
 			Addr:        l.addr,
 			Alive:       l.alive.Load(),
 			LastSeenMS:  -1,
@@ -117,7 +156,7 @@ func (r *Router) Stats() Statsz {
 			Routed:      l.routed.Load(),
 			Replicated:  l.replicated.Load(),
 			SendQueue:   l.sendq.Stats(),
-			ServesSlots: serves[l.slot],
+			ServesSlots: serves[i],
 		}
 		if seen := l.lastSeen.Load(); seen > 0 {
 			row.LastSeenMS = now - seen

@@ -67,11 +67,20 @@ type clusterState struct {
 	// it up front, so the new epoch's closes reach it from the first
 	// punctuation (the router keeps routing the slot here).
 	hosted map[int]bool
+	// pendingReset is a router-recovery rewind waiting for the next epoch;
+	// the resets counter increments when one is applied.
+	pendingReset *ResetBlob
+	// ownReleased silences the worker's own slot: its state migrated to
+	// another worker, so this plan keeps consuming closes (the clock still
+	// broadcasts to every link) but ships no parts.
+	ownReleased bool
 
 	parts        atomic.Uint64
 	closes       atomic.Uint64
 	replicaLines atomic.Uint64
 	promotions   atomic.Uint64
+	resets       atomic.Uint64
+	releases     atomic.Uint64
 }
 
 // snapRec is one installed replica snapshot.
@@ -94,14 +103,19 @@ type instance struct {
 
 // partEmitter tracks one plan's outbound part stream: how many window
 // closes it has emitted (the window ordinal), and the suppression floor a
-// promotion sets so already-merged windows are not re-shipped.
+// promotion sets so already-merged windows are not re-shipped. suppress is
+// atomic because a "release" (the slot migrated away) raises it to the
+// ceiling while the plan is still running.
 type partEmitter struct {
 	// slot is the emitting slot, or -1 to read clusterState.shard at emit
 	// time (the worker's own epoch starts before the router joins it).
 	slot     int
 	ordinal  atomic.Uint64
-	suppress uint64
+	suppress atomic.Uint64
 }
+
+// releaseFloor silences an emitter permanently (slot released/migrated).
+const releaseFloor = ^uint64(0)
 
 func newClusterState(s *Server) *clusterState {
 	cl := &clusterState{
@@ -129,24 +143,72 @@ func (cl *clusterState) ringVersion() uint64 {
 // punctuation reaches them.
 func (cl *clusterState) beginEpoch(ep *epoch) *partEmitter {
 	cl.mu.Lock()
+	pr := cl.pendingReset
+	cl.pendingReset = nil
+	if pr != nil {
+		// A router-recovery rewind defines the complete post-reset role set:
+		// which slots this worker hosts, which it merely replicates, and
+		// whether its own slot still lives here.
+		cl.hosted = map[int]bool{}
+		for _, sb := range pr.Insts {
+			cl.hosted[sb.Slot] = true
+		}
+		cl.ownReleased = pr.Own == nil
+	}
 	cl.insts = map[int]*instance{}
 	cl.marks = map[uint64]map[int]int{}
 	cl.snaps = map[int]snapRec{}
+	if pr != nil {
+		for _, sb := range pr.Reps {
+			cl.snaps[sb.Slot] = snapRec{id: pr.Ckpt, closes: sb.Closes, data: sb.Data}
+		}
+	}
 	cl.resetTailsLocked()
 	pe := &partEmitter{slot: -1}
+	if cl.ownReleased {
+		pe.suppress.Store(releaseFloor)
+	}
 	cl.ownPE = pe
 	hosted := make([]int, 0, len(cl.hosted))
 	for slot := range cl.hosted {
 		hosted = append(hosted, slot)
 	}
 	cl.mu.Unlock()
+	if pr != nil && pr.Own != nil && len(pr.Own.Data) > 0 {
+		// Restore the own slot's plan to the router's recovered cut. The
+		// plan is not running yet (RunLiveOpts starts after beginEpoch), so
+		// the restore races nothing.
+		if err := ep.plan.RestoreFrom(pr.Own.Data); err == nil {
+			pe.ordinal.Store(pr.Own.Closes)
+		} else {
+			cl.s.noteCkptErr(fmt.Errorf("reset: restore own slot: %w", err))
+		}
+	}
 	sort.Ints(hosted)
 	for _, slot := range hosted {
-		cl.spawnInstance(slot, snapRec{}, false, 0)
+		rec, hasSnap := snapRec{}, false
+		var floor uint64
+		if pr != nil {
+			for _, sb := range pr.Insts {
+				if sb.Slot == slot {
+					rec = snapRec{id: pr.Ckpt, closes: sb.Closes, data: sb.Data}
+					hasSnap = len(sb.Data) > 0
+					floor = sb.Closes
+				}
+			}
+		}
+		if inst, err := cl.spawnInstance(slot, rec, hasSnap, floor); err == nil && pr != nil {
+			// Migrated/recovered instances emit from the router's current
+			// merge ordinal even when restored fresh.
+			inst.pe.ordinal.Store(floor)
+		}
 	}
 	// Flip last: a promote or close waiting out the epoch gap may proceed
 	// only once the hosted instances exist.
 	cl.mu.Lock()
+	if pr != nil {
+		cl.resets.Add(1)
+	}
 	cl.epochEnded = false
 	cl.mu.Unlock()
 	return pe
@@ -211,8 +273,8 @@ func (cl *clusterState) emitPart(ep *epoch, pe *partEmitter, t *stream.Tuple) {
 	if isClose {
 		pe.ordinal.Add(1)
 	}
-	if ord < pe.suppress {
-		return // the router already merged this window from the dead worker
+	if ord < pe.suppress.Load() {
+		return // the router already merged this window (or the slot migrated away)
 	}
 	slot := pe.slot
 	if slot < 0 {
@@ -324,14 +386,95 @@ func (cl *clusterState) handleControl(raw []byte, m Msg) ([]Msg, error) {
 		return cl.handleSnap(m)
 	case KindPromote:
 		return cl.handlePromote(m)
+	case KindReset:
+		return cl.handleReset(m)
+	case KindRelease:
+		return cl.handleRelease(m)
 	}
 	return nil, fmt.Errorf("unknown cluster kind %q", m.Kind)
 }
 
+// handleReset rewinds this worker to a router checkpoint cut: park the
+// composite blob, cut the current epoch (its drained output goes nowhere —
+// the recovering router has not subscribed yet), and wait for the next
+// beginEpoch to apply it. The ack returns only once the rewound epoch is
+// live, so the router's subsequent subscribe sees post-reset state only.
+func (cl *clusterState) handleReset(m Msg) ([]Msg, error) {
+	rb, err := DecodeResetBlob(m.Data)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	cl.pendingReset = rb
+	cl.mu.Unlock()
+	before := cl.resets.Load()
+	deadline := time.Now().Add(15 * time.Second)
+	for cl.resets.Load() == before {
+		// Cut whatever epoch is currently running; idempotent, and re-issued
+		// each iteration in case the cut raced an epoch turnover.
+		if ep := cl.s.epoch(); ep != nil && cl.resets.Load() == before {
+			cl.endEpoch()
+			ep.queue.Close()
+		}
+		select {
+		case <-cl.s.done:
+			return nil, errors.New("engine stopped; reset not applied")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, errors.New("reset timed out waiting for epoch turnover")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return []Msg{{Kind: KindOK, Ckpt: rb.Ckpt}}, nil
+}
+
+// handleRelease stops this worker from emitting for a slot that migrated
+// away: the own slot is suppressed permanently (the plan keeps consuming
+// the clock's closes, silently), a hosted instance is torn down. The slot
+// returns to plain tailing from the next epoch on.
+func (cl *clusterState) handleRelease(m Msg) ([]Msg, error) {
+	if m.Shard == nil {
+		return nil, errors.New("release carries no shard")
+	}
+	slot := *m.Shard
+	cl.mu.Lock()
+	var inst *instance
+	if slot == int(cl.shard.Load()) {
+		cl.ownReleased = true
+		if cl.ownPE != nil {
+			cl.ownPE.suppress.Store(releaseFloor)
+		}
+	} else if inst = cl.insts[slot]; inst != nil {
+		inst.pe.suppress.Store(releaseFloor)
+		delete(cl.insts, slot)
+		delete(cl.hosted, slot)
+	} else {
+		delete(cl.hosted, slot)
+	}
+	if slot != int(cl.shard.Load()) {
+		// Resume tailing the slot right away (not just from the next
+		// epoch): the router may re-assign this worker as the slot's
+		// replica at a later cut, and the tail must have every close since
+		// its snapshot install.
+		if _, ok := cl.tails[slot]; !ok {
+			cl.tails[slot] = nil
+		}
+	}
+	cl.mu.Unlock()
+	if inst != nil {
+		inst.queue.Close()
+	}
+	cl.releases.Add(1)
+	return []Msg{{Kind: KindOK, Shard: m.Shard}}, nil
+}
+
 // handleJoin assigns this worker's slot and cluster geometry. Idempotent
 // per router run: a reconnecting router re-joins with the same geometry.
+// Shard -1 admits the worker with no slot of its own (a mid-stream joiner:
+// it tails every slot until the router migrates some onto it).
 func (cl *clusterState) handleJoin(m Msg) ([]Msg, error) {
-	if m.Shard == nil || *m.Shard < 0 {
+	if m.Shard == nil || *m.Shard < -1 {
 		return nil, errors.New("join carries no shard")
 	}
 	if m.Workers < 1 || *m.Shard >= m.Workers {
@@ -412,6 +555,7 @@ func (cl *clusterState) handleCkpt(m Msg) ([]Msg, error) {
 	cl.marks[m.Ckpt] = mk
 	ep := cl.s.epoch()
 	ownPE := cl.ownPE
+	ownQuiet := cl.ownReleased
 	insts := cl.instancesLocked()
 	cl.mu.Unlock()
 	if ep == nil {
@@ -419,12 +563,18 @@ func (cl *clusterState) handleCkpt(m Msg) ([]Msg, error) {
 	}
 	own := int(cl.shard.Load())
 	var acks []Msg
+	// A released own slot (migrated away) and a slotless joiner have no
+	// live state for their home plan — and the slot's real host acks it, so
+	// a stale ack here would double-count in the router's round. The plan
+	// still drains through the barrier so the quiesce covers this worker.
 	data, closes, err := snapshotPlan(ep.queue, ep.barriers, ep.runDone, ep.plan, ownPE)
 	if err != nil {
 		return nil, fmt.Errorf("slot %d: %w", own, err)
 	}
-	slot := own
-	acks = append(acks, Msg{Kind: KindCkptAck, Shard: &slot, Ckpt: m.Ckpt, Closes: closes, Data: data})
+	if own >= 0 && !ownQuiet {
+		slot := own
+		acks = append(acks, Msg{Kind: KindCkptAck, Shard: &slot, Ckpt: m.Ckpt, Closes: closes, Data: data})
+	}
 	sort.Slice(insts, func(i, j int) bool { return insts[i].slot < insts[j].slot })
 	for _, inst := range insts {
 		data, closes, err := snapshotPlan(inst.queue, inst.barriers, inst.runDone, inst.plan, inst.pe)
@@ -531,6 +681,12 @@ func (cl *clusterState) handlePromote(m Msg) ([]Msg, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m.Align {
+		// Migration (not failover): there is no tail to replay, and the
+		// instance — whatever state it restored — must stamp its next part
+		// with the router's current merge ordinal.
+		inst.pe.ordinal.Store(m.Closes)
+	}
 	for i, raw := range tail {
 		if err := cl.replayLine(inst, raw); err != nil {
 			return nil, fmt.Errorf("slot %d: replay tail line %d: %w", slot, i, err)
@@ -553,7 +709,8 @@ func (cl *clusterState) spawnInstance(slot int, rec snapRec, hasSnap bool, suppr
 			return nil, fmt.Errorf("slot %d: restore snapshot %d: %w", slot, rec.id, err)
 		}
 	}
-	pe := &partEmitter{slot: slot, suppress: suppress}
+	pe := &partEmitter{slot: slot}
+	pe.suppress.Store(suppress)
 	if hasSnap {
 		pe.ordinal.Store(rec.closes)
 	}
@@ -615,6 +772,12 @@ type ClusterStatsz struct {
 	Closes       uint64 `json:"closes"`
 	ReplicaLines uint64 `json:"replica_lines"`
 	Promotions   uint64 `json:"promotions"`
+	// Resets counts router-recovery rewinds applied; Releases counts slots
+	// migrated away; OwnReleased marks a worker whose own slot lives
+	// elsewhere now.
+	Resets      uint64 `json:"resets,omitempty"`
+	Releases    uint64 `json:"releases,omitempty"`
+	OwnReleased bool   `json:"own_released,omitempty"`
 	// Tails maps each replicated slot to its current replay-tail length.
 	Tails map[int]int `json:"tails,omitempty"`
 	// Hosted lists promoted slots currently running on this worker.
@@ -635,6 +798,9 @@ func (cl *clusterState) statsz() *ClusterStatsz {
 		Closes:       cl.closes.Load(),
 		ReplicaLines: cl.replicaLines.Load(),
 		Promotions:   cl.promotions.Load(),
+		Resets:       cl.resets.Load(),
+		Releases:     cl.releases.Load(),
+		OwnReleased:  cl.ownReleased,
 	}
 	if len(cl.tails) > 0 {
 		cs.Tails = make(map[int]int, len(cl.tails))

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/snap"
+)
+
+// This file is the "reset" composite: the blob a recovering router sends a
+// worker to rewind it to a checkpoint cut before resubscribing. One reset
+// line replaces the worker's entire per-epoch cluster state — its own plan,
+// every hosted instance, and every replica-held snapshot — so the worker's
+// next epoch starts exactly at the router's recovered cut instead of
+// wherever its previous (now orphaned) epoch had drifted to.
+
+const resetBlobV1 = 1
+
+// SlotBlob is one slot's piece of a reset: the slot id, the window-close
+// count the snapshot covers, and the plan checkpoint bytes (empty for a
+// fresh start).
+type SlotBlob struct {
+	Slot   int
+	Closes uint64
+	Data   []byte
+}
+
+// ResetBlob is the composite payload of a "reset" line.
+type ResetBlob struct {
+	// Ckpt is the cluster checkpoint id the blobs were taken at (0 for a
+	// reset to empty — a router with no recovered state clearing a worker's
+	// orphaned epoch).
+	Ckpt uint64
+	// Own restores the worker's own slot plan; nil releases the own slot
+	// (its state lives elsewhere now, or the router recovered nothing).
+	Own *SlotBlob
+	// Insts restores hosted (promoted/migrated) slot instances.
+	Insts []SlotBlob
+	// Reps seeds replica snapshot records, so a later promote on this
+	// worker finds the blob the router's lastSnap bookkeeping names.
+	Reps []SlotBlob
+}
+
+// Encode serializes the composite with the engine's snapshot codec.
+func (rb *ResetBlob) Encode() []byte {
+	var w snap.Writer
+	w.U8(resetBlobV1)
+	w.Uvarint(rb.Ckpt)
+	w.Bool(rb.Own != nil)
+	if rb.Own != nil {
+		writeSlotBlob(&w, *rb.Own)
+	}
+	w.Uvarint(uint64(len(rb.Insts)))
+	for _, sb := range rb.Insts {
+		writeSlotBlob(&w, sb)
+	}
+	w.Uvarint(uint64(len(rb.Reps)))
+	for _, sb := range rb.Reps {
+		writeSlotBlob(&w, sb)
+	}
+	return w.Bytes()
+}
+
+func writeSlotBlob(w *snap.Writer, sb SlotBlob) {
+	w.Varint(int64(sb.Slot))
+	w.Uvarint(sb.Closes)
+	w.Blob(sb.Data)
+}
+
+func readSlotBlob(r *snap.Reader) SlotBlob {
+	return SlotBlob{
+		Slot:   int(r.Varint()),
+		Closes: r.Uvarint(),
+		Data:   r.Blob(),
+	}
+}
+
+// DecodeResetBlob parses a reset composite.
+func DecodeResetBlob(data []byte) (*ResetBlob, error) {
+	r := snap.NewReader(data)
+	if v := r.U8(); v != resetBlobV1 {
+		r.Fail("reset blob version %d unsupported", v)
+	}
+	rb := &ResetBlob{Ckpt: r.Uvarint()}
+	if r.Bool() {
+		sb := readSlotBlob(r)
+		rb.Own = &sb
+	}
+	for i, n := 0, r.Len(); i < n && r.Err() == nil; i++ {
+		rb.Insts = append(rb.Insts, readSlotBlob(r))
+	}
+	for i, n := 0, r.Len(); i < n && r.Err() == nil; i++ {
+		rb.Reps = append(rb.Reps, readSlotBlob(r))
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("reset blob: %w", err)
+	}
+	return rb, nil
+}

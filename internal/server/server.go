@@ -225,6 +225,14 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// AnnounceLeave broadcasts a graceful-departure notice to this worker's
+// subscribers — in cluster mode, the router's link — which responds by
+// migrating the worker's slots away and dropping the link. Best-effort: a
+// worker with no router attached announces into the void.
+func (s *Server) AnnounceLeave() {
+	s.hub.BroadcastControl(mustLine(Msg{Kind: KindLeave}))
+}
+
 // Crash simulates abrupt process termination (kill -9) for recovery tests:
 // checkpointing stops immediately — no final checkpoint is written, so only
 // checkpoints already on disk survive — and the in-memory plan state is
@@ -571,7 +579,7 @@ func (s *Server) handleConn(c net.Conn) {
 				pong.Version = s.cl.ringVersion()
 			}
 			reply(pong)
-		case KindJoin, KindClose, KindSnap, KindPromote:
+		case KindJoin, KindClose, KindSnap, KindPromote, KindReset, KindRelease:
 			if s.cl == nil {
 				reply(errMsg("%q requires a cluster worker (-mode worker)", m.Kind))
 				continue

@@ -150,8 +150,17 @@ type Msg struct {
 	Closes uint64 `json:"closes,omitempty"`
 	// Data is an opaque binary payload (base64 on the wire): a
 	// stream.EncodeWireTuple blob on "part", a plan checkpoint on
-	// "ckpt_ack"/"snap".
+	// "ckpt_ack"/"snap", a composite reset blob on "reset".
 	Data []byte `json:"data,omitempty"`
+	// Addr is a worker's advertised listen address on a "join" offer (a
+	// worker asking a router to admit it) and on an administrative "leave".
+	Addr string `json:"addr,omitempty"`
+	// Align forces a promoted instance's window ordinal to Closes instead of
+	// the snapshot's recorded close count: a slot migrated mid-stream (or
+	// re-acquired after degradation) must emit from the router's current
+	// merge ordinal, unlike a failover, which replays the full tail from the
+	// snapshot's ordinal.
+	Align bool `json:"align,omitempty"`
 }
 
 // Protocol message kinds.
@@ -185,6 +194,16 @@ const (
 	KindSnapAck  = "snap_ack"
 	KindPromote  = "promote"
 	KindPromoted = "promoted"
+
+	// Membership/recovery kinds. "reset" rewinds a worker to a router
+	// checkpoint cut (composite blob in Data: own plan, hosted instances,
+	// replica snapshots) — sent by a recovering router before it
+	// resubscribes; "release" tells a worker to stop emitting for a slot
+	// that migrated away; "leave" is a worker announcing graceful departure
+	// (or an admin asking the router to drain one).
+	KindReset   = "reset"
+	KindRelease = "release"
+	KindLeave   = "leave"
 )
 
 // errMsg builds a per-connection error reply.
