@@ -16,11 +16,15 @@
 // over TCP, sends "end" to drain, and prints the received alert lines to
 // stdout (byte-identical to the -q1 -wire offline run when daemon and
 // generator agree on the query parameters). A summary with wire throughput
-// goes to stderr.
+// goes to stderr. -proto selects the ingest encoding: "json" (default)
+// sends one JSON line per tuple, "bin" sends bwire binary frames (32
+// tuples per frame against an interned schema) — the subscribe channel
+// and the alert output stay JSON lines either way, so stdout is
+// byte-identical across protocols.
 //
 // Usage: rfidtrace [-objects N] [-events N] [-seed N] [-move]
 //
-//	[-q1 [-wire] [-threshold LBS] | -replay ADDR]
+//	[-q1 [-wire] [-threshold LBS] | -replay ADDR [-proto json|bin]]
 package main
 
 import (
@@ -68,8 +72,14 @@ func main() {
 	q1 := flag.Bool("q1", false, "run the trace through the compiled Q1 diagram and emit alerts")
 	wire := flag.Bool("wire", false, "with -q1: round-trip tuples through the streamd wire encoding (offline reference for -replay)")
 	replay := flag.String("replay", "", "replay the trace as wire tuples against a streamd daemon at this address")
+	proto := flag.String("proto", "json", "with -replay: ingest wire protocol, json or bin")
+	pace := flag.Int("pace", 0, "with -replay: throttle ingest to about this many tuples/s (0 = as fast as possible)")
 	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds (with -q1; a -replay run uses the daemon's -threshold)")
 	flag.Parse()
+	if *proto != "json" && *proto != "bin" {
+		fmt.Fprintf(os.Stderr, "rfidtrace: unknown -proto %q (want json or bin)\n", *proto)
+		os.Exit(2)
+	}
 
 	moveProb := -1.0
 	moveEvery := 0
@@ -94,7 +104,7 @@ func main() {
 
 	switch {
 	case *replay != "":
-		if err := replayTrace(w, trace, *seed, *replay, out); err != nil {
+		if err := replayTrace(w, trace, *seed, *replay, *proto == "bin", *pace, out); err != nil {
 			fmt.Fprintln(os.Stderr, "rfidtrace:", err)
 			out.Flush()
 			os.Exit(1)
@@ -258,14 +268,22 @@ func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
 // from there), Alerts how many alert lines it had emitted at its recovery
 // cut (skip already-written duplicates of the replayed suffix). The stdout
 // byte stream stays identical to an uninterrupted run.
-func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, out *bufio.Writer) error {
-	// Pre-encode every wire tuple: the T operator is seeded, so generating
-	// once up front makes reconnect resends byte-identical and cheap.
+func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, bin bool, pace int, out *bufio.Writer) error {
+	// Pre-compute every wire tuple: the T operator is seeded, so generating
+	// once up front makes reconnect resends byte-identical and cheap. The
+	// JSON path pre-encodes lines; the binary path keeps the Msg forms and
+	// encodes per session, because bwire schema ids are connection-scoped.
 	tx := transformer(w, seed)
 	var tuples [][]byte
+	var msgs []server.Msg
 	for _, ev := range trace.Events {
 		for _, lt := range tx.Process(ev) {
-			line, err := server.EncodeLine(locMsg(lt, w))
+			m := locMsg(lt, w)
+			if bin {
+				msgs = append(msgs, m)
+				continue
+			}
+			line, err := server.EncodeLine(m)
 			if err != nil {
 				return fmt.Errorf("encode tuple: %w", err)
 			}
@@ -281,7 +299,7 @@ func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, 
 	deadline := time.Now().Add(60 * time.Second)
 	delay := 200 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		d, n, err := replaySession(addr, tuples, &seen, out, &sendElapsed)
+		d, n, err := replaySession(addr, tuples, msgs, pace, &seen, out, &sendElapsed)
 		sent += n
 		if err == nil {
 			done = d
@@ -300,8 +318,8 @@ func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, 
 	// done.Alerts counts every alert the epoch emitted — including the
 	// replayed duplicates a reconnect skipped — so a clean run (restarted
 	// or not) wrote exactly that many unique lines.
-	if uint64(seen) != done.Alerts {
-		return fmt.Errorf("daemon drained %d alerts but %d reached this subscriber (slow-subscriber drops?)", done.Alerts, seen)
+	if uint64(seen) != done.AlertCount() {
+		return fmt.Errorf("daemon drained %d alerts but %d reached this subscriber (slow-subscriber drops?)", done.AlertCount(), seen)
 	}
 	fmt.Fprintf(os.Stderr,
 		"rfidtrace: replayed %d tuples in %v (%.0f tuples/s wire), %d alerts, end-to-end %v\n",
@@ -314,7 +332,7 @@ func replayTrace(w *rfid.Warehouse, trace *rfid.Trace, seed int64, addr string, 
 // "done" control message on success, and the number of tuples sent either
 // way; any connection or protocol failure returns an error the caller may
 // retry after a backoff — *seen already reflects every alert line written.
-func replaySession(addr string, tuples [][]byte, seen *int, out *bufio.Writer, sendElapsed *time.Duration) (server.Msg, int, error) {
+func replaySession(addr string, tuples [][]byte, msgs []server.Msg, pace int, seen *int, out *bufio.Writer, sendElapsed *time.Duration) (server.Msg, int, error) {
 	var done server.Msg
 	// Subscribe first so no alert can slip out before we listen.
 	subConn, err := dialRetry(addr, 10*time.Second)
@@ -332,18 +350,50 @@ func replaySession(addr string, tuples [][]byte, seen *int, out *bufio.Writer, s
 	}
 	// The resume contract. A fresh daemon acks Seq=0/Alerts=0: send
 	// everything, skip nothing — the uninterrupted path.
+	total := len(tuples) + len(msgs) // one of the two is populated
 	resume := int(ack.Seq)
-	if resume > len(tuples) {
-		return done, 0, fmt.Errorf("subscribe ack resumes at tuple %d of %d", resume, len(tuples))
+	if resume > total {
+		return done, 0, fmt.Errorf("subscribe ack resumes at tuple %d of %d", resume, total)
 	}
-	skip := *seen - int(ack.Alerts)
+	skip := *seen - int(ack.AlertCount())
 	if skip < 0 {
-		return done, 0, fmt.Errorf("subscribe ack reports %d alerts emitted but %d already received", ack.Alerts, *seen)
+		return done, 0, fmt.Errorf("subscribe ack reports %d alerts emitted but %d already received", ack.AlertCount(), *seen)
+	}
+
+	sent := 0
+	// salvage wraps a mid-session failure: before retrying, read whatever
+	// alert lines the daemon already delivered to this subscriber. A daemon
+	// that dies mid-ingest has typically pushed alerts the client has not
+	// read yet (the drain loop only starts after the send) — they sit in
+	// this connection's receive buffer, and the recovered epoch's ack counts
+	// them as emitted, so abandoning them would wedge every resume attempt
+	// on the "emitted but not received" check above. The dead peer's FIN
+	// bounds the loop; the deadline covers failures that left it alive.
+	salvage := func(err error) (server.Msg, int, error) {
+		subConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		for {
+			line, rerr := subR.ReadBytes('\n')
+			if rerr != nil {
+				return done, sent, err
+			}
+			var m server.Msg
+			if json.Unmarshal(line, &m) != nil || m.Kind != server.KindAlert {
+				continue
+			}
+			if skip > 0 {
+				skip--
+				continue
+			}
+			if _, werr := out.Write(line); werr != nil {
+				return done, sent, err
+			}
+			*seen++
+		}
 	}
 
 	ingest, err := dialRetry(addr, 10*time.Second)
 	if err != nil {
-		return done, 0, fmt.Errorf("ingest dial %s: %w", addr, err)
+		return salvage(fmt.Errorf("ingest dial %s: %w", addr, err))
 	}
 	defer ingest.Close()
 	ingestW := bufio.NewWriter(ingest)
@@ -382,26 +432,75 @@ func replaySession(addr string, tuples [][]byte, seen *int, out *bufio.Writer, s
 	}()
 
 	sendStart := time.Now()
-	sent := 0
-	for _, line := range tuples[resume:] {
-		if _, err := ingestW.Write(line); err != nil {
-			return done, sent, fmt.Errorf("send tuple: %w", err)
+	// throttle holds the send to about `pace` tuples/s: every 256 tuples it
+	// flushes whatever is buffered (so the server sees the stream during the
+	// pause) and sleeps the schedule out. The chaos smoke uses this to keep
+	// the stream open while it SIGKILLs a daemon mid-flight — unpaced, the
+	// binary protocol drains a smoke-sized trace before a kill can land.
+	throttle := func(flush func() error) error {
+		if pace <= 0 || sent == 0 || sent%256 != 0 {
+			return nil
 		}
-		sent++
+		if err := flush(); err != nil {
+			return err
+		}
+		target := sendStart.Add(time.Duration(sent) * time.Second / time.Duration(pace))
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	}
+	if len(msgs) > 0 {
+		// Binary ingest: a fresh batcher per session (schema ids are
+		// connection-scoped), flushed in bounded chunks so the frame
+		// buffer never grows with the trace.
+		bb := server.NewBwBatcher()
+		for _, m := range msgs[resume:] {
+			if err := bb.Add(m); err != nil {
+				return done, sent, fmt.Errorf("encode tuple: %w", err)
+			}
+			sent++
+			if sent%1024 == 0 {
+				if _, err := ingestW.Write(bb.Take()); err != nil {
+					return salvage(fmt.Errorf("send tuples: %w", err))
+				}
+			}
+			if err := throttle(func() error {
+				if _, err := ingestW.Write(bb.Take()); err != nil {
+					return err
+				}
+				return ingestW.Flush()
+			}); err != nil {
+				return salvage(fmt.Errorf("send tuples: %w", err))
+			}
+		}
+		if _, err := ingestW.Write(bb.Take()); err != nil {
+			return salvage(fmt.Errorf("send tuples: %w", err))
+		}
+	} else {
+		for _, line := range tuples[resume:] {
+			if _, err := ingestW.Write(line); err != nil {
+				return salvage(fmt.Errorf("send tuple: %w", err))
+			}
+			sent++
+			if err := throttle(ingestW.Flush); err != nil {
+				return salvage(fmt.Errorf("send tuple: %w", err))
+			}
+		}
 	}
 	endLine, err := server.EncodeLine(server.Msg{Kind: server.KindEnd})
 	if err != nil {
 		return done, sent, err
 	}
 	if _, err := ingestW.Write(endLine); err != nil {
-		return done, sent, fmt.Errorf("send end: %w", err)
+		return salvage(fmt.Errorf("send end: %w", err))
 	}
 	if err := ingestW.Flush(); err != nil {
-		return done, sent, fmt.Errorf("flush ingest: %w", err)
+		return salvage(fmt.Errorf("flush ingest: %w", err))
 	}
 	*sendElapsed += time.Since(sendStart)
 	if err := <-ingestDone; err != nil {
-		return done, sent, fmt.Errorf("end not acknowledged: %w", err)
+		return salvage(fmt.Errorf("end not acknowledged: %w", err))
 	}
 
 	// Stream alerts until the drain's "done", skipping the replayed

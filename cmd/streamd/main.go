@@ -26,6 +26,7 @@
 //	        [-data-dir DIR] [-checkpoint-every DUR] [-once]
 //	        [-workers ADDR,ADDR,...] [-slots N] [-replicas N] [-vnodes N]
 //	        [-weights W,W,...] [-ping-every DUR] [-join ROUTER_ADDR]
+//	        [-proto json|bin]
 //
 // With -data-dir set the daemon is crash-safe: it checkpoints the running
 // plan's durable state (window buffers, accumulators, lineage) to
@@ -112,7 +113,11 @@ func main() {
 	weightsFlag := flag.String("weights", "", "router mode: comma-separated per-worker ring weights (arity must match -workers)")
 	pingEvery := flag.Duration("ping-every", time.Second, "router mode: worker liveness-probe cadence (0 disables)")
 	joinAddr := flag.String("join", "", "worker mode: router client address to offer this worker to (rolling join)")
+	proto := flag.String("proto", "json", "router mode: router↔worker link protocol, json or bin (clients negotiate per message either way)")
 	flag.Parse()
+	if *proto != "json" && *proto != "bin" {
+		fatalf(2, "unknown -proto %q (want json or bin)", *proto)
+	}
 
 	// The threshold and min-prob flags default for q1; q2 falls back to its
 	// own documented defaults (60 °C, 0.05) unless set explicitly.
@@ -141,8 +146,10 @@ func main() {
 
 	switch *mode {
 	case "router":
-		runRouter(routerConfig(clusterPlan(), *addr, *httpAddr, *workersFlag, *weightsFlag, *dataDir,
-			*slots, *replicas, *vnodes, *queueCap, *pingEvery, *ckptEvery, *once, explicit))
+		rc := routerConfig(clusterPlan(), *addr, *httpAddr, *workersFlag, *weightsFlag, *dataDir,
+			*slots, *replicas, *vnodes, *queueCap, *pingEvery, *ckptEvery, *once, explicit)
+		rc.Proto = *proto
+		runRouter(rc)
 		return
 	case "worker":
 		if *dataDir != "" {

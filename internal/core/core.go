@@ -71,6 +71,28 @@ func NewUTuple(ts stream.Time, names []string, attrs []dist.Dist) *UTuple {
 	}
 }
 
+// NewUTupleShared is NewUTuple without the defensive copies: the caller
+// guarantees names is immutable for the tuple's lifetime (typically a
+// decoder's interned schema, shared by every tuple on a connection) and
+// attrs is owned by the new tuple. names must have no spare capacity, so a
+// later SetAttr of a new attribute reallocates instead of writing into the
+// shared backing array. The binary ingest path uses this to skip two
+// copies per tuple.
+func NewUTupleShared(ts stream.Time, names []string, attrs []dist.Dist) *UTuple {
+	if len(names) != len(attrs) {
+		panic("core: names/attrs length mismatch")
+	}
+	id := stream.NextTupleID()
+	return &UTuple{
+		TS:    ts,
+		ID:    id,
+		names: names[:len(names):len(names)],
+		attrs: attrs,
+		Exist: 1,
+		Lin:   lineage.NewSet(id),
+	}
+}
+
 // Derive builds a tuple produced by an operator from the given parents: it
 // gets a fresh ID, the union of parent lineage, and the product of parent
 // existence probabilities (§3: output tuples carry lineage so the final

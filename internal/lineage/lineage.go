@@ -15,6 +15,11 @@ type Set struct {
 
 // NewSet builds a set from IDs (copied, sorted, deduplicated).
 func NewSet(ids ...uint64) Set {
+	if len(ids) <= 1 {
+		// Every base tuple takes this path (its own ID as lineage): skip
+		// the sort and its closure allocation.
+		return Set{ids: append([]uint64(nil), ids...)}
+	}
 	out := append([]uint64(nil), ids...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	// Dedup in place.

@@ -1,8 +1,8 @@
 package rfid
 
 import (
-	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/dist"
 )
@@ -11,7 +11,19 @@ import (
 // function of Q1 ("the square foot area that each object belongs to,
 // computed by a function on its (x,y,z) location").
 func AreaID(x, y Feet) string {
-	return fmt.Sprintf("A%d_%d", int(math.Floor(x)), int(math.Floor(y)))
+	return areaName(int(math.Floor(x)), int(math.Floor(y)))
+}
+
+// areaName renders "A<x>_<y>" without fmt: AreaMasses names a cell per
+// tuple per intersected area, which made Sprintf the single hottest
+// call of the uncertain GROUP BY under wire-rate ingest.
+func areaName(xi, yi int) string {
+	var buf [2 * strconv.IntSize]byte
+	b := append(buf[:0], 'A')
+	b = strconv.AppendInt(b, int64(xi), 10)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(yi), 10)
+	return string(b)
 }
 
 // AreaOfDist maps an uncertain location to the area of its mean — the MAP
@@ -42,7 +54,7 @@ func AreaMasses(x, y dist.Dist, minMass float64) []AreaMass {
 		for _, yc := range yCells {
 			p := xc.p * yc.p
 			if p >= minMass {
-				out = append(out, AreaMass{Area: fmt.Sprintf("A%d_%d", xc.i, yc.i), P: p})
+				out = append(out, AreaMass{Area: areaName(xc.i, yc.i), P: p})
 			}
 		}
 	}

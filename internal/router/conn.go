@@ -4,7 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
-	"net"
+	"fmt"
+	"io"
 
 	"repro/internal/server"
 )
@@ -16,10 +17,11 @@ import (
 func (r *Router) acceptLoop() {
 	defer r.wg.Done()
 	for {
-		c, err := r.ln.Accept()
+		conn, err := r.ln.Accept()
 		if err != nil {
 			return
 		}
+		c := server.TrackConn(conn)
 		r.mu.Lock()
 		if r.shutdown {
 			r.mu.Unlock()
@@ -33,7 +35,7 @@ func (r *Router) acceptLoop() {
 	}
 }
 
-func (r *Router) handleConn(c net.Conn) {
+func (r *Router) handleConn(c *server.ConnTrack) {
 	defer r.wg.Done()
 	defer func() {
 		r.mu.Lock()
@@ -63,16 +65,43 @@ func (r *Router) handleConn(c net.Conn) {
 	errReply := func(format string, args ...any) {
 		reply(server.Msg{Kind: server.KindErr, Error: sprintf(format, args...)})
 	}
-	sc := bufio.NewScanner(c)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	wr := server.NewWireReader(c, 1<<20)
+	var bdec *server.BwDecoder
+	for {
+		line, fr, rerr := wr.Next()
+		if rerr != nil {
+			if rerr != io.EOF {
+				r.ingestErrs.Add(1)
+				c.CountDecodeErr()
+				errReply("read error: %v", rerr)
+			}
+			break
+		}
+		if line == nil {
+			// Binary frame from a client: decode and feed the same routing
+			// path JSON tuples take.
+			c.CountFrame()
+			if bdec == nil {
+				bdec = server.NewBwDecoder()
+			}
+			n, err := r.handleClientFrame(fr, bdec)
+			r.ingested.Add(uint64(n))
+			if err != nil {
+				r.ingestErrs.Add(1)
+				c.CountDecodeErr()
+				errReply("%v", err)
+			}
+			continue
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
+		c.CountLine()
 		var m server.Msg
 		if err := json.Unmarshal(line, &m); err != nil {
 			r.ingestErrs.Add(1)
+			c.CountDecodeErr()
 			errReply("bad line: %v", err)
 			continue
 		}
@@ -104,7 +133,7 @@ func (r *Router) handleConn(c net.Conn) {
 			ack := server.Msg{Kind: server.KindOK}
 			if ep := r.epoch(); ep != nil && !ep.ended.Load() {
 				ack.Seq = ep.routedSeq.Load()
-				ack.Alerts = ep.alerts.Load()
+				ack.Alerts = server.AlertsField(ep.alerts.Load())
 			}
 			w.Write(mustLine(ack))
 			w.Flush()
@@ -161,9 +190,32 @@ func (r *Router) handleConn(c net.Conn) {
 			errReply("unknown kind %q", m.Kind)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		r.ingestErrs.Add(1)
-		errReply("read error: %v", err)
+}
+
+// handleClientFrame dispatches one binary frame from a client connection,
+// returning how many tuples it routed. Decoded tuples are converted back
+// to Msg form and routed exactly like JSON ones — the router's per-tuple
+// cost lives on the worker links, which Config.Proto controls separately.
+func (r *Router) handleClientFrame(fr server.BwFrame, bdec *server.BwDecoder) (int, error) {
+	switch fr.Kind {
+	case server.BwHello:
+		return 0, server.DecodeBwHello(fr.Payload)
+	case server.BwSchemaFrame:
+		_, err := bdec.AddSchema(fr.Payload)
+		return 0, err
+	case server.BwTuples:
+		bts, err := bdec.DecodeTuples(fr.Payload)
+		if err != nil {
+			return 0, err
+		}
+		for i := range bts {
+			if err := r.routeTuple(bts[i].Msg()); err != nil {
+				return i, err
+			}
+		}
+		return len(bts), nil
+	default:
+		return 0, fmt.Errorf("unknown binary frame kind %#x", fr.Kind)
 	}
 }
 

@@ -126,8 +126,8 @@ func TestRouterRestartByteIdentical(t *testing.T) {
 					if ack.Seq == 0 || ack.Seq > uint64(cut) {
 						t.Fatalf("resume seq %d, want in (0, %d]: the blob should cover the pre-checkpoint prefix", ack.Seq, cut)
 					}
-					if ack.Alerts > uint64(len(pre)) {
-						t.Fatalf("recovered router claims %d alerts already emitted; first subscriber saw only %d", ack.Alerts, len(pre))
+					if ack.AlertCount() > uint64(len(pre)) {
+						t.Fatalf("recovered router claims %d alerts already emitted; first subscriber saw only %d", ack.AlertCount(), len(pre))
 					}
 
 					in2 := dialRouter(t, rt2)
@@ -145,7 +145,7 @@ func TestRouterRestartByteIdentical(t *testing.T) {
 					// The recovered router re-emits alerts [ack.Alerts,
 					// len(pre)) — the ones the first subscriber already saw
 					// past the cut. Skip them; the rest must butt-join.
-					dup := len(pre) - int(ack.Alerts)
+					dup := len(pre) - int(ack.AlertCount())
 					if dup > len(post) {
 						t.Fatalf("restart replayed %d alerts, fewer than the %d duplicates to skip", len(post), dup)
 					}
@@ -221,7 +221,7 @@ func TestRouterRestartCleanStoreIsFresh(t *testing.T) {
 	sub2 := dialRouter(t, rt2)
 	sub2.send(server.Msg{Kind: server.KindSub})
 	ack := sub2.recv(10 * time.Second)
-	if ack.Kind != server.KindOK || ack.Seq != 0 || ack.Alerts != 0 {
+	if ack.Kind != server.KindOK || ack.Seq != 0 || ack.AlertCount() != 0 {
 		t.Fatalf("fresh restart ack = %+v, want plain ok with no resume state", ack)
 	}
 	in2 := dialRouter(t, rt2)

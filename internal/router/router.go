@@ -93,6 +93,12 @@ type Config struct {
 	// key ring is built over slots and never changes, so routing — and the
 	// alert byte stream — is independent of which host serves each slot.
 	Slots int
+	// Proto selects the router↔worker link encoding: "json" (the default)
+	// keeps the original JSON-lines protocol, "bin" switches routed
+	// tuples, close punctuations, and returning part lines to bwire
+	// binary frames (see internal/server/bwire.go). Client connections
+	// are unaffected: they negotiate per message by first byte either way.
+	Proto string
 	// Store, when non-nil, makes the router itself crash-safe: every
 	// cluster checkpoint round also persists the router's own durable
 	// state (window clock, partition sequence, head-merge progress, slot
@@ -119,7 +125,12 @@ type link struct {
 	// sendq decouples routing from the socket; the sender goroutine drains
 	// it. Closed (by failover) it fails blocked Puts fast.
 	sendq *server.QueueOf[[]byte]
-	alive atomic.Bool
+	// sentSchemas marks bwire schema ids already shipped down this link
+	// (routeMu). A schema frame is prepended, atomically in one sendq
+	// entry, to the first tuple frame referencing it — so a failover
+	// retry on a fresh link re-sends the schema by construction.
+	sentSchemas map[uint64]bool
+	alive       atomic.Bool
 	// lastSeen is the unix-milli stamp of the last line received.
 	lastSeen   atomic.Int64
 	version    atomic.Uint64
@@ -239,8 +250,14 @@ type Router struct {
 	ep     *repoch
 	epochs int
 
+	// bin is the resolved Config.Proto: worker links speak bwire frames.
+	bin bool
+	// benc interns tuple schemas for binary links (routeMu); schema ids
+	// are router-global, each link tracks which ones it has seen.
+	benc *server.BwEncoder
+
 	mu       sync.Mutex
-	conns    map[net.Conn]struct{}
+	conns    map[*server.ConnTrack]struct{}
 	shutdown bool
 
 	start      time.Time
@@ -344,6 +361,11 @@ func New(cfg Config) (*Router, error) {
 	if cfg.Replicas > len(cfg.Workers) {
 		cfg.Replicas = len(cfg.Workers)
 	}
+	switch cfg.Proto {
+	case "", "json", "bin":
+	default:
+		return nil, fmt.Errorf("router: unknown proto %q (want json or bin)", cfg.Proto)
+	}
 
 	var blob *routerState
 	if cfg.Store != nil {
@@ -387,9 +409,11 @@ func New(cfg Config) (*Router, error) {
 		slotSnaps:   make([]roundSnap, s),
 		place:       ring.New(cfg.Vnodes),
 		memberLink:  map[string]int{},
-		conns:       map[net.Conn]struct{}{},
+		conns:       map[*server.ConnTrack]struct{}{},
 		start:       time.Now(),
 		recovered:   -1,
+		bin:         cfg.Proto == "bin",
+		benc:        server.NewBwEncoder(),
 	}
 	if blob != nil {
 		r.recovered = blob.n
@@ -650,6 +674,14 @@ func (r *Router) handshake(home int, addr string, c net.Conn, reset *server.Rese
 		}
 		return nil
 	}
+	if r.bin {
+		// Announce the binary protocol before join: the worker marks the
+		// connection binary on the frame's arrival, so by subscribe time
+		// it knows to answer part traffic in frames rather than lines.
+		if _, err := bw.Write(server.EncodeBwHello()); err != nil {
+			return nil, err
+		}
+	}
 	s := home
 	join := server.Msg{
 		Kind:     server.KindJoin,
@@ -672,10 +704,11 @@ func (r *Router) handshake(home int, addr string, c net.Conn, reset *server.Rese
 		return nil, err
 	}
 	l := &link{
-		slot:  home,
-		addr:  addr,
-		conn:  c,
-		sendq: server.NewQueueOf[[]byte](r.cfg.SendBuffer, server.Block),
+		slot:        home,
+		addr:        addr,
+		conn:        c,
+		sendq:       server.NewQueueOf[[]byte](r.cfg.SendBuffer, server.Block),
+		sentSchemas: map[uint64]bool{},
 	}
 	l.alive.Store(true)
 	l.seen()
@@ -702,15 +735,34 @@ func (r *Router) linkSender(l *link) {
 	bw.Flush()
 }
 
-// linkReader consumes a worker's line stream: part lines feed the merge,
-// control acks resolve checkpoint/promotion state.
+// linkReader consumes a worker's reply stream: part lines/frames feed the
+// merge, control acks resolve checkpoint/promotion state. Binary links
+// return parts as BwPart frames; everything else stays JSON on both
+// protocols, so one mixed reader serves both.
 func (r *Router) linkReader(l *link) {
 	defer r.wg.Done()
-	sc := bufio.NewScanner(l.conn)
 	// ckpt_ack lines carry whole plan checkpoints (base64).
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	wr := server.NewWireReader(l.conn, 1<<26)
+	for {
+		line, fr, err := wr.Next()
+		if err != nil {
+			break
+		}
+		if line == nil {
+			l.seen()
+			if fr.Kind != server.BwPart {
+				r.workerErrs.Add(1)
+				continue
+			}
+			slot, data, derr := server.DecodeBwPart(fr.Payload)
+			if derr != nil {
+				r.workerErrs.Add(1)
+				continue
+			}
+			r.feedPart(l, slot, data)
+			continue
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
@@ -722,7 +774,11 @@ func (r *Router) linkReader(l *link) {
 		l.seen()
 		switch m.Kind {
 		case server.KindPart:
-			r.feedPart(l, m)
+			if m.Shard == nil {
+				r.workerErrs.Add(1)
+				continue
+			}
+			r.feedPart(l, *m.Shard, m.Data)
 		case server.KindDone:
 			r.onWorkerDone(l)
 		case server.KindPong:
@@ -750,14 +806,14 @@ func (r *Router) linkReader(l *link) {
 // feedPart buffers a worker's partials per port and releases each window to
 // the merge atomically when the port's close arrives. Everything below
 // headMu: PushTuple runs the merge (and post stages, and alert emission)
-// synchronously.
-func (r *Router) feedPart(l *link, m server.Msg) {
-	if m.Shard == nil || len(m.Data) == 0 {
+// synchronously. data is the stream.EncodeWireTuple blob, however it
+// arrived (base64 in a JSON part line, raw in a BwPart frame).
+func (r *Router) feedPart(l *link, slot int, data []byte) {
+	if len(data) == 0 {
 		r.workerErrs.Add(1)
 		return
 	}
-	slot := *m.Shard
-	t, err := stream.DecodeWireTuple(m.Data)
+	t, err := stream.DecodeWireTuple(data)
 	if err != nil {
 		r.workerErrs.Add(1)
 		return
@@ -871,21 +927,64 @@ func (r *Router) sendLine(slot int, line []byte, replica bool) bool {
 	}
 }
 
+// putFrame enqueues one bwire frame on a link, prepending the schema
+// frame — in the same sendq entry, so the pair is atomic across failover —
+// the first time this link references the schema. routeMu must be held.
+func (r *Router) putFrame(l *link, sc *server.BwSchema, frame []byte) error {
+	if !l.sentSchemas[sc.ID] {
+		pair := make([]byte, 0, len(sc.Frame())+len(frame))
+		pair = append(append(pair, sc.Frame()...), frame...)
+		if err := l.sendq.Put(r.ctx, pair); err != nil {
+			return err
+		}
+		l.sentSchemas[sc.ID] = true
+		return nil
+	}
+	return l.sendq.Put(r.ctx, frame)
+}
+
+// sendFrame is sendLine for a binary tuple frame: enqueue on the link
+// serving the slot, failing over and retrying like sendLine. routeMu held.
+func (r *Router) sendFrame(slot int, sc *server.BwSchema, frame []byte) bool {
+	for {
+		li := r.routeSlot[slot]
+		if li < 0 {
+			r.degraded.Store(true)
+			return false
+		}
+		l := r.links[li]
+		if err := r.putFrame(l, sc, frame); err == nil {
+			l.routed.Add(1)
+			return true
+		}
+		if r.ctx.Err() != nil {
+			return false
+		}
+		r.failLinkLocked(l)
+	}
+}
+
 // emitRouted handles one partition output under routeMu: closes broadcast
 // to every live link (and through the slot indirection, so hosted slots
 // hear them too — sendLine dedupes by link? no: closes go per *link*, once).
 func (r *Router) emitRouted(ep *repoch, m server.Msg, out *stream.Tuple) {
 	if end, ok := stream.WindowCloseOf(out); ok {
 		seq, _ := stream.CloseSeq(out)
-		line, err := server.EncodeLine(server.Msg{
-			Kind:   server.KindClose,
-			Source: r.cfg.Plan.Source,
-			T:      int64(end),
-			Seq:    seq,
-		})
-		if err != nil {
-			r.encodeErrs.Add(1)
-			return
+		var line []byte
+		if r.bin {
+			line = server.EncodeBwClose(r.cfg.Plan.Source, int64(end), seq)
+		} else {
+			var err error
+			line, err = server.EncodeLine(server.Msg{
+				Kind:   server.KindClose,
+				Source: r.cfg.Plan.Source,
+				T:      int64(end),
+				Seq:    seq,
+			})
+			if err != nil {
+				r.encodeErrs.Add(1)
+				return
+			}
 		}
 		ep.closeLog = append(ep.closeLog, closePt{t: end, seq: seq})
 		r.broadcastToLinks(line)
@@ -907,6 +1006,27 @@ func (r *Router) emitRouted(ep *repoch, m server.Msg, out *stream.Tuple) {
 	om := m
 	om.Seq = out.Seq
 	om.Shard = &slot
+	if r.bin {
+		// Binary link: no per-tuple JSON marshal, no base64 — one frame
+		// to the owner and (schema permitting) one replica frame, each a
+		// fixed-field body against the interned schema.
+		sc, _, err := r.benc.Intern(&om)
+		if err != nil {
+			r.encodeErrs.Add(1)
+			return
+		}
+		if !r.sendFrame(slot, sc, server.EncodeTupleFrame(sc, &om, slot, false)) {
+			return
+		}
+		rep := r.replicaSlot[slot]
+		if rep < 0 || rep == r.routeSlot[slot] || !r.links[rep].alive.Load() {
+			return
+		}
+		if r.putFrame(r.links[rep], sc, server.EncodeTupleFrame(sc, &om, slot, true)) == nil {
+			r.links[rep].replicated.Add(1)
+		}
+		return
+	}
 	line, err := server.EncodeLine(om)
 	if err != nil {
 		r.encodeErrs.Add(1)
@@ -1094,7 +1214,7 @@ func (r *Router) checkFinishLocked(ep *repoch) {
 	// Defensive flush: with every close merged per port the graph is
 	// already drained; Close also releases its goroutines' state.
 	ep.head.Graph.Close()
-	line, err := server.EncodeLine(server.Msg{Kind: server.KindDone, Alerts: ep.alerts.Load()})
+	line, err := server.EncodeLine(server.Msg{Kind: server.KindDone, Alerts: server.AlertsField(ep.alerts.Load())})
 	if err == nil {
 		r.hub.BroadcastControl(line)
 	}

@@ -221,8 +221,8 @@ func collectAlerts(t *testing.T, sub *testClient) []string {
 		}
 		switch m.Kind {
 		case server.KindDone:
-			if m.Alerts != uint64(len(got)) {
-				t.Fatalf("done reports %d alerts, subscriber saw %d", m.Alerts, len(got))
+			if m.AlertCount() != uint64(len(got)) {
+				t.Fatalf("done reports %d alerts, subscriber saw %d", m.AlertCount(), len(got))
 			}
 			return got
 		case server.KindAlert:

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/server"
@@ -54,6 +55,8 @@ type WorkerStatsz struct {
 	// LastSeenMS is how long ago the last line arrived from this worker
 	// (pong or any traffic), in milliseconds; -1 before first contact.
 	LastSeenMS int64 `json:"last_seen_ms"`
+	// Proto is the link's wire protocol ("json" or "bin", Config.Proto).
+	Proto string `json:"proto"`
 	// Version is the ring version the worker last echoed on pong.
 	Version    uint64            `json:"version"`
 	Routed     uint64            `json:"routed"`
@@ -85,6 +88,9 @@ type Statsz struct {
 	Workers      []WorkerStatsz `json:"workers"`
 	// Closes is the per-slot count of window closes merged this epoch.
 	Closes []uint64 `json:"closes,omitempty"`
+	// Conns reports per-client-connection wire counters (negotiated
+	// protocol, lines/frames in, bytes both ways).
+	Conns []server.ConnStatsz `json:"conns,omitempty"`
 }
 
 // Stats snapshots the router for monitoring.
@@ -144,6 +150,10 @@ func (r *Router) Stats() Statsz {
 		members[i] = l.member
 	}
 	r.routeMu.Unlock()
+	linkProto := "json"
+	if r.bin {
+		linkProto = "bin"
+	}
 	now := time.Now().UnixMilli()
 	for i, l := range links {
 		row := WorkerStatsz{
@@ -152,6 +162,7 @@ func (r *Router) Stats() Statsz {
 			Addr:        l.addr,
 			Alive:       l.alive.Load(),
 			LastSeenMS:  -1,
+			Proto:       linkProto,
 			Version:     l.version.Load(),
 			Routed:      l.routed.Load(),
 			Replicated:  l.replicated.Load(),
@@ -169,6 +180,12 @@ func (r *Router) Stats() Statsz {
 		st.Closes = append([]uint64(nil), r.ep.closes...)
 	}
 	r.headMu.Unlock()
+	r.mu.Lock()
+	for c := range r.conns {
+		st.Conns = append(st.Conns, c.Statsz())
+	}
+	r.mu.Unlock()
+	sort.Slice(st.Conns, func(i, j int) bool { return st.Conns[i].Remote < st.Conns[j].Remote })
 	return st
 }
 

@@ -288,18 +288,77 @@ func (cl *clusterState) emitPart(ep *epoch, pe *partEmitter, t *stream.Tuple) {
 		cl.s.encodeErrs.Add(1)
 		return
 	}
-	line, err := EncodeLine(Msg{Kind: KindPart, Shard: &slot, Data: data})
-	if err != nil {
-		cl.s.encodeErrs.Add(1)
-		return
-	}
 	cl.parts.Add(1)
 	if ep != nil {
 		ep.alerts.Add(1)
 	}
-	// Bounded-wait, never drop: losing a part line would wedge the router's
-	// merge, which counts closes per port.
-	cl.s.hub.BroadcastControl(line)
+	// Bounded-wait, never drop: losing a part would wedge the router's
+	// merge, which counts closes per port. Each subscriber population's
+	// encoding is built lazily: a binary router link skips the JSON
+	// marshal and the base64 expansion of the blob entirely.
+	cl.s.hub.BroadcastControlEnc(
+		func() []byte {
+			line, err := EncodeLine(Msg{Kind: KindPart, Shard: &slot, Data: data})
+			if err != nil {
+				cl.s.encodeErrs.Add(1)
+				return nil
+			}
+			return line
+		},
+		func() []byte { return EncodeBwPart(slot, data) },
+	)
+}
+
+// handleBwTuples dispatches one binary TUPLES frame's decoded tuples: the
+// frame-shaped counterpart of handleTuple. Replica copies are re-encoded
+// as self-contained tail records (the connection's schema table dies with
+// the connection; the tail must not), hosted-slot tuples feed their
+// instance, and own-slot traffic takes the map-free ingest path.
+func (cl *clusterState) handleBwTuples(bts []BwTuple) (int, error) {
+	own := int(cl.shard.Load())
+	for i := range bts {
+		bt := &bts[i]
+		if bt.Replica {
+			if bt.Shard < 0 {
+				return i, errors.New("replica tuple carries no shard")
+			}
+			cl.appendTailOwned(bt.Shard, EncodeTailTuple(bt))
+			cl.replicaLines.Add(1)
+			continue
+		}
+		if bt.Shard >= 0 && bt.Shard != own {
+			u, err := bt.UTuple()
+			if err != nil {
+				return i, err
+			}
+			t := core.Wrap(u)
+			t.Seq = bt.Seq
+			if err := cl.feedInstance(bt.Shard, sourceName(bt.Schema.Source), t); err != nil {
+				return i, err
+			}
+			continue
+		}
+		u, err := bt.UTuple()
+		if err != nil {
+			return i, err
+		}
+		t := core.Wrap(u)
+		t.Seq = bt.Seq
+		if err := cl.s.enqueue(sourceName(bt.Schema.Source), t); err != nil {
+			return i, err
+		}
+	}
+	return len(bts), nil
+}
+
+// handleBwClose is handleClose for a binary close frame: the record
+// appended to replica tails is the frame's canonical re-encoding —
+// already self-contained, so replay needs no connection state.
+func (cl *clusterState) handleBwClose(cm BwCloseMsg) error {
+	if cm.T < 0 {
+		return fmt.Errorf("close t_ms %d is negative", cm.T)
+	}
+	return cl.applyClose(EncodeBwClose(cm.Source, cm.T, cm.Seq), sourceName(cm.Source), cm.T, cm.Seq)
 }
 
 // handleTuple dispatches one routed "tuple" line: replica copies append to
@@ -315,37 +374,42 @@ func (cl *clusterState) handleTuple(raw []byte, m Msg) error {
 		return nil
 	}
 	if m.Shard != nil && *m.Shard != int(cl.shard.Load()) {
-		return cl.feedInstance(*m.Shard, m)
+		u, err := ParseTuple(m)
+		if err != nil {
+			return err
+		}
+		t := core.Wrap(u)
+		t.Seq = m.Seq
+		return cl.feedInstance(*m.Shard, sourceOf(m), t)
 	}
 	return cl.s.ingest(m)
 }
 
-// appendTail records a raw line in slot's replay tail. The scanner reuses
+// appendTail records a raw line in slot's replay tail. The reader reuses
 // its buffer, so the line is copied.
 func (cl *clusterState) appendTail(slot int, raw []byte) {
-	cp := append([]byte(nil), raw...)
+	cl.appendTailOwned(slot, append([]byte(nil), raw...))
+}
+
+// appendTailOwned records a tail record the caller already owns (no
+// buffer aliasing) without copying.
+func (cl *clusterState) appendTailOwned(slot int, rec []byte) {
 	cl.mu.Lock()
-	cl.tails[slot] = append(cl.tails[slot], cp)
+	cl.tails[slot] = append(cl.tails[slot], rec)
 	cl.mu.Unlock()
 }
 
 // feedInstance delivers a routed tuple to a promoted slot's instance. Like
 // Server.enqueue, it waits out the between-epochs gap: the next beginEpoch
 // re-spawns hosted instances, and tuples that race it must not be lost.
-func (cl *clusterState) feedInstance(slot int, m Msg) error {
-	u, err := ParseTuple(m)
-	if err != nil {
-		return err
-	}
-	t := core.Wrap(u)
-	t.Seq = m.Seq
+func (cl *clusterState) feedInstance(slot int, source string, t *stream.Tuple) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		cl.mu.Lock()
 		inst, hosted := cl.insts[slot], cl.hosted[slot]
 		cl.mu.Unlock()
 		if inst != nil {
-			err := cl.pushInstance(inst, sourceOf(m), t)
+			err := cl.pushInstance(inst, source, t)
 			if !errors.Is(err, ErrQueueClosed) {
 				return err
 			}
@@ -500,7 +564,13 @@ func (cl *clusterState) handleClose(raw []byte, m Msg) error {
 	if m.T < 0 {
 		return fmt.Errorf("close t_ms %d is negative", m.T)
 	}
-	cp := append([]byte(nil), raw...)
+	return cl.applyClose(append([]byte(nil), raw...), sourceOf(m), m.T, m.Seq)
+}
+
+// applyClose is the encoding-independent body of handleClose: rec is an
+// owned tail record (a JSON line or a binary close frame — replayLine
+// dispatches on the first byte either way).
+func (cl *clusterState) applyClose(rec []byte, source string, tms int64, seq uint64) error {
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		cl.mu.Lock()
@@ -519,18 +589,17 @@ func (cl *clusterState) handleClose(raw []byte, m Msg) error {
 		time.Sleep(2 * time.Millisecond)
 	}
 	for slot := range cl.tails {
-		cl.tails[slot] = append(cl.tails[slot], cp)
+		cl.tails[slot] = append(cl.tails[slot], rec)
 	}
 	insts := cl.instancesLocked()
 	cl.mu.Unlock()
 	cl.closes.Add(1)
-	source := sourceOf(m)
 	for _, inst := range insts {
-		if err := cl.pushInstance(inst, source, stream.NewWindowClose(stream.Time(m.T), m.Seq)); err != nil {
+		if err := cl.pushInstance(inst, source, stream.NewWindowClose(stream.Time(tms), seq)); err != nil {
 			return fmt.Errorf("slot %d: %w", inst.slot, err)
 		}
 	}
-	return cl.s.enqueue(source, stream.NewWindowClose(stream.Time(m.T), m.Seq))
+	return cl.s.enqueue(source, stream.NewWindowClose(stream.Time(tms), seq))
 }
 
 // handleCkpt takes a cluster checkpoint: snapshot the worker's own slot and
@@ -737,9 +806,38 @@ func (cl *clusterState) spawnInstance(slot int, rec snapRec, hasSnap bool, suppr
 	return inst, nil
 }
 
-// replayLine feeds one tail line (a replica tuple or a close punctuation)
-// into a promoted instance.
+// replayLine feeds one tail record (a replica tuple or a close
+// punctuation, in either wire encoding) into a promoted instance. Binary
+// tail records are self-contained frames — no schema table survives the
+// connection that carried them, so none is needed.
 func (cl *clusterState) replayLine(inst *instance, raw []byte) error {
+	if len(raw) > 0 && raw[0] == BwMagic {
+		kind, payload, err := SplitFrame(raw)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case BwTail:
+			tm, err := DecodeTailTuple(payload)
+			if err != nil {
+				return err
+			}
+			u, err := tm.UTuple()
+			if err != nil {
+				return err
+			}
+			t := core.Wrap(u)
+			t.Seq = tm.Seq
+			return cl.pushInstance(inst, sourceName(tm.Source), t)
+		case BwClose:
+			cm, err := DecodeBwClose(payload)
+			if err != nil {
+				return err
+			}
+			return cl.pushInstance(inst, sourceName(cm.Source), stream.NewWindowClose(stream.Time(cm.T), cm.Seq))
+		}
+		return fmt.Errorf("unexpected frame kind 0x%02x in replay tail", kind)
+	}
 	var m Msg
 	if err := json.Unmarshal(raw, &m); err != nil {
 		return err

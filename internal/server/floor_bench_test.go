@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// BenchmarkEngineFloor is the wire benchmarks' upper bound: the same
+// trace pushed straight into the live plan as pre-built UTuples — no
+// TCP, no decode, no queue hand-off from a socket reader. The gap
+// between this and BenchmarkServerWire is the wire protocol's whole
+// budget, which is what the binary protocol attacks.
+func BenchmarkEngineFloor(b *testing.B) {
+	for _, shards := range []int{0, 2} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			msgs := wireTrace(b, 40, 300)
+			us := make([]*core.UTuple, len(msgs))
+			for i, m := range msgs {
+				u, err := ParseTuple(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				us[i] = u
+			}
+			// Pre-clone per iteration so the engine consumes fresh tuples.
+			sets := make([][]*core.UTuple, b.N)
+			for i := range sets {
+				sets[i] = make([]*core.UTuple, len(us))
+				for j, u := range us {
+					sets[i][j] = u.Clone()
+				}
+			}
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				plan := Q1Plan(testQ1Config(shards))()
+				q := NewQueue(1024, Block)
+				nalerts := 0
+				plan.OnResult(func(t *stream.Tuple) { nalerts++ })
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					plan.RunLiveOpts(context.Background(), q, stream.LiveOptions{FlushEvery: 50 * time.Millisecond})
+				}()
+				box, port, _ := plan.LookupSource("locations")
+				for _, u := range sets[i] {
+					q.Put(context.Background(), stream.SourceTuple{Box: box, Port: port, T: core.Wrap(u)})
+				}
+				q.Close()
+				<-done
+			}
+			b.ReportMetric(float64(len(us)*b.N)/time.Since(start).Seconds(), "tuples/s")
+		})
+	}
+}

@@ -117,23 +117,10 @@ func (q *QueueOf[T]) Put(ctx context.Context, st T) error {
 	defer q.inflight.Done()
 
 	if q.policy == DropOldest {
-		for {
-			select {
-			case q.ch <- st:
-				q.accept()
-				return nil
-			case <-q.done:
-				return ErrQueueClosed
-			default:
-			}
-			select {
-			case <-q.ch:
-				q.dropped.Add(1)
-			default:
-				// The consumer raced us to the eviction; yield and retry.
-				runtime.Gosched()
-			}
+		if !q.sendEvicting(st) {
+			return ErrQueueClosed
 		}
+		return nil
 	}
 	select {
 	case q.ch <- st:
@@ -143,6 +130,63 @@ func (q *QueueOf[T]) Put(ctx context.Context, st T) error {
 		return ErrQueueClosed
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// PutBatch enqueues a batch under one admission check and one in-flight
+// account — the per-tuple mutex and WaitGroup costs that dominate Put at
+// binary-frame ingest rates are paid once per frame instead. Semantics
+// match len(sts) sequential Puts; it returns how many tuples were
+// enqueued, so on ErrQueueClosed (epoch rollover mid-batch) the caller
+// can re-offer the remainder to the next epoch's queue.
+func (q *QueueOf[T]) PutBatch(ctx context.Context, sts []T) (int, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return 0, ErrQueueClosed
+	}
+	q.inflight.Add(1)
+	q.mu.Unlock()
+	defer q.inflight.Done()
+
+	for i, st := range sts {
+		if q.policy == DropOldest {
+			if !q.sendEvicting(st) {
+				return i, ErrQueueClosed
+			}
+			continue
+		}
+		select {
+		case q.ch <- st:
+			q.accept()
+		case <-q.done:
+			return i, ErrQueueClosed
+		case <-ctx.Done():
+			return i, ctx.Err()
+		}
+	}
+	return len(sts), nil
+}
+
+// sendEvicting is the DropOldest send: evict until the tuple fits, never
+// block. Reports false once the queue is closed.
+func (q *QueueOf[T]) sendEvicting(st T) bool {
+	for {
+		select {
+		case q.ch <- st:
+			q.accept()
+			return true
+		case <-q.done:
+			return false
+		default:
+		}
+		select {
+		case <-q.ch:
+			q.dropped.Add(1)
+		default:
+			// The consumer raced us to the eviction; yield and retry.
+			runtime.Gosched()
+		}
 	}
 }
 

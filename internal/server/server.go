@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,7 +99,7 @@ type Server struct {
 	mu       sync.Mutex
 	ep       *epoch
 	eps      []*epoch // recent epochs (pruned), for all-epoch stats
-	conns    map[net.Conn]struct{}
+	conns    map[*ConnTrack]struct{}
 	shutdown bool
 	// prunedDrops accumulates queue drops from epochs pruned out of eps,
 	// so the cumulative counter survives epoch turnover.
@@ -150,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		ln:    ln,
 		done:  make(chan struct{}),
-		conns: map[net.Conn]struct{}{},
+		conns: map[*ConnTrack]struct{}{},
 		start: time.Now(),
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
@@ -321,7 +323,7 @@ func (s *Server) engineLoop() {
 			// hosted slot's final parts are on the wire.
 			s.cl.finishEpoch()
 		}
-		s.hub.BroadcastControl(mustLine(Msg{Kind: KindDone, Alerts: ep.alerts.Load()}))
+		s.hub.BroadcastControl(mustLine(Msg{Kind: KindDone, Alerts: AlertsField(ep.alerts.Load())}))
 		if err == nil && s.ctx.Err() == nil && s.cfg.Store != nil {
 			// Clean end-of-stream: the epoch is complete, its checkpoint must
 			// not be recovered into a fresh restart.
@@ -495,23 +497,26 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		ct := TrackConn(c)
 		s.mu.Lock()
 		if s.shutdown {
 			s.mu.Unlock()
 			c.Close()
 			continue
 		}
-		s.conns[c] = struct{}{}
+		s.conns[ct] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.handleConn(c)
+		go s.handleConn(ct)
 	}
 }
 
-// handleConn reads protocol lines from one connection. Errors are strictly
-// per-connection: a malformed line earns an "err" reply and the connection
-// (and every other connection, and the engine) keeps running.
-func (s *Server) handleConn(c net.Conn) {
+// handleConn reads protocol messages from one connection — JSON lines or
+// binary frames, dispatched per message by the magic-byte sniff. Errors
+// are strictly per-connection: a malformed message earns an "err" reply
+// (always JSON) and the connection (and every other connection, and the
+// engine) keeps running.
+func (s *Server) handleConn(c *ConnTrack) {
 	defer s.wg.Done()
 	defer func() {
 		s.mu.Lock()
@@ -541,21 +546,53 @@ func (s *Server) handleConn(c net.Conn) {
 		w.Write(line)
 		w.Flush()
 	}
-	sc := bufio.NewScanner(c)
 	maxLine := 1 << 20
 	if s.cl != nil {
 		// Cluster "snap" lines carry whole plan checkpoints (base64).
 		maxLine = 1 << 26
 	}
-	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	wr := NewWireReader(c, maxLine)
+	// Binary receive state, created on the connection's first frame.
+	var bdec *BwDecoder
+	var stScratch []stream.SourceTuple
+	for {
+		line, fr, rerr := wr.Next()
+		if rerr != nil {
+			// A read error (oversized message, truncated frame, mid-message
+			// disconnect) ends the connection, but it still deserves the
+			// per-connection error contract: count it and make a best-effort
+			// reply before the socket closes, so a client sees why instead
+			// of a bare EOF.
+			if rerr != io.EOF {
+				s.ingestErrs.Add(1)
+				c.CountDecodeErr()
+				reply(errMsg("read error: %v", rerr))
+			}
+			return
+		}
+		if line == nil {
+			c.CountFrame()
+			if bdec == nil {
+				bdec = NewBwDecoder()
+			}
+			n, err := s.handleFrame(fr, bdec, &stScratch)
+			s.ingested.Add(uint64(n))
+			if err != nil {
+				s.ingestErrs.Add(1)
+				c.CountDecodeErr()
+				reply(errMsg("%v", err))
+			}
+			continue
+		}
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
+		c.CountLine()
 		var m Msg
 		if err := json.Unmarshal(line, &m); err != nil {
 			s.ingestErrs.Add(1)
+			c.CountDecodeErr()
 			reply(errMsg("bad line: %v", err))
 			continue
 		}
@@ -599,6 +636,10 @@ func (s *Server) handleConn(c net.Conn) {
 				continue
 			}
 			newSub := NewSubscriber(s.cfg.SubBuffer)
+			// A binary peer (the router, when its links run -proto bin)
+			// receives part broadcasts as frames; alerts, acks, and done
+			// stay JSON for every subscriber.
+			newSub.bin = c.Binary()
 			if !s.hub.Add(newSub) {
 				reply(errMsg("server shutting down"))
 				continue
@@ -652,13 +693,97 @@ func (s *Server) handleConn(c net.Conn) {
 			reply(errMsg("unknown kind %q", m.Kind))
 		}
 	}
-	// A scan error (oversized line, mid-line disconnect) ends the
-	// connection, but it still deserves the per-connection error contract:
-	// count it and make a best-effort reply before the socket closes, so a
-	// client sees why instead of a bare EOF.
-	if err := sc.Err(); err != nil {
-		s.ingestErrs.Add(1)
-		reply(errMsg("read error: %v", err))
+}
+
+// handleFrame dispatches one binary frame, returning how many tuples it
+// ingested. Frame-shape problems and per-tuple semantic problems alike
+// cost one error reply; the connection keeps running.
+func (s *Server) handleFrame(fr BwFrame, bdec *BwDecoder, scratch *[]stream.SourceTuple) (int, error) {
+	switch fr.Kind {
+	case BwHello:
+		// The frame's arrival already marked the connection binary; the
+		// payload just has to be well-formed.
+		return 0, DecodeBwHello(fr.Payload)
+	case BwSchemaFrame:
+		_, err := bdec.AddSchema(fr.Payload)
+		return 0, err
+	case BwTuples:
+		bts, err := bdec.DecodeTuples(fr.Payload)
+		if err != nil {
+			return 0, err
+		}
+		if s.cl != nil {
+			return s.cl.handleBwTuples(bts)
+		}
+		return s.ingestBatch(bts, scratch)
+	case BwClose:
+		if s.cl == nil {
+			return 0, fmt.Errorf("close frames require a cluster worker (-mode worker)")
+		}
+		cm, err := DecodeBwClose(fr.Payload)
+		if err != nil {
+			return 0, err
+		}
+		return 0, s.cl.handleBwClose(cm)
+	default:
+		return 0, fmt.Errorf("unknown binary frame kind %#x", fr.Kind)
+	}
+}
+
+// ingestBatch is the binary ingest fast path: where the JSON path pays an
+// epoch lookup, a source lookup, and a queue admission per tuple, a
+// 32-tuple frame pays each once. The scratch slice is per-connection and
+// reused — SourceTuples are copied into the queue's channel on send.
+func (s *Server) ingestBatch(bts []BwTuple, scratch *[]stream.SourceTuple) (int, error) {
+	source := sourceName(bts[0].Schema.Source)
+	if cap(*scratch) < len(bts) {
+		*scratch = make([]stream.SourceTuple, len(bts))
+	}
+	sts := (*scratch)[:len(bts)]
+	for i := range bts {
+		u, err := bts[i].UTuple()
+		if err != nil {
+			return 0, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		t := core.Wrap(u)
+		// Routed cluster tuples carry the router partitioner's global
+		// arrival stamp (see ingest); client tuples leave it zero.
+		t.Seq = bts[i].Seq
+		sts[i] = stream.SourceTuple{T: t}
+	}
+	// The same between-epochs retry contract as enqueue, batched: on
+	// ErrQueueClosed mid-frame the accepted prefix stays accepted and the
+	// remainder is re-offered to the next epoch.
+	deadline := time.Now().Add(5 * time.Second)
+	off := 0
+	for {
+		ep := s.epoch()
+		if ep != nil {
+			box, port, ok := ep.plan.LookupSource(source)
+			if !ok {
+				return off, fmt.Errorf("unknown source %q", source)
+			}
+			for i := off; i < len(sts); i++ {
+				sts[i].Box, sts[i].Port = box, port
+			}
+			n, err := ep.queue.PutBatch(s.ctx, sts[off:])
+			off += n
+			if !errors.Is(err, ErrQueueClosed) {
+				return off, err
+			}
+		}
+		if s.ctx.Err() != nil {
+			return off, ErrQueueClosed
+		}
+		select {
+		case <-s.done:
+			return off, errors.New("engine stopped; no further streams accepted")
+		default:
+		}
+		if time.Now().After(deadline) {
+			return off, errors.New("stream draining; retry")
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 }
 
@@ -680,11 +805,15 @@ func (s *Server) ingest(m Msg) error {
 }
 
 // sourceOf resolves a tuple line's plan input stream.
-func sourceOf(m Msg) string {
-	if m.Source == "" {
+func sourceOf(m Msg) string { return sourceName(m.Source) }
+
+// sourceName resolves a wire source name — either protocol — to a plan
+// input stream, defaulting to the Q1 feed.
+func sourceName(s string) string {
+	if s == "" {
 		return "locations"
 	}
-	return m.Source
+	return s
 }
 
 // enqueue delivers one carrier tuple into the current epoch's ingest queue,
@@ -749,6 +878,10 @@ func (h *Hub) Pump(c net.Conn, w *bufio.Writer, sub *Subscriber) {
 type Subscriber struct {
 	ch      chan []byte
 	dropped atomic.Uint64
+	// bin marks a binary-protocol peer: control broadcasts that have a
+	// binary encoding (cluster "part" traffic) are delivered as frames.
+	// Set before Hub.Add, immutable after.
+	bin bool
 	// mu guards closed and serializes bounded-wait control sends against
 	// the channel close — per subscriber, so one slow consumer can never
 	// hold a lock the engine's alert broadcast needs.
@@ -885,6 +1018,38 @@ func (h *Hub) BroadcastControl(line []byte) {
 	}
 }
 
+// BroadcastControlEnc delivers a control message that has both a JSON
+// and a binary encoding, each encoded lazily and at most once: binary
+// subscribers (a router whose links negotiated bwire) get the frame,
+// everyone else the line. The worker's part emission is the hot caller.
+func (h *Hub) BroadcastControlEnc(encJSON, encBin func() []byte) {
+	h.mu.Lock()
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.mu.Unlock()
+	var jl, bl []byte
+	for _, sub := range subs {
+		var msg []byte
+		if sub.bin {
+			if bl == nil {
+				bl = encBin()
+			}
+			msg = bl
+		} else {
+			if jl == nil {
+				jl = encJSON()
+			}
+			msg = jl
+		}
+		if msg == nil {
+			continue // encoder failed; it counted the error
+		}
+		sub.SendControl(msg, h)
+	}
+}
+
 // CloseAll detaches every remaining subscriber; their pumps flush queued
 // lines and exit. Called once the engine has stopped broadcasting; no
 // subscriber can register afterwards. The channel closes happen outside
@@ -966,6 +1131,9 @@ type Statsz struct {
 	Boxes        []BoxStatsz       `json:"boxes"`
 	Epochs       []EpochStatsz     `json:"epochs,omitempty"`
 	Checkpoint   *CheckpointStatsz `json:"checkpoint,omitempty"`
+	// Conns is the per-connection protocol section: negotiated proto,
+	// message/byte counters, decode errors.
+	Conns []ConnStatsz `json:"conns,omitempty"`
 	// Cluster is present when the server runs as a cluster worker.
 	Cluster *ClusterStatsz `json:"cluster,omitempty"`
 }
@@ -1008,7 +1176,11 @@ func (s *Server) Stats() Statsz {
 	cur := s.ep
 	eps := append([]*epoch(nil), s.eps...)
 	st.QueueDropped = s.prunedDrops
+	for c := range s.conns {
+		st.Conns = append(st.Conns, c.Statsz())
+	}
 	s.mu.Unlock()
+	sort.Slice(st.Conns, func(i, j int) bool { return st.Conns[i].Remote < st.Conns[j].Remote })
 	for _, ep := range eps {
 		row := epochStatsz(ep)
 		st.Epochs = append(st.Epochs, row)

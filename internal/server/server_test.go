@@ -215,8 +215,8 @@ func TestServerReplayByteIdentical(t *testing.T) {
 			t.Fatalf("bad alert line %q: %v", line, err)
 		}
 		if m.Kind == KindDone {
-			if m.Alerts != uint64(len(got)) {
-				t.Fatalf("done reports %d alerts, subscriber saw %d", m.Alerts, len(got))
+			if m.AlertCount() != uint64(len(got)) {
+				t.Fatalf("done reports %d alerts, subscriber saw %d", m.AlertCount(), len(got))
 			}
 			break
 		}

@@ -118,8 +118,13 @@ type Msg struct {
 	P *float64 `json:"p,omitempty"`
 	// Error carries a per-connection error message.
 	Error string `json:"error,omitempty"`
-	// Alerts is the epoch's alert count, on "done".
-	Alerts uint64 `json:"alerts,omitempty"`
+	// Alerts is the epoch's alert count. A pointer so "done" always carries
+	// the field — a zero-alert epoch must encode {"kind":"done","alerts":0},
+	// not {"kind":"done"}: rfidtrace's resume arithmetic (seen − alerts) and
+	// strict client parsers read it unconditionally. Subscribe acks still
+	// omit it when there is no epoch to resume (a fresh subscribe acks the
+	// plain {"kind":"ok"}).
+	Alerts *uint64 `json:"alerts,omitempty"`
 
 	// Cluster-protocol fields (router ↔ worker; every one is omitempty, so
 	// client-facing lines — alerts, done — are byte-identical to the
@@ -210,6 +215,17 @@ const (
 func errMsg(format string, args ...any) Msg {
 	return Msg{Kind: KindErr, Error: fmt.Sprintf(format, args...)}
 }
+
+// AlertCount reads the Alerts field, absent meaning zero.
+func (m Msg) AlertCount() uint64 {
+	if m.Alerts == nil {
+		return 0
+	}
+	return *m.Alerts
+}
+
+// AlertsField boxes an alert count for Msg.Alerts.
+func AlertsField(n uint64) *uint64 { return &n }
 
 // ParseTuple validates a "tuple" message and builds the uncertain tuple it
 // describes. Attribute names are sorted so the tuple layout is independent

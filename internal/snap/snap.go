@@ -31,6 +31,10 @@ type Writer struct {
 // buffer; the writer must not be reused after.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset truncates the writer for reuse, keeping the allocated buffer.
+// Bytes slices handed out earlier are overwritten by subsequent writes.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Len returns the number of bytes written so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
@@ -98,6 +102,10 @@ type Reader struct {
 
 // NewReader wraps encoded bytes for decoding.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset re-targets the reader at b and clears its state, so hot decode
+// paths can reuse one Reader value instead of allocating per message.
+func (r *Reader) Reset(b []byte) { r.buf, r.off, r.err = b, 0, nil }
 
 // Err reports the first decoding error, or nil.
 func (r *Reader) Err() error { return r.err }
@@ -206,6 +214,12 @@ func (r *Reader) Blob() []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// BlobRef reads a length-prefixed byte slice without copying. The result
+// aliases the reader's buffer and is only valid while that buffer is.
+func (r *Reader) BlobRef() []byte {
+	return r.take(r.Len())
 }
 
 // F64s reads a length-prefixed slice of float64s.
