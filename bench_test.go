@@ -418,6 +418,79 @@ func BenchmarkQ1Sharded(b *testing.B) {
 	}
 }
 
+// BenchmarkUAggOperators is the pluggable-accumulator headline (PR 10): the
+// three windowed uncertain aggregates — gated SUM (Q1), streaming QUANTILE
+// (Q3), and probabilistic TOP-K DOMINATING (Q4) — on the same 3000-tag
+// trace, tumbling Range 5 s, under the synchronous Push executor and with
+// the aggregate sharded 4-way behind the Partition/Merge rewrite. The spine
+// (window + dedup + membership + handle-addressed accumulator) is shared;
+// the per-aggregate delta is Prepare/Finalize cost: a moment fold for sum, a
+// weighted-sample sketch fold for quantile, an O(n·k·dims) dominance scan
+// for top-k. tuples/s is the comparable metric.
+func BenchmarkUAggOperators(b *testing.B) {
+	w := rfid.NewWarehouse(rfid.WarehouseConfig{NumObjects: 3000, Seed: 51, MoveProb: -1})
+	trace := rfid.GenerateTrace(w, rfid.Reader{}, rfid.TraceConfig{Events: 1500, Seed: 52})
+	tx := rfid.NewTransformer(w, rfid.SensingConfig{}, rfid.TransformerConfig{
+		Particles: 50, UseIndex: true, NegativeEvidence: true, Seed: 53,
+	})
+	var tuples []*stream.Tuple
+	for _, ev := range trace.Events {
+		for _, lt := range tx.Process(ev) {
+			lt.T /= 8
+			tuples = append(tuples, core.Wrap(uop.LocationUTuple(lt, w)))
+		}
+	}
+	builds := []struct {
+		name string
+		mk   func(shards int) *uop.Query
+	}{
+		{"sum", func(shards int) *uop.Query {
+			return uop.BuildQ1(uop.Q1Config{
+				WindowMS: 5 * stream.Second, ThresholdLbs: 200, AreaFt: 10,
+				Strategy: core.CFApprox, MinAlertProb: 0.5, Shards: shards,
+			})
+		}},
+		{"quantile", func(shards int) *uop.Query {
+			return uop.BuildQ3(uop.Q3Config{
+				WindowMS: 5 * stream.Second, ThresholdLbs: 25, AreaFt: 10,
+				MinAlertProb: 0.5, Shards: shards,
+			})
+		}},
+		{"topk", func(shards int) *uop.Query {
+			return uop.BuildQ4(uop.Q4Config{
+				WindowMS: 5 * stream.Second, K: 3, Shards: shards,
+			})
+		}},
+	}
+	for _, bc := range builds {
+		for _, shards := range []int{0, 4} {
+			name := fmt.Sprintf("%s/push", bc.name)
+			if shards > 0 {
+				name = fmt.Sprintf("%s/chan-shards=%d", bc.name, shards)
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					c := bc.mk(shards).Compile()
+					if shards > 0 {
+						c.RunChanTuples(256, func(inject func(string, *stream.Tuple)) {
+							for _, t := range tuples {
+								inject("locations", t)
+							}
+						})
+					} else {
+						for _, t := range tuples {
+							c.PushTuple("locations", t)
+						}
+						c.Close()
+					}
+				}
+				b.ReportMetric(float64(len(tuples)*b.N)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
 // BenchmarkJoinEqualProb measures Q2's loc_equals probability kernel.
 func BenchmarkJoinEqualProb(b *testing.B) {
 	x := dist.NewNormal(0, 1)

@@ -11,6 +11,12 @@
 // is the byte-comparable offline reference for a -replay run against a
 // live daemon.
 //
+// With -quantile, the same pipeline runs the per-area weight-quantile query
+// instead (streamd's -query quantile): alerts report the cell's Level-
+// quantile of registered weights as a distribution, with P(quantile >
+// threshold). -wire works the same way, producing the offline reference for
+// a -replay against a daemon serving -query quantile.
+//
 // With -replay ADDR, rfidtrace becomes the load generator for cmd/streamd:
 // it subscribes to the daemon's alert stream, replays the same wire tuples
 // over TCP, sends "end" to drain, and prints the received alert lines to
@@ -70,12 +76,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	move := flag.Bool("move", false, "enable object movement between shelves")
 	q1 := flag.Bool("q1", false, "run the trace through the compiled Q1 diagram and emit alerts")
-	wire := flag.Bool("wire", false, "with -q1: round-trip tuples through the streamd wire encoding (offline reference for -replay)")
+	quantile := flag.Bool("quantile", false, "run the trace through the per-area weight-quantile diagram (streamd's -query quantile) and emit alerts")
+	level := flag.Float64("level", 0.5, "with -quantile: the quantile level q")
+	wire := flag.Bool("wire", false, "with -q1/-quantile: round-trip tuples through the streamd wire encoding (offline reference for -replay)")
 	replay := flag.String("replay", "", "replay the trace as wire tuples against a streamd daemon at this address")
 	proto := flag.String("proto", "json", "with -replay: ingest wire protocol, json or bin")
 	pace := flag.Int("pace", 0, "with -replay: throttle ingest to about this many tuples/s (0 = as fast as possible)")
-	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds (with -q1; a -replay run uses the daemon's -threshold)")
+	threshold := flag.Float64("threshold", 200, "Q1 weight threshold in pounds / -quantile threshold (default 25); a -replay run uses the daemon's -threshold")
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if *proto != "json" && *proto != "bin" {
 		fmt.Fprintf(os.Stderr, "rfidtrace: unknown -proto %q (want json or bin)\n", *proto)
 		os.Exit(2)
@@ -111,7 +121,15 @@ func main() {
 		}
 		return
 	case *q1:
-		streamQ1(w, trace, *seed, *threshold, *wire, enc, out)
+		streamPlan(w, trace, *seed, q1Plan(*threshold), "weight", *wire, enc, out)
+		return
+	case *quantile:
+		cfg := server.DefaultQ3Config()
+		cfg.Level = *level
+		if explicit["threshold"] {
+			cfg.ThresholdLbs = *threshold
+		}
+		streamPlan(w, trace, *seed, uop.BuildQ3(cfg).Compile(), "weight", *wire, enc, out)
 		return
 	}
 
@@ -173,15 +191,15 @@ func q1Plan(threshold float64) *uop.Compiled {
 	return uop.BuildQ1(cfg).Compile()
 }
 
-// streamQ1 pushes T-operator output through the compiled Q1 diagram event
-// by event, emitting each alert as its window closes — the full §3
-// architecture as a streaming CLI. In wire mode each tuple round-trips
-// through the streamd wire encoding first and alerts print as protocol
-// lines, making the output the offline reference a -replay run must match
-// byte for byte.
-func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float64, wire bool, enc *json.Encoder, out *bufio.Writer) {
+// streamPlan pushes T-operator output through a compiled windowed-aggregate
+// diagram event by event, emitting each alert as its window closes — the
+// full §3 architecture as a streaming CLI. resultAttr names the alert's
+// distribution column (Q1 and the quantile query both report "weight"). In
+// wire mode each tuple round-trips through the streamd wire encoding first
+// and alerts print as protocol lines, making the output the offline
+// reference a -replay run must match byte for byte.
+func streamPlan(w *rfid.Warehouse, trace *rfid.Trace, seed int64, compiled *uop.Compiled, resultAttr string, wire bool, enc *json.Encoder, out *bufio.Writer) {
 	tx := transformer(w, seed)
-	compiled := q1Plan(threshold)
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "rfidtrace:", err)
 		out.Flush()
@@ -204,7 +222,7 @@ func streamQ1(w *rfid.Warehouse, trace *rfid.Trace, seed int64, threshold float6
 				continue
 			}
 			u := core.Unwrap(t)
-			total := u.Attr("weight")
+			total := u.Attr(resultAttr)
 			if err := enc.Encode(alertJSON{
 				T:          int64(t.TS),
 				Area:       t.Str("group"),

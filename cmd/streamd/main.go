@@ -20,8 +20,9 @@
 // Usage:
 //
 //	streamd [-mode server|worker|router] [-addr :9090] [-http :9091]
-//	        [-query q1|q2] [-shards N]
+//	        [-query q1|q2|quantile|topk] [-shards N]
 //	        [-window MS] [-slide MS] [-threshold LBS] [-area-ft FT]
+//	        [-level Q] [-k N]
 //	        [-queue N] [-policy block|drop-oldest] [-flush-every DUR]
 //	        [-data-dir DIR] [-checkpoint-every DUR] [-once]
 //	        [-workers ADDR,ADDR,...] [-slots N] [-replicas N] [-vnodes N]
@@ -92,13 +93,15 @@ func main() {
 	mode := flag.String("mode", "server", "server (single-process), worker (cluster worker), or router (cluster front end)")
 	addr := flag.String("addr", "127.0.0.1:9090", "TCP listen address for the JSON-lines protocol")
 	httpAddr := flag.String("http", "", "HTTP listen address for /statsz (empty disables)")
-	query := flag.String("query", "q1", "query plan to serve: q1 (fire code) or q2 (flammable co-location)")
+	query := flag.String("query", "q1", "query plan to serve: q1 (fire code), q2 (flammable co-location), quantile (per-area weight quantile), or topk (top-k dominating)")
 	shards := flag.Int("shards", 2, "shard-parallel instances per eligible box (0 = unsharded; server mode only)")
 	windowMS := flag.Int64("window", int64(def.WindowMS), "q1 window Range in ms")
 	slideMS := flag.Int64("slide", 0, "q1 window Slide in ms (0 = tumbling)")
 	threshold := flag.Float64("threshold", def.ThresholdLbs, "q1 weight threshold in pounds / q2 temperature threshold in °C (q2 default 60)")
 	areaFt := flag.Float64("area-ft", def.AreaFt, "q1 grouping cell size in feet")
 	minProb := flag.Float64("min-prob", def.MinAlertProb, "q1 alert confidence floor / q2 existence floor (q2 default 0.05)")
+	level := flag.Float64("level", 0.5, "quantile level q in (0,1] (-query quantile)")
+	topK := flag.Int("k", 3, "ranks to report (-query topk)")
 	queueCap := flag.Int("queue", 1024, "ingest queue capacity in tuples")
 	policyName := flag.String("policy", "block", "backpressure policy when the queue fills: block or drop-oldest")
 	buffer := flag.Int("buffer", 128, "per-box channel buffer of the live executor")
@@ -131,13 +134,39 @@ func main() {
 	q1cfg.AreaFt = *areaFt
 	q1cfg.MinAlertProb = *minProb
 
+	// The quantile and top-k configs share the daemon's windowing flags; the
+	// threshold flag keeps its query-specific default unless set explicitly.
+	q3cfg := server.DefaultQ3Config()
+	q3cfg.WindowMS = stream.Time(*windowMS)
+	q3cfg.SlideMS = stream.Time(*slideMS)
+	q3cfg.Level = *level
+	q3cfg.AreaFt = *areaFt
+	q3cfg.MinAlertProb = *minProb
+	if explicit["threshold"] {
+		q3cfg.ThresholdLbs = *threshold
+	}
+	q4cfg := server.DefaultQ4Config()
+	q4cfg.WindowMS = stream.Time(*windowMS)
+	q4cfg.SlideMS = stream.Time(*slideMS)
+	q4cfg.K = *topK
+
 	// Cluster modes split one query across processes, so they compile from
-	// the cluster plan, not the per-process sharded one.
+	// the cluster plan, not the per-process sharded one. Every windowed
+	// aggregate on the pluggable-accumulator spine clusters; q2's join does
+	// not.
 	clusterPlan := func() *uop.ClusterPlan {
-		if *query != "q1" {
-			fatalf(2, "-mode %s supports -query q1 only (q2's join does not cluster; run it with -mode server)", *mode)
+		var q *uop.Query
+		switch *query {
+		case "q1":
+			q = uop.BuildQ1(q1cfg)
+		case "quantile":
+			q = uop.BuildQ3(q3cfg)
+		case "topk":
+			q = uop.BuildQ4(q4cfg)
+		default:
+			fatalf(2, "-mode %s supports -query q1, quantile, or topk (q2's join does not cluster; run it with -mode server)", *mode)
 		}
-		plan, err := uop.BuildQ1(q1cfg).Cluster()
+		plan, err := q.Cluster()
 		if err != nil {
 			fatalf(1, "%v", err)
 		}
@@ -175,6 +204,14 @@ func main() {
 			cfg := q1cfg
 			cfg.Shards = *shards
 			newPlan = server.Q1Plan(cfg)
+		case "quantile":
+			cfg := q3cfg
+			cfg.Shards = *shards
+			newPlan = server.Q3Plan(cfg)
+		case "topk":
+			cfg := q4cfg
+			cfg.Shards = *shards
+			newPlan = server.Q4Plan(cfg)
 		case "q2":
 			q2 := server.Q2PlanConfig{Shards: *shards}
 			if explicit["threshold"] {
@@ -185,7 +222,7 @@ func main() {
 			}
 			newPlan = server.Q2Plan(q2)
 		default:
-			fatalf(2, "unknown query %q (want q1 or q2)", *query)
+			fatalf(2, "unknown query %q (want q1, q2, quantile, or topk)", *query)
 		}
 	}
 

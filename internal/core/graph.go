@@ -124,43 +124,29 @@ func NewGroupSumOp(name string, spec stream.WindowSpec, attr string, member Memb
 	})
 }
 
-// NewGroupSumWindowOp is NewGroupSumOp with the full configuration surface
-// (per-key dedup, aggregation options, incremental/recompute selection).
-// Sliding time windows take the incremental delta path automatically —
-// per-group SumState accumulators fed by window deltas, with membership and
-// gating evaluated once per tuple instead of once per slide — unless
-// cfg.Recompute pins the rescan path. Both paths produce byte-identical
-// output on the same input (equivalence tests pin this).
-func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
-	return &groupSumOp{Operator: newGroupSumInner(name, cfg), cfg: cfg}
+// WindowAgg converts the sum-specific configuration to the generalized
+// windowed-aggregate configuration the spine runs on.
+func (cfg GroupSumOpConfig) WindowAgg() WindowAggConfig {
+	return WindowAggConfig{
+		Window:    cfg.Window,
+		DedupKey:  cfg.DedupKey,
+		Member:    cfg.Member,
+		Agg:       NewSumAgg(cfg.Attr, cfg.Strategy, cfg.Agg),
+		Recompute: cfg.Recompute,
+		Workers:   cfg.Workers,
+	}
 }
 
-// newGroupSumInner builds the unsharded realization of the group-sum box.
-func newGroupSumInner(name string, cfg GroupSumOpConfig) stream.Operator {
-	if cfg.Window.Slide > 0 && !cfg.Recompute {
-		return newIncGroupSumOp(name, cfg)
-	}
-	return stream.NewWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
-		if len(window) == 0 {
-			return
-		}
-		us := make([]*UTuple, len(window))
-		for i, t := range window {
-			us[i] = Unwrap(t)
-		}
-		if cfg.DedupKey != "" {
-			us = dedupLatest(us, cfg.DedupKey)
-		}
-		for _, res := range GroupSum(us, cfg.Attr, cfg.Member, cfg.Strategy, cfg.Agg) {
-			out := res.Tuple
-			out.TS = end
-			wrapped := Wrap(out)
-			// The group key rides in a parallel schema extension so sinks
-			// can read it without casting.
-			grouped := wrapped.WithFields(groupedSchema, out, res.Group)
-			emit(grouped)
-		}
-	})
+// NewGroupSumWindowOp is NewGroupSumOp with the full configuration surface
+// (per-key dedup, aggregation options, incremental/recompute selection) —
+// sum sugar over NewWindowAggOp. Sliding time windows take the incremental
+// delta path automatically — per-group SumState accumulators fed by window
+// deltas, with membership and gating evaluated once per tuple instead of
+// once per slide — unless cfg.Recompute pins the rescan path. Both paths
+// produce byte-identical output on the same input (equivalence tests pin
+// this).
+func NewGroupSumWindowOp(name string, cfg GroupSumOpConfig) stream.Operator {
+	return NewWindowAggOp(name, cfg.WindowAgg())
 }
 
 // dedupLatest keeps, per certain key, only the latest tuple (later arrival

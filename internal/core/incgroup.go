@@ -14,23 +14,24 @@ import (
 
 // This file is the incremental sliding-window aggregation path: instead of
 // re-scanning the window buffer, rebuilding the group map, re-evaluating
-// membership and re-gating every tuple on every slide (O(n·R/s) work per
-// tuple for range R and slide s), the boxes below consume per-slide deltas
-// from stream.NewDeltaWindow and maintain per-group state — membership,
-// gating, moment extraction and lineage insertion happen exactly once per
-// tuple, and each emission touches only cached state: a cumulant refold (or
-// pooled strategy run) for groups that changed, a cache hit for groups that
-// did not. The recompute boxes in graph.go remain as the reference
-// semantics and the fallback for window shapes the delta path does not
-// cover; equivalence tests pin byte-identical alerts between the two.
+// membership and re-running the aggregate's per-tuple work on every slide
+// (O(n·R/s) work per tuple for range R and slide s), the boxes below
+// consume per-slide deltas from stream.NewDeltaWindow and maintain
+// per-group accumulators — membership, gating/sketching, and lineage
+// insertion happen exactly once per tuple (Acc.Add), and each emission
+// touches only cached state: an accumulator Result for groups that changed,
+// a cache hit for groups that did not. The rescan realization remains as
+// the reference semantics and the fallback for window shapes the delta path
+// does not cover; equivalence tests pin byte-identical alerts between the
+// two.
 //
 // The per-tuple bookkeeping is deliberately map-free on the hot path: a
 // tuple's contributions are recorded in a FIFO deque aligned with the
 // window ring (evictions pop the front), contribution refs hold the group
-// state pointer and an O(1) log handle, and only keyed dedup consults a map
-// (key → record). The incremental path has to win against a recompute whose
-// marginal cost per slide is just a few map appends and a mixture gate —
-// every hash lookup here is a real fraction of that budget.
+// state pointer and an O(1) accumulator handle, and only keyed dedup
+// consults a map (key → record). The incremental path has to win against a
+// recompute whose marginal cost per slide is just a few map appends and a
+// mixture gate — every hash lookup here is a real fraction of that budget.
 
 // contribRef locates one contribution: the group state it landed in and the
 // accumulator handle to withdraw it with.
@@ -66,29 +67,33 @@ func (r *tupleRec) addRef(ref contribRef) {
 
 // groupState is one group's accumulator plus incrementally-maintained
 // lineage and an emission cache: a group untouched since its last emission
-// reuses the cached result distribution and lineage set (for CFInvert that
-// skips a whole FFT inversion) — in slide-heavy configurations many groups
-// are unchanged between consecutive slides.
+// reuses the cached result rows and lineage set (for CFInvert that skips a
+// whole FFT inversion) — in slide-heavy configurations many groups are
+// unchanged between consecutive slides.
 type groupState struct {
-	sum    SumState
-	lins   idMultiset
-	dirty  bool
-	result dist.Dist
-	lin    lineage.Set
+	acc   Acc
+	lins  idMultiset
+	dirty bool
+	rows  []AggOut
+	lin   lineage.Set
 }
 
-// refresh re-derives the cached result and lineage if the group changed.
+// refresh re-derives the cached result rows and lineage if the group
+// changed.
 func (st *groupState) refresh() {
-	if st.dirty || st.result == nil {
-		st.result = st.sum.Result()
+	if st.dirty || st.rows == nil {
+		st.rows = st.acc.Result(st.rows)
 		st.lin = st.lins.Snapshot()
 		st.dirty = false
 	}
 }
 
-// incGroupSum is the incremental probabilistic GROUP BY + SUM box state.
-type incGroupSum struct {
-	cfg    GroupSumOpConfig
+// incWindowAgg is the incremental windowed-aggregate box state (the
+// probabilistic GROUP BY spine; ungrouped aggregates run with the single
+// implicit group "").
+type incWindowAgg struct {
+	cfg WindowAggConfig
+
 	states map[string]*groupState
 
 	// recs is the FIFO record deque mirroring the window ring; recBase is
@@ -109,13 +114,13 @@ type incGroupSum struct {
 	}
 	recentNext int
 
-	outNames []string        // shared schema of emitted tuples: {attr, "group"}
-	names    []string        // emission scratch
-	outs     []*stream.Tuple // emission scratch
+	outNames []string          // shared schema of emitted tuples: {attr, "group"}
+	names    []string          // emission scratch
+	outs     [][]*stream.Tuple // emission scratch
 }
 
 // groupFor resolves a group name to its state, creating it on first use.
-func (b *incGroupSum) groupFor(name string) *groupState {
+func (b *incWindowAgg) groupFor(name string) *groupState {
 	for i := range b.recent {
 		if b.recent[i].st != nil && b.recent[i].name == name {
 			return b.recent[i].st
@@ -123,7 +128,7 @@ func (b *incGroupSum) groupFor(name string) *groupState {
 	}
 	st := b.states[name]
 	if st == nil {
-		st = &groupState{sum: NewSumState(b.cfg.Strategy, b.cfg.Agg)}
+		st = &groupState{acc: b.cfg.Agg.NewAcc()}
 		b.states[name] = st
 	}
 	b.recent[b.recentNext] = struct {
@@ -134,14 +139,14 @@ func (b *incGroupSum) groupFor(name string) *groupState {
 	return st
 }
 
-// newIncGroupSumOp builds the delta-driven group-sum box. The window spec
-// must be a sliding time window (the builder falls back to the rescan box
-// otherwise).
-func newIncGroupSumOp(name string, cfg GroupSumOpConfig) stream.Operator {
-	b := &incGroupSum{
+// newIncWindowAggOp builds the delta-driven windowed aggregate box. The
+// window spec must be a sliding time window (the builder falls back to the
+// rescan box otherwise).
+func newIncWindowAggOp(name string, cfg WindowAggConfig) stream.Operator {
+	b := &incWindowAgg{
 		cfg:      cfg,
 		states:   make(map[string]*groupState),
-		outNames: []string{cfg.Attr, "group"},
+		outNames: []string{cfg.Agg.Attr(), "group"},
 	}
 	if cfg.DedupKey != "" {
 		// Pre-size: the key population is the live object set, and growing
@@ -151,7 +156,7 @@ func newIncGroupSumOp(name string, cfg GroupSumOpConfig) stream.Operator {
 	return stream.NewDeltaWindowState(name, cfg.Window, b.onSlide, b)
 }
 
-func (b *incGroupSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {
+func (b *incWindowAgg) onSlide(added, evicted []*stream.Tuple, end stream.Time, emit stream.Emit) {
 	// Evictions first: a tuple that both replaces a keyed predecessor and
 	// arrives as the predecessor leaves must observe the departure.
 	for _, t := range evicted {
@@ -173,7 +178,7 @@ func (b *incGroupSum) onSlide(added, evicted []*stream.Tuple, end stream.Time, e
 	b.emitGroups(end, emit)
 }
 
-func (b *incGroupSum) evict(tupID uint64) {
+func (b *incWindowAgg) evict(tupID uint64) {
 	// Skip holes left by straggler evictions: their ring positions are
 	// already gone, so no future eviction will name them.
 	for b.recHead < len(b.recs) && b.recs[b.recHead].tupID == 0 {
@@ -204,7 +209,7 @@ func (b *incGroupSum) evict(tupID uint64) {
 // withdrawAt withdraws the record at the absolute sequence seq. byKey is
 // left alone: stale entries are detected by sequence comparison at admit
 // time, which keeps the eviction path free of map operations.
-func (b *incGroupSum) withdrawAt(seq uint64) {
+func (b *incWindowAgg) withdrawAt(seq uint64) {
 	r := &b.recs[seq-b.recBase]
 	n := int(r.nref)
 	for i := 0; i < n; i++ {
@@ -214,7 +219,7 @@ func (b *incGroupSum) withdrawAt(seq uint64) {
 		} else {
 			ref = r.spill[i-len(r.refs)]
 		}
-		ref.st.sum.Remove(ref.handle)
+		ref.st.acc.Remove(ref.handle)
 		ref.st.lins.RemoveIDs(r.u.Lin.IDs())
 		ref.st.dirty = true
 	}
@@ -222,7 +227,7 @@ func (b *incGroupSum) withdrawAt(seq uint64) {
 	r.spill = nil
 }
 
-func (b *incGroupSum) compactRecs() {
+func (b *incWindowAgg) compactRecs() {
 	if b.recHead == len(b.recs) {
 		b.recBase += uint64(len(b.recs))
 		b.recs = b.recs[:0]
@@ -243,7 +248,7 @@ func (b *incGroupSum) compactRecs() {
 // admit records an arrival and resolves latest-wins dedup. Contributions
 // are NOT added here — contribute does that for the batch's winners once
 // the whole slide has been admitted.
-func (b *incGroupSum) admit(u *UTuple) {
+func (b *incWindowAgg) admit(u *UTuple) {
 	seq := b.recBase + uint64(len(b.recs))
 	b.recs = append(b.recs, tupleRec{tupID: u.ID, u: u})
 	r := &b.recs[len(b.recs)-1]
@@ -277,39 +282,39 @@ func (b *incGroupSum) admit(u *UTuple) {
 	b.byKey[key] = seq
 }
 
-// contribute evaluates membership and gating for the record at index i if
-// it survived the batch dedup, inserting its contributions into the group
-// states.
-func (b *incGroupSum) contribute(i int) {
+// contribute evaluates membership and runs the aggregate's Add for the
+// record at index i if it survived the batch dedup, inserting its
+// contributions into the group states.
+func (b *incWindowAgg) contribute(i int) {
 	r := &b.recs[i]
 	if r.lost {
 		return // superseded within its own slide: never contributes
 	}
 	u := r.u
-	for _, gm := range b.cfg.Member(u) {
+	for _, gm := range b.cfg.memberOf(u) {
 		p := gm.P * u.Exist
 		if p <= 0 {
 			continue
 		}
 		st := b.groupFor(gm.Group)
-		h := st.sum.Add(u.Attr(b.cfg.Attr), p)
+		h := st.acc.Add(u, p)
 		st.lins.AddIDs(u.Lin.IDs())
 		st.dirty = true
 		r.addRef(contribRef{st: st, handle: h})
 	}
 }
 
-// emitGroups derives one output tuple per non-empty group, in group-name
-// order. For the heavy strategies (CF inversion, GMM fits, sampling) the
-// per-group result derivation fans out across a worker pool; the cheap
-// moment refolds run inline, where pool synchronization would cost more
-// than the work. Each group's state is touched by exactly one worker and
-// emission stays sequential in name order, so output is deterministic
-// regardless of scheduling.
-func (b *incGroupSum) emitGroups(end stream.Time, emit stream.Emit) {
+// emitGroups derives the output tuples per non-empty group, in group-name
+// order. For the heavy aggregates (CF inversion, GMM fits, sampling, grid
+// tabulations) the per-group result derivation fans out across a worker
+// pool; the cheap moment refolds run inline, where pool synchronization
+// would cost more than the work. Each group's state is touched by exactly
+// one worker and emission stays sequential in name order, so output is
+// deterministic regardless of scheduling.
+func (b *incWindowAgg) emitGroups(end stream.Time, emit stream.Emit) {
 	b.names = b.names[:0]
 	for g, st := range b.states {
-		if st.sum.Len() == 0 {
+		if st.acc.Len() == 0 {
 			delete(b.states, g)
 			// Drop any cache entry for the deleted state: a later arrival
 			// must re-create the group through the map, not feed a ghost.
@@ -328,12 +333,12 @@ func (b *incGroupSum) emitGroups(end stream.Time, emit stream.Emit) {
 	}
 	sort.Strings(b.names)
 	if cap(b.outs) < len(b.names) {
-		b.outs = make([]*stream.Tuple, len(b.names))
+		b.outs = make([][]*stream.Tuple, len(b.names))
 	}
 	outs := b.outs[:len(b.names)]
 	workers := b.cfg.Workers
 	if workers <= 0 {
-		if heavyResult(b.cfg.Strategy) {
+		if b.cfg.Agg.Heavy() {
 			workers = runtime.GOMAXPROCS(0)
 		} else {
 			workers = 1
@@ -342,8 +347,10 @@ func (b *incGroupSum) emitGroups(end stream.Time, emit stream.Emit) {
 	runPool(workers, len(b.names), func(i int) {
 		outs[i] = b.buildGroup(b.names[i], end)
 	})
-	for _, t := range outs {
-		emit(t)
+	for _, ts := range outs {
+		for _, t := range ts {
+			emit(t)
+		}
 	}
 }
 
@@ -380,26 +387,16 @@ func runPool(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// buildGroup assembles one group's output tuple from the cached (or just
-// refreshed) result distribution and lineage. The tuple is built directly —
-// the generic Derive would re-union lineage and re-scan parents the state
+// buildGroup assembles one group's output tuples from the cached (or just
+// refreshed) result rows and lineage. The tuples are built directly — the
+// generic Derive would re-union lineage and re-scan parents the state
 // already maintains incrementally. The shape matches the rescan path's
-// derived tuple exactly: attributes {attr, "group"-marker}, existence 1,
+// derived tuples exactly: attributes {attr, "group"-marker}, existence 1,
 // lineage = union over live contributors, timestamp = window end.
-func (b *incGroupSum) buildGroup(g string, end stream.Time) *stream.Tuple {
+func (b *incWindowAgg) buildGroup(g string, end stream.Time) []*stream.Tuple {
 	st := b.states[g]
 	st.refresh()
-	u := &UTuple{
-		TS:    end,
-		ID:    stream.NextTupleID(),
-		names: b.outNames, // shared; len == cap, so a downstream SetAttr copies
-		attrs: []dist.Dist{st.result, dist.PointMass{V: 0}},
-		Exist: 1,
-		Lin:   st.lin,
-	}
-	out := stream.NewTuple(groupedSchema, end, u, g)
-	out.ID = u.ID
-	return out
+	return assembleRows(g, st.rows, st.lin, end, b.outNames)
 }
 
 // incSum is the incremental ungrouped windowed SUM box state. The moment

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Streaming quantiles over uncertain windows (PR 10). The query's QUANTILE(q)
+// verb must answer "what is the q-quantile of the window's readings?" when
+// every reading is a distribution and even window membership is
+// probabilistic (existence × group membership). The aggregate follows the
+// paper's result-distribution discipline: the answer is itself a
+// distribution over the quantile's value, not a point estimate.
+//
+// Semantics. Let the live contributions be (X_i, p_i): X_i the attribute
+// distribution, p_i the inclusion probability. The window's q-quantile is
+// the k-th smallest included value, k = ⌈q·W⌉ with W = Σ p_i the expected
+// population. Two regimes:
+//
+//   - Exact (small windows, n ≤ MaxExact): the order statistic's CDF is
+//     P(X_(k) ≤ x | N ≥ k) = P(#{i : included_i ∧ X_i ≤ x} ≥ k) / P(N ≥ k),
+//     where the count is Poisson-binomial with per-tuple success
+//     t_i(x) = p_i·F_i(x). A truncated tail DP tabulates it on a fixed grid
+//     and the result ships as a Histogram — exact up to grid resolution.
+//   - Estimator (large windows): each contribution is compressed at Prepare
+//     time into s centered-quantile sketch points of mass p_i/s; the weighted
+//     lower quantile x̂ of the pooled points estimates the value, and the
+//     classical asymptotic x̂ ± √(q(1−q)/W)/f(x̂) supplies the uncertainty
+//     band (f estimated as the inclusion-weighted density mixture at x̂).
+//     The result ships as a Normal.
+//
+// Both regimes are deterministic functions of the live contributions in
+// insertion order, so the incremental accumulator, the rescan path, the
+// sharded merge and the cluster merge all emit identical bytes — the same
+// contract the gated sum rides.
+
+// QuantileOptions tunes the quantile aggregate. The zero value selects the
+// defaults.
+type QuantileOptions struct {
+	// SketchPoints is the number of centered-quantile points each
+	// contribution compresses to on the estimator path (default 8).
+	SketchPoints int
+	// MaxExact is the largest live-contribution count handled by the exact
+	// order-statistic DP; larger windows switch to the sketch estimator
+	// (default 48).
+	MaxExact int
+	// GridPoints is the exact path's tabulation grid resolution
+	// (default 256).
+	GridPoints int
+}
+
+func (o QuantileOptions) withDefaults() QuantileOptions {
+	if o.SketchPoints <= 0 {
+		o.SketchPoints = 8
+	}
+	if o.MaxExact <= 0 {
+		o.MaxExact = 48
+	}
+	if o.GridPoints <= 0 {
+		o.GridPoints = 256
+	}
+	return o
+}
+
+// quantileAgg implements UAgg for streaming uncertain quantiles.
+type quantileAgg struct {
+	attr string
+	q    float64
+	opts QuantileOptions
+}
+
+// NewQuantileAgg builds the windowed q-quantile aggregate over the named
+// uncertain attribute, for the spine (NewWindowAggOp / the Quantile query
+// verb).
+func NewQuantileAgg(attr string, q float64, opts QuantileOptions) UAgg {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("core: quantile level %g outside [0, 1]", q))
+	}
+	return &quantileAgg{attr: attr, q: q, opts: opts.withDefaults()}
+}
+
+func (a *quantileAgg) Kind() string { return "quantile" }
+func (a *quantileAgg) Attr() string { return a.attr }
+
+// Heavy: the exact path's grid tabulation runs a Poisson-binomial DP per
+// grid edge — worth a worker per group.
+func (a *quantileAgg) Heavy() bool { return true }
+
+// sketch compresses one attribute distribution to its centered-quantile
+// points: d.Quantile((j+½)/s) for j = 0..s-1. Equal-mass representative
+// points, exact for point masses, monotone by construction.
+func (a *quantileAgg) sketch(d dist.Dist) []float64 {
+	s := a.opts.SketchPoints
+	pts := make([]float64, s)
+	for j := 0; j < s; j++ {
+		pts[j] = d.Quantile((float64(j) + 0.5) / float64(s))
+	}
+	return pts
+}
+
+// Prepare implements UAgg: the sketch points travel as Aux; the attribute
+// distribution itself already rides inside the carrier tuple.
+func (a *quantileAgg) Prepare(u *UTuple, p float64) (dist.Dist, []float64) {
+	return nil, a.sketch(u.Attr(a.attr))
+}
+
+// qContrib is the aggregate's internal contribution form, shared by the
+// accumulator and the Finalize fold so the two can never diverge.
+type qContrib struct {
+	d   dist.Dist
+	p   float64
+	pts []float64
+}
+
+func (a *quantileAgg) Finalize(cs []PartialContrib) []AggOut {
+	qcs := make([]qContrib, len(cs))
+	for i, c := range cs {
+		qcs[i] = qContrib{d: c.U.Attr(a.attr), p: c.P, pts: c.Aux}
+	}
+	return []AggOut{{D: a.result(qcs)}}
+}
+
+func (a *quantileAgg) NewAcc() Acc {
+	return &quantileAcc{agg: a}
+}
+
+// quantileAcc is the incremental accumulator: an insertion-ordered log of
+// contributions. Result collects the live entries — the same list the
+// rescan path builds — and runs the shared fold.
+type quantileAcc struct {
+	agg     *quantileAgg
+	log     alog[qContrib]
+	scratch []qContrib
+}
+
+func (a *quantileAcc) Add(u *UTuple, p float64) uint64 {
+	d := u.Attr(a.agg.attr)
+	return a.log.add(qContrib{d: d, p: p, pts: a.agg.sketch(d)})
+}
+
+func (a *quantileAcc) Remove(h uint64) { a.log.remove(h) }
+func (a *quantileAcc) Len() int        { return a.log.liveN }
+
+func (a *quantileAcc) Result(dst []AggOut) []AggOut {
+	a.scratch = a.scratch[:0]
+	a.log.each(func(_ uint64, c *qContrib) {
+		a.scratch = append(a.scratch, *c)
+	})
+	return append(dst[:0], AggOut{D: a.agg.result(a.scratch)})
+}
+
+// result is the one fold both execution paths share: contributions in
+// global insertion order in, the quantile's result distribution out.
+func (a *quantileAgg) result(cs []qContrib) dist.Dist {
+	if len(cs) == 0 {
+		return dist.PointMass{V: 0}
+	}
+	var w float64
+	for _, c := range cs {
+		w += c.p
+	}
+	if w <= 0 {
+		return dist.PointMass{V: 0}
+	}
+	k := int(math.Ceil(a.q*w - 1e-9))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cs) {
+		k = len(cs)
+	}
+	if len(cs) <= a.opts.MaxExact {
+		return a.exact(cs, w, k)
+	}
+	return a.estimate(cs, w)
+}
+
+// exact tabulates the conditional order-statistic distribution
+// P(X_(k) ≤ x | N ≥ k) on a grid over the combined effective range.
+func (a *quantileAgg) exact(cs []qContrib, w float64, k int) dist.Dist {
+	// P(N ≥ k): the population must reach k for the k-th order statistic to
+	// exist. Below machine scale the conditional is vacuous — report the
+	// sketch quantile as a point answer rather than dividing by ~0.
+	ps := make([]float64, len(cs))
+	for i, c := range cs {
+		ps[i] = c.p
+	}
+	dp := make([]float64, k+1)
+	pN := pbTail(dp, ps, k)
+	if pN < 1e-12 {
+		x, _ := a.sketchQuantile(cs, w)
+		return dist.PointMass{V: x}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range cs {
+		l, h := dist.EffectiveRange(c.d, 1e-6)
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, h)
+	}
+	if !(hi > lo) {
+		return dist.PointMass{V: lo}
+	}
+	g := a.opts.GridPoints
+	ts := make([]float64, len(cs))
+	masses := make([]float64, g)
+	prev := 0.0
+	for e := 1; e <= g; e++ {
+		x := lo + (hi-lo)*float64(e)/float64(g)
+		for i, c := range cs {
+			ts[i] = c.p * c.d.CDF(x)
+		}
+		f := pbTail(dp, ts, k) / pN
+		if f > 1 {
+			f = 1
+		}
+		masses[e-1] = math.Max(0, f-prev)
+		prev = f
+	}
+	return dist.NewHistogram(lo, hi, masses)
+}
+
+// estimate is the large-window path: weighted lower quantile of the pooled
+// sketch points, wrapped in the asymptotic normal band.
+func (a *quantileAgg) estimate(cs []qContrib, w float64) dist.Dist {
+	x, ok := a.sketchQuantile(cs, w)
+	if !ok {
+		return dist.PointMass{V: 0}
+	}
+	// Density of the inclusion-weighted mixture at x̂.
+	var f float64
+	for _, c := range cs {
+		f += c.p * c.d.PDF(x)
+	}
+	f /= w
+	sd := 0.0
+	if v := a.q * (1 - a.q); v > 0 {
+		if f > 1e-12 {
+			sd = math.Sqrt(v/w) / f
+		} else {
+			// Flat density at x̂ (a gap between point masses): fall back to
+			// the data scale shrunk by the population.
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, c := range cs {
+				lo = math.Min(lo, c.pts[0])
+				hi = math.Max(hi, c.pts[len(c.pts)-1])
+			}
+			sd = (hi - lo) / math.Sqrt(w)
+		}
+	}
+	if !(sd > 0) || math.IsInf(sd, 0) || math.IsNaN(sd) {
+		return dist.PointMass{V: x}
+	}
+	return dist.NewNormal(x, sd)
+}
+
+// sketchQuantile returns the weighted lower q-quantile of the pooled sketch
+// points: the smallest point whose cumulative weight reaches q·W. Ties and
+// equal values resolve by insertion order (stable sort), so the answer is a
+// deterministic function of the ordered contribution list.
+func (a *quantileAgg) sketchQuantile(cs []qContrib, w float64) (float64, bool) {
+	type wp struct {
+		x, w float64
+	}
+	pts := make([]wp, 0, len(cs)*a.opts.SketchPoints)
+	for _, c := range cs {
+		pw := c.p / float64(len(c.pts))
+		for _, x := range c.pts {
+			pts = append(pts, wp{x: x, w: pw})
+		}
+	}
+	if len(pts) == 0 {
+		return 0, false
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	target := a.q * w
+	cum := 0.0
+	for _, p := range pts {
+		cum += p.w
+		if cum >= target-1e-12 {
+			return p.x, true
+		}
+	}
+	return pts[len(pts)-1].x, true
+}
+
+// pbTail returns P(Σ Bernoulli(t_i) ≥ k) for independent trials, k ≥ 1, via
+// the truncated-count DP: dp[j] holds P(count = j) for j < k and dp[k] the
+// absorbed P(count ≥ k). dp is caller-provided scratch of length k+1
+// (resliced and zeroed here) so grid tabulation allocates once.
+func pbTail(dp []float64, ts []float64, k int) float64 {
+	dp = dp[:k+1]
+	for i := range dp {
+		dp[i] = 0
+	}
+	dp[0] = 1
+	for _, t := range ts {
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		dp[k] += t * dp[k-1]
+		for j := k - 1; j >= 1; j-- {
+			dp[j] = dp[j]*(1-t) + t*dp[j-1]
+		}
+		dp[0] *= 1 - t
+	}
+	return dp[k]
+}

@@ -2,32 +2,32 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sort"
 
 	"repro/internal/dist"
 	"repro/internal/stream"
 )
 
-// This file makes the probabilistic GROUP BY + SUM box data-parallel while
-// keeping its output byte-identical to the unsharded plan. The split is a
+// This file makes the windowed uncertain aggregates data-parallel while
+// keeping their output byte-identical to the unsharded plan. The split is a
 // partial/final aggregation:
 //
 //   - The Partition box routes each tuple to one shard by hash of the dedup
 //     key (tags never cross shards, so per-key latest-wins dedup stays
-//     exact) and broadcasts every window close from the replicated window
-//     clock, so shard windows open and close exactly like the unsharded
-//     window.
+//     exact; keyless configs route round-robin, which is exact because they
+//     do no dedup) and broadcasts every window close from the replicated
+//     window clock, so shard windows open and close exactly like the
+//     unsharded window.
 //   - Each shard instance does the per-tuple heavy lifting — windowing,
-//     dedup, membership evaluation, Bernoulli gating, and (for the moment
-//     strategies) moment extraction — and emits, per window close, its
-//     per-group partial contribution lists tagged with the partitioner's
-//     arrival sequence.
+//     dedup, membership evaluation, and the aggregate's Prepare (gating +
+//     moment extraction for sums, sketching for quantiles and top-k) — and
+//     emits, per window close, its per-group prepared contribution lists
+//     tagged with the partitioner's arrival sequence.
 //   - The merge box collects partials until every shard has forwarded the
 //     window's close punctuation, restores each group's global contribution
-//     order by sequence stamp, and folds the final aggregate with exactly
-//     the code path the batch GroupSum uses — so the fold order, the RNG
-//     seeding, and therefore the emitted bytes match the unsharded plan.
+//     order by sequence stamp, and folds with the aggregate's Finalize —
+//     the exact code path the rescan realization uses — so the fold order,
+//     the RNG seeding, and therefore the emitted bytes match the unsharded
+//     plan.
 //
 // Groups are not used for routing because membership is probabilistic: one
 // tuple belongs to several candidate groups, and evaluating membership in
@@ -43,32 +43,33 @@ type PartitionedOp interface {
 	Shard(p int) stream.ShardPlan
 }
 
-// groupSumOp is the group-sum box handle: it delegates streaming execution
-// to the unsharded realization (rescan or incremental, per config) and
-// exposes the sharded realization to the query compiler.
-type groupSumOp struct {
+// windowAggOp is the windowed-aggregate box handle: it delegates streaming
+// execution to the unsharded realization (rescan or incremental, per
+// config) and exposes the sharded realization to the query compiler and the
+// configuration to the cluster planner.
+type windowAggOp struct {
 	stream.Operator
-	cfg GroupSumOpConfig
+	cfg WindowAggConfig
 }
 
 // Shard implements PartitionedOp. Shard instances always use the rescan
 // (per-window re-evaluation) form regardless of the incremental
 // configuration: the incremental path's accumulators produce byte-identical
-// output to the rescan path (pinned by the PR 3 equivalence tests), so the
+// output to the rescan path (pinned by the equivalence tests), so the
 // sharded plan is equivalent to both; within a shard each window holds only
 // ~1/p of the stream, which is also what keeps the per-slide rescan cheap.
-func (o *groupSumOp) Shard(p int) stream.ShardPlan {
+func (o *windowAggOp) Shard(p int) stream.ShardPlan {
 	cfg := o.cfg
 	name := o.Name()
 	shards := make([]stream.Operator, p)
 	for i := range shards {
-		shards[i] = newPartialGroupSumOp(fmt.Sprintf("%s#%d/%d", name, i, p), cfg)
+		shards[i] = NewWindowAggPartialOp(fmt.Sprintf("%s#%d/%d", name, i, p), cfg)
 	}
 	spec := cfg.Window
 	plan := stream.ShardPlan{
 		Partition: stream.PartitionSpec{Clock: &spec},
 		Shards:    shards,
-		Merge:     newGroupSumMerge("merge·"+name, cfg, p),
+		Merge:     NewWindowAggMergeOp("merge·"+name, cfg, p),
 	}
 	if key := cfg.DedupKey; key != "" {
 		plan.Partition.Route = func(t *stream.Tuple) (int, bool) {
@@ -82,33 +83,64 @@ func (o *groupSumOp) Shard(p int) stream.ShardPlan {
 	return plan
 }
 
-// GroupSumConfig exposes the aggregate's configuration to the cluster
+// WindowAggConfig exposes the aggregate's configuration to the cluster
 // planner (internal/uop.Cluster), which splits the box at the same
 // partial/merge boundary Shard uses — partials on remote workers, the
 // deterministic merge on the router.
-func (o *groupSumOp) GroupSumConfig() GroupSumOpConfig { return o.cfg }
+func (o *windowAggOp) WindowAggConfig() WindowAggConfig { return o.cfg }
 
-// NewGroupSumPartialOp builds one worker-process instance of a clustered
-// group aggregate: the externally clocked partial form that Shard deploys
-// in-process, emitting per-group partials plus the forwarded close
-// punctuations the cluster merge counts.
-func NewGroupSumPartialOp(name string, cfg GroupSumOpConfig) stream.Operator {
-	return newPartialGroupSumOp(name, cfg)
+// AggKind reports the aggregate kind ("sum", "quantile", "topk") for
+// monitoring rows (/statsz).
+func (o *windowAggOp) AggKind() string { return o.cfg.Agg.Kind() }
+
+// aggKindOp tags the partial and merge realizations with their aggregate
+// kind, so a cluster worker's /statsz box rows can name the operator it
+// runs.
+type aggKindOp struct {
+	stream.Operator
+	kind string
 }
 
-// NewGroupSumMergeOp builds the p-way deterministic merge of a clustered
-// group aggregate, identical to the in-process merge behind a Partition
-// box: port i carries worker i's partials and closes.
-func NewGroupSumMergeOp(name string, cfg GroupSumOpConfig, p int) stream.Operator {
-	return newGroupSumMerge(name, cfg, p)
-}
+func (o *aggKindOp) AggKind() string { return o.kind }
 
-// partialContrib is one gated contribution to a group, tagged with the
-// contributing tuple's global arrival sequence.
-type partialContrib struct {
-	seq uint64
-	d   dist.Dist
-	u   *UTuple
+// NewWindowAggPartialOp builds one shard (or cluster-worker) instance of a
+// windowed aggregate: an externally clocked window whose close handler runs
+// dedup + membership + Prepare over its slice of the window and emits
+// per-group partials plus the forwarded close punctuations the merge
+// counts.
+func NewWindowAggPartialOp(name string, cfg WindowAggConfig) stream.Operator {
+	inner := stream.NewExternalWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+		if len(window) == 0 {
+			return
+		}
+		survivors := window
+		if cfg.DedupKey != "" {
+			survivors = dedupLatestTuples(window, cfg.DedupKey)
+		}
+		groups := make(map[string]*groupPartial)
+		var order []*groupPartial
+		for _, t := range survivors {
+			u := Unwrap(t)
+			for _, gm := range cfg.memberOf(u) {
+				p := gm.P * u.Exist
+				if p <= 0 {
+					continue
+				}
+				d, aux := cfg.Agg.Prepare(u, p)
+				gp := groups[gm.Group]
+				if gp == nil {
+					gp = &groupPartial{end: end, group: gm.Group}
+					groups[gm.Group] = gp
+					order = append(order, gp)
+				}
+				gp.contribs = append(gp.contribs, PartialContrib{Seq: t.Seq, U: u, P: p, D: d, Aux: aux})
+			}
+		}
+		for _, gp := range order {
+			emit(stream.NewTuple(partialSchema, end, gp))
+		}
+	})
+	return &aggKindOp{Operator: inner, kind: cfg.Agg.Kind()}
 }
 
 // groupPartial is one shard's contribution list for one group of one
@@ -116,7 +148,7 @@ type partialContrib struct {
 type groupPartial struct {
 	end      stream.Time
 	group    string
-	contribs []partialContrib
+	contribs []PartialContrib
 }
 
 // partialSchema carries groupPartial payloads between shard and merge.
@@ -134,47 +166,6 @@ type momentDist struct {
 func (m momentDist) Mean() float64     { return m.mean }
 func (m momentDist) Variance() float64 { return m.variance }
 
-// newPartialGroupSumOp builds one shard instance: an externally clocked
-// window whose close handler runs dedup + membership + gating over the
-// shard's slice of the window and emits per-group partials.
-func newPartialGroupSumOp(name string, cfg GroupSumOpConfig) stream.Operator {
-	moment := !heavyResult(cfg.Strategy)
-	return stream.NewExternalWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
-		if len(window) == 0 {
-			return
-		}
-		survivors := window
-		if cfg.DedupKey != "" {
-			survivors = dedupLatestTuples(window, cfg.DedupKey)
-		}
-		groups := make(map[string]*groupPartial)
-		var order []*groupPartial
-		for _, t := range survivors {
-			u := Unwrap(t)
-			for _, gm := range cfg.Member(u) {
-				p := gm.P * u.Exist
-				if p <= 0 {
-					continue
-				}
-				d := BernoulliGate(u.Attr(cfg.Attr), p)
-				if moment {
-					d = momentDist{Dist: d, mean: d.Mean(), variance: d.Variance()}
-				}
-				gp := groups[gm.Group]
-				if gp == nil {
-					gp = &groupPartial{end: end, group: gm.Group}
-					groups[gm.Group] = gp
-					order = append(order, gp)
-				}
-				gp.contribs = append(gp.contribs, partialContrib{seq: t.Seq, d: d, u: u})
-			}
-		}
-		for _, gp := range order {
-			emit(stream.NewTuple(partialSchema, end, gp))
-		}
-	})
-}
-
 // dedupLatestTuples is dedupLatest over carrier tuples (the sequence stamp
 // lives on the stream.Tuple); it shares the dedupLatestBy implementation,
 // so the sharded plan's dedup is the unsharded plan's dedup by
@@ -189,11 +180,11 @@ func dedupLatestTuples(window []*stream.Tuple, key string) []*stream.Tuple {
 type mergeWin struct {
 	end    stream.Time
 	closes int
-	groups map[string][]partialContrib
+	groups map[string][]PartialContrib
 	order  []string
 }
 
-// groupSumMerge reunifies shard partials: one window finalizes after its
+// windowAggMerge reunifies shard partials: one window finalizes after its
 // close punctuation has arrived from all p shards (per-channel FIFO
 // guarantees the shard's partials precede its close). Windows are
 // identified by their close *ordinal* per input port — every shard forwards
@@ -202,11 +193,11 @@ type mergeWin struct {
 // an end timestamp (count windows over duplicate timestamps, where
 // end-keyed matching would conflate them under channel interleaving).
 // Finalization sorts groups by name and each group's contributions by
-// arrival sequence, then folds with the shared buildGroupResult — the exact
+// arrival sequence, then folds with the aggregate's Finalize — the exact
 // unsharded emission.
-type groupSumMerge struct {
+type windowAggMerge struct {
 	name string
-	cfg  GroupSumOpConfig
+	cfg  WindowAggConfig
 	p    int
 
 	// closed[i] counts closes received on port i: partials arriving on the
@@ -216,24 +207,28 @@ type groupSumMerge struct {
 	next   int // lowest unfinalized window ordinal
 }
 
-func newGroupSumMerge(name string, cfg GroupSumOpConfig, p int) stream.Operator {
-	return &groupSumMerge{name: name, cfg: cfg, p: p, closed: make([]int, p), wins: make(map[int]*mergeWin)}
+// NewWindowAggMergeOp builds the p-way deterministic merge of a sharded or
+// clustered windowed aggregate: port i carries shard/worker i's partials
+// and closes.
+func NewWindowAggMergeOp(name string, cfg WindowAggConfig, p int) stream.Operator {
+	return &windowAggMerge{name: name, cfg: cfg, p: p, closed: make([]int, p), wins: make(map[int]*mergeWin)}
 }
 
-func (o *groupSumMerge) Name() string { return o.name }
+func (o *windowAggMerge) Name() string    { return o.name }
+func (o *windowAggMerge) AggKind() string { return o.cfg.Agg.Kind() }
 
-func (o *groupSumMerge) win(ordinal int) *mergeWin {
+func (o *windowAggMerge) win(ordinal int) *mergeWin {
 	w := o.wins[ordinal]
 	if w == nil {
-		w = &mergeWin{groups: make(map[string][]partialContrib)}
+		w = &mergeWin{groups: make(map[string][]PartialContrib)}
 		o.wins[ordinal] = w
 	}
 	return w
 }
 
-func (o *groupSumMerge) Process(port int, t *stream.Tuple, emit stream.Emit) {
+func (o *windowAggMerge) Process(port int, t *stream.Tuple, emit stream.Emit) {
 	if port < 0 || port >= o.p {
-		panic(fmt.Sprintf("core: group-sum merge has %d ports, got %d", o.p, port))
+		panic(fmt.Sprintf("core: window-agg merge has %d ports, got %d", o.p, port))
 	}
 	if end, ok := stream.WindowCloseOf(t); ok {
 		ordinal := o.closed[port]
@@ -257,62 +252,21 @@ func (o *groupSumMerge) Process(port int, t *stream.Tuple, emit stream.Emit) {
 	w.groups[gp.group] = append(w.groups[gp.group], gp.contribs...)
 }
 
-// finalize emits the completed window: groups in name order, each group's
-// contributions in global arrival order. For the heavy strategies the
-// per-group folds fan out across a worker pool (each group is touched by
-// exactly one worker; emission stays sequential in name order, so output is
-// deterministic regardless of scheduling) — mirroring the incremental
-// path's parallel emission.
-func (o *groupSumMerge) finalize(ordinal int, w *mergeWin, emit stream.Emit) {
+// finalize emits the completed window through the shared emitFinalized
+// fold: groups in name order, each group's contributions re-sorted into
+// global arrival order.
+func (o *windowAggMerge) finalize(ordinal int, w *mergeWin, emit stream.Emit) {
 	delete(o.wins, ordinal)
 	if ordinal >= o.next {
 		o.next = ordinal + 1
 	}
-	if len(w.order) == 0 {
-		return
-	}
-	sort.Strings(w.order)
-	outs := make([]*stream.Tuple, len(w.order))
-	build := func(i int) {
-		g := w.order[i]
-		cs := w.groups[g]
-		sort.SliceStable(cs, func(a, b int) bool { return cs[a].seq < cs[b].seq })
-		ds := make([]dist.Dist, len(cs))
-		parents := make([]*UTuple, len(cs))
-		for j, c := range cs {
-			ds[j] = c.d
-			parents[j] = c.u
-		}
-		res := buildGroupResult(g, o.cfg.Attr, ds, parents, o.cfg.Strategy, o.cfg.Agg)
-		out := res.Tuple
-		out.TS = w.end
-		wrapped := Wrap(out)
-		outs[i] = wrapped.WithFields(groupedSchema, out, res.Group)
-	}
-	workers := o.cfg.Workers
-	if workers <= 0 {
-		// Unlike the incremental box's per-slide emission, a finalize runs
-		// once per window, and each group's build includes the contribution
-		// sort, the lineage union, and tuple assembly — not just a cumulant
-		// refold. The pool pays off for the moment strategies too once there
-		// are enough groups, and is the serial tail that would otherwise cap
-		// shard scaling (the shards' per-tuple work is already parallel).
-		if heavyResult(o.cfg.Strategy) || len(w.order) >= 8 {
-			workers = runtime.GOMAXPROCS(0)
-		} else {
-			workers = 1
-		}
-	}
-	runPool(workers, len(w.order), build)
-	for _, t := range outs {
-		emit(t)
-	}
+	emitFinalized(o.cfg, w.order, w.groups, w.end, true, emit)
 }
 
 // Flush finalizes any windows still pending, in ordinal order — defensive:
 // the partitioner's Flush broadcasts the final closes, so under both
 // executors every window completes before the merge flushes.
-func (o *groupSumMerge) Flush(emit stream.Emit) {
+func (o *windowAggMerge) Flush(emit stream.Emit) {
 	for len(o.wins) > 0 {
 		w := o.wins[o.next]
 		if w == nil {

@@ -20,7 +20,7 @@ import (
 //   - SumState accumulators serialize their live contributions directly
 //     (versioned, insertion order preserved) — the round-trip property
 //     tests pin that a restored accumulator's Result() is bit-identical.
-//   - The incremental window consumers (incGroupSum, incSum) restore by
+//   - The incremental window consumers (incWindowAgg, incSum) restore by
 //     REPLAY: their accumulators, dedup maps, reference counts and lineage
 //     multisets are fully derivable from the window ring the delta-window
 //     operator snapshots, so RestoreState re-runs admission and
@@ -146,10 +146,13 @@ func decodeUTuple(r *snap.Reader) (*UTuple, error) {
 
 // --- shard partials ---
 
-const partialSnapV1 = 1
+// partialSnapV2 generalized the contribution layout for pluggable aggregates
+// (PR 10): gate probability and aux payload ride alongside the optional
+// prepared distribution.
+const partialSnapV2 = 2
 
 func encodeGroupPartial(w *snap.Writer, gp *groupPartial) error {
-	w.U8(partialSnapV1)
+	w.U8(partialSnapV2)
 	w.Varint(int64(gp.end))
 	w.String(gp.group)
 	w.Uvarint(uint64(len(gp.contribs)))
@@ -162,7 +165,7 @@ func encodeGroupPartial(w *snap.Writer, gp *groupPartial) error {
 }
 
 func decodeGroupPartial(r *snap.Reader) (*groupPartial, error) {
-	if v := r.U8(); v != partialSnapV1 && r.Err() == nil {
+	if v := r.U8(); v != partialSnapV2 && r.Err() == nil {
 		r.Fail("group partial snapshot version %d", v)
 	}
 	gp := &groupPartial{}
@@ -172,7 +175,7 @@ func decodeGroupPartial(r *snap.Reader) (*groupPartial, error) {
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	gp.contribs = make([]partialContrib, 0, n)
+	gp.contribs = make([]PartialContrib, 0, n)
 	for i := 0; i < n; i++ {
 		c, err := decodeContrib(r)
 		if err != nil {
@@ -183,23 +186,44 @@ func decodeGroupPartial(r *snap.Reader) (*groupPartial, error) {
 	return gp, nil
 }
 
-func encodeContrib(w *snap.Writer, c partialContrib) error {
-	w.Uvarint(c.seq)
-	if err := dist.Encode(w, c.d); err != nil {
-		return err
+func encodeContrib(w *snap.Writer, c PartialContrib) error {
+	w.Uvarint(c.Seq)
+	w.F64(c.P)
+	w.Bool(c.D != nil)
+	if c.D != nil {
+		if err := dist.Encode(w, c.D); err != nil {
+			return err
+		}
 	}
-	return encodeUTuple(w, c.u)
+	w.Uvarint(uint64(len(c.Aux)))
+	for _, x := range c.Aux {
+		w.F64(x)
+	}
+	return encodeUTuple(w, c.U)
 }
 
-func decodeContrib(r *snap.Reader) (partialContrib, error) {
-	var c partialContrib
-	c.seq = r.Uvarint()
-	c.d = dist.Decode(r)
+func decodeContrib(r *snap.Reader) (PartialContrib, error) {
+	var c PartialContrib
+	c.Seq = r.Uvarint()
+	c.P = r.F64()
+	if r.Bool() {
+		c.D = dist.Decode(r)
+	}
+	na := r.Len()
+	if err := r.Err(); err != nil {
+		return c, err
+	}
+	if na > 0 {
+		c.Aux = make([]float64, na)
+		for i := range c.Aux {
+			c.Aux[i] = r.F64()
+		}
+	}
 	u, err := decodeUTuple(r)
 	if err != nil {
 		return c, err
 	}
-	c.u = u
+	c.U = u
 	return c, r.Err()
 }
 
@@ -292,15 +316,16 @@ func (s *distState) Restore(data []byte) error {
 	return r.Close()
 }
 
-// --- incremental group sum (replay restore) ---
+// --- incremental windowed aggregate (replay restore) ---
 
 const incGroupSnapV1 = 1
 
 // SnapshotState implements stream.DeltaConsumerState. Everything this box
 // holds — group accumulators, lineage multisets, the dedup winner map, the
 // record deque — is derivable from the window residents, so the blob is a
-// version marker only.
-func (b *incGroupSum) SnapshotState() ([]byte, error) {
+// version marker only. This holds for every UAgg by contract: Acc state must
+// be a function of the live contributions and their insertion order.
+func (b *incWindowAgg) SnapshotState() ([]byte, error) {
 	return []byte{incGroupSnapV1}, nil
 }
 
@@ -318,9 +343,9 @@ func (b *incGroupSum) SnapshotState() ([]byte, error) {
 //     identically.
 //   - Lineage: per-group multiset counts equal the live contributions'
 //     reference counts, which replay reconstructs.
-func (b *incGroupSum) RestoreState(data []byte, announced []*stream.Tuple) error {
+func (b *incWindowAgg) RestoreState(data []byte, announced []*stream.Tuple) error {
 	if len(data) != 1 || data[0] != incGroupSnapV1 {
-		return fmt.Errorf("core: incremental group-sum snapshot version %v", data)
+		return fmt.Errorf("core: incremental window-agg snapshot version %v", data)
 	}
 	b.states = make(map[string]*groupState)
 	b.recs = b.recs[:0]
@@ -429,38 +454,58 @@ func decodeCumulants(r *snap.Reader) []cf.Cumulants {
 	return cs
 }
 
-// --- group-sum box handle ---
+// --- windowed-aggregate box handle ---
 
 // Snapshot implements stream.Snapshotter by delegating to the realization
 // (rescan window or incremental delta window — both snapshot). Interface
 // embedding alone would not surface the methods to type assertions made on
 // the concrete inner operator, so the delegation is explicit.
-func (o *groupSumOp) Snapshot() ([]byte, error) {
+func (o *windowAggOp) Snapshot() ([]byte, error) {
 	s, ok := o.Operator.(stream.Snapshotter)
 	if !ok {
-		return nil, fmt.Errorf("core: group-sum realization %T does not snapshot", o.Operator)
+		return nil, fmt.Errorf("core: window-agg realization %T does not snapshot", o.Operator)
 	}
 	return s.Snapshot()
 }
 
 // Restore implements stream.Snapshotter.
-func (o *groupSumOp) Restore(data []byte) error {
+func (o *windowAggOp) Restore(data []byte) error {
 	s, ok := o.Operator.(stream.Snapshotter)
 	if !ok {
-		return fmt.Errorf("core: group-sum realization %T does not snapshot", o.Operator)
+		return fmt.Errorf("core: window-agg realization %T does not snapshot", o.Operator)
+	}
+	return s.Restore(data)
+}
+
+// Snapshot implements stream.Snapshotter for the kind-tagged partial
+// realization; like windowAggOp, the delegation must be explicit because the
+// embedded interface only surfaces stream.Operator's methods.
+func (o *aggKindOp) Snapshot() ([]byte, error) {
+	s, ok := o.Operator.(stream.Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("core: partial realization %T does not snapshot", o.Operator)
+	}
+	return s.Snapshot()
+}
+
+// Restore implements stream.Snapshotter.
+func (o *aggKindOp) Restore(data []byte) error {
+	s, ok := o.Operator.(stream.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: partial realization %T does not snapshot", o.Operator)
 	}
 	return s.Restore(data)
 }
 
 // --- shard merge ---
 
-const mergeSnapV1 = 1
+const mergeSnapV2 = 2 // v2: generalized contribution layout (partialSnapV2)
 
 // Snapshot implements stream.Snapshotter: per-port close counts plus every
 // pending window's partial contributions, keyed by close ordinal.
-func (o *groupSumMerge) Snapshot() ([]byte, error) {
+func (o *windowAggMerge) Snapshot() ([]byte, error) {
 	w := &snap.Writer{}
-	w.U8(mergeSnapV1)
+	w.U8(mergeSnapV2)
 	w.Varint(int64(o.p))
 	for _, c := range o.closed {
 		w.Varint(int64(c))
@@ -493,9 +538,9 @@ func (o *groupSumMerge) Snapshot() ([]byte, error) {
 }
 
 // Restore implements stream.Snapshotter.
-func (o *groupSumMerge) Restore(data []byte) error {
+func (o *windowAggMerge) Restore(data []byte) error {
 	r := snap.NewReader(data)
-	if v := r.U8(); v != mergeSnapV1 && r.Err() == nil {
+	if v := r.U8(); v != mergeSnapV2 && r.Err() == nil {
 		r.Fail("merge snapshot version %d", v)
 	}
 	if p := int(r.Varint()); p != o.p && r.Err() == nil {
@@ -512,7 +557,7 @@ func (o *groupSumMerge) Restore(data []byte) error {
 	}
 	for i := 0; i < nw; i++ {
 		ord := int(r.Varint())
-		win := &mergeWin{groups: make(map[string][]partialContrib)}
+		win := &mergeWin{groups: make(map[string][]PartialContrib)}
 		win.end = stream.Time(r.Varint())
 		win.closes = int(r.Varint())
 		ng := r.Len()
@@ -525,7 +570,7 @@ func (o *groupSumMerge) Restore(data []byte) error {
 			if r.Err() != nil {
 				break
 			}
-			cs := make([]partialContrib, 0, nc)
+			cs := make([]PartialContrib, 0, nc)
 			for k := 0; k < nc; k++ {
 				c, err := decodeContrib(r)
 				if err != nil {

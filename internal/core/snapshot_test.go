@@ -175,9 +175,9 @@ func TestGroupPartialCodecRoundTrip(t *testing.T) {
 	gp := &groupPartial{
 		end:   5000,
 		group: "area(3,4)",
-		contribs: []partialContrib{
-			{seq: 11, d: dist.NewNormal(150, 4), u: u},
-			{seq: 12, d: dist.PointMass{V: 0}, u: NewUTuple(901, []string{"weight"}, []dist.Dist{dist.PointMass{V: 1}})},
+		contribs: []PartialContrib{
+			{Seq: 11, P: 0.75, D: dist.NewNormal(150, 4), Aux: []float64{1.5, -2}, U: u},
+			{Seq: 12, P: 1, D: dist.PointMass{V: 0}, U: NewUTuple(901, []string{"weight"}, []dist.Dist{dist.PointMass{V: 1}})},
 		},
 	}
 	w := &snap.Writer{}
@@ -195,11 +195,20 @@ func TestGroupPartialCodecRoundTrip(t *testing.T) {
 	if got.end != gp.end || got.group != gp.group || len(got.contribs) != 2 {
 		t.Fatalf("decoded partial %+v", got)
 	}
-	if got.contribs[0].seq != 11 || got.contribs[1].seq != 12 {
-		t.Errorf("contrib seqs %d, %d", got.contribs[0].seq, got.contribs[1].seq)
+	if got.contribs[0].Seq != 11 || got.contribs[1].Seq != 12 {
+		t.Errorf("contrib seqs %d, %d", got.contribs[0].Seq, got.contribs[1].Seq)
 	}
-	if got.contribs[0].d.Mean() != 150 || got.contribs[0].u.Key("tag") != 5 {
+	if got.contribs[0].D.Mean() != 150 || got.contribs[0].U.Key("tag") != 5 {
 		t.Error("contrib payload did not round-trip")
+	}
+	if got.contribs[0].P != 0.75 || got.contribs[1].P != 1 {
+		t.Errorf("contrib gates %g, %g", got.contribs[0].P, got.contribs[1].P)
+	}
+	if a := got.contribs[0].Aux; len(a) != 2 || a[0] != 1.5 || a[1] != -2 {
+		t.Errorf("contrib aux %v", got.contribs[0].Aux)
+	}
+	if got.contribs[1].Aux != nil {
+		t.Errorf("empty aux decoded as %v", got.contribs[1].Aux)
 	}
 }
 

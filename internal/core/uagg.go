@@ -1,0 +1,397 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/lineage"
+	"repro/internal/stream"
+)
+
+// This file is the pluggable windowed-aggregate spine (PR 10): the
+// handle-addressed per-window state pattern PR 3 built for gated sums,
+// refactored into a first-class abstraction so new uncertain aggregates
+// (streaming quantiles, probabilistic top-k dominating) ride every layer the
+// sum already does — incremental delta maintenance, Shards(n) partials with
+// a deterministic merge, RunLive, checkpoint/restore, and cluster
+// part-streams — without forking the spine per operator.
+//
+// An aggregate supplies three things:
+//
+//   - An Acc: the incremental accumulator (Add/Remove by handle, Result),
+//     fed by the delta-window path. Its determinism contract matches
+//     SumState's: Result depends only on the live contributions and their
+//     insertion order.
+//   - A Prepare/Finalize pair: the mergeable partial form. Prepare runs the
+//     per-tuple heavy work (gating, moment extraction, sketching) where the
+//     tuple is — a shard instance, a cluster worker — and Finalize folds the
+//     globally ordered contributions into the window's result rows on the
+//     merge side. The rescan (recompute) path uses the same pair, so the
+//     reference semantics and the sharded plan can never drift apart.
+//   - Snapshot support comes for free: prepared contributions serialize
+//     through one generic codec (snapshot.go), and the incremental boxes
+//     restore by replaying Add over the window residents.
+
+// AggOut is one output row of a windowed aggregate emission. Scalar
+// aggregates (sum, quantile) emit one row per group per window; ranking
+// aggregates (top-k dominating) emit several, distinguished by Keys.
+type AggOut struct {
+	// D is the row's result distribution, carried as the aggregate's output
+	// attribute.
+	D dist.Dist
+	// Keys are extra certain keys stamped on the derived tuple (e.g. a
+	// top-k row's rank and object id). Nil for scalar aggregates.
+	Keys map[string]int64
+}
+
+// Acc is a windowed aggregate's incremental accumulator: handle-addressed
+// insertion and withdrawal, exactly the SumState pattern. Result must depend
+// only on the live contributions and their insertion order, and must equal
+// the Finalize fold over the same contributions in the same order — the
+// equivalence tests pin byte-identical alerts between the two paths.
+type Acc interface {
+	// Add inserts a contribution — the tuple u weighted by probability p
+	// (membership × existence) — and returns its handle. The expensive
+	// per-tuple work (gating, moment extraction, sketching) happens here,
+	// once.
+	Add(u *UTuple, p float64) uint64
+	// Remove deletes a live contribution by handle (eviction or
+	// dedup-replace). Stale or foreign handles are a no-op.
+	Remove(handle uint64)
+	// Len is the number of live contributions.
+	Len() int
+	// Result derives the current output rows, appending to dst[:0] (the
+	// caller reuses the slice across emissions).
+	Result(dst []AggOut) []AggOut
+}
+
+// PartialContrib is one prepared contribution flowing from a shard instance
+// (or cluster worker) to the deterministic merge: the carrier tuple, its
+// gate probability, the contributing tuple's global arrival sequence, and
+// whatever the aggregate precomputed shard-side (a gated distribution for
+// sums, sketch points for quantiles and top-k) so the merge fold touches no
+// distribution internals it doesn't have to.
+type PartialContrib struct {
+	Seq uint64
+	U   *UTuple
+	P   float64
+	// D is an optional prepared distribution (the sum's Bernoulli gate,
+	// moment-cached for the moment strategies). Nil when the aggregate
+	// derives everything from U and Aux.
+	D dist.Dist
+	// Aux is optional precomputed per-contribution data (quantile sketch
+	// points, per-dimension dominance sketches), layout private to the
+	// aggregate.
+	Aux []float64
+}
+
+// UAgg is a pluggable windowed uncertain aggregate: the accumulator factory
+// plus the mergeable partial form. Implementations must be safe for
+// concurrent Prepare/Finalize calls (shard instances run in parallel); all
+// per-window mutable state lives in the Acc or in the spine.
+type UAgg interface {
+	// Kind names the aggregate ("sum", "quantile", "topk") for diagrams,
+	// /statsz rows and snapshot diagnostics.
+	Kind() string
+	// Attr is the output attribute carrying each row's result distribution.
+	Attr() string
+	// Heavy reports whether Result/Finalize is expensive enough (an FFT
+	// inversion, a grid tabulation, a sampling run) that per-group emission
+	// should fan out to the worker pool by default.
+	Heavy() bool
+	// NewAcc builds a fresh incremental accumulator.
+	NewAcc() Acc
+	// Prepare runs the per-tuple shard-side work for the partial form.
+	Finalize(cs []PartialContrib) []AggOut
+	// Prepare returns the prepared distribution and aux data for one
+	// contribution; the spine stamps Seq/U/P.
+	Prepare(u *UTuple, p float64) (d dist.Dist, aux []float64)
+}
+
+// WindowAggConfig parameterizes the generalized windowed-aggregate box —
+// the superset of GroupSumOpConfig with the aggregate pluggable.
+type WindowAggConfig struct {
+	// Window is the (tumbling/sliding/count) window policy.
+	Window stream.WindowSpec
+	// DedupKey, when set, keeps only the latest tuple per certain key
+	// within each window before aggregation.
+	DedupKey string
+	// Member assigns tuples to candidate groups with probabilities. Nil
+	// runs the aggregate ungrouped: every tuple lands in the single
+	// implicit group "" with membership 1 (output tuples still carry the
+	// group column, empty, so the alert shape is uniform across aggregates
+	// and execution modes).
+	Member Membership
+	// Agg is the aggregate implementation.
+	Agg UAgg
+	// Recompute forces the rescan path even for window shapes the
+	// incremental path covers.
+	Recompute bool
+	// Workers bounds the per-group emission worker pool (0 = auto).
+	Workers int
+}
+
+// memberOf resolves the membership function: the configured one, or the
+// implicit single-group assignment for ungrouped aggregates.
+func (cfg *WindowAggConfig) memberOf(u *UTuple) []GroupMass {
+	if cfg.Member != nil {
+		return cfg.Member(u)
+	}
+	return []GroupMass{{Group: "", P: 1}}
+}
+
+// NewWindowAggOp builds the generalized windowed aggregate box. Sliding
+// time windows take the incremental delta path automatically unless
+// cfg.Recompute pins the rescan path; both produce byte-identical output.
+// The returned operator implements PartitionedOp (Shards rewrite), exposes
+// its config to the cluster planner, and snapshots through the realization.
+func NewWindowAggOp(name string, cfg WindowAggConfig) stream.Operator {
+	return &windowAggOp{Operator: newWindowAggInner(name, cfg), cfg: cfg}
+}
+
+// newWindowAggInner builds the unsharded realization: incremental for
+// sliding time windows, rescan otherwise.
+func newWindowAggInner(name string, cfg WindowAggConfig) stream.Operator {
+	if cfg.Window.Slide > 0 && !cfg.Recompute {
+		return newIncWindowAggOp(name, cfg)
+	}
+	return stream.NewWindow(name, cfg.Window, func(window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+		rescanWindowAgg(cfg, window, end, emit)
+	})
+}
+
+// rescanWindowAgg is the recompute realization of one window close: dedup,
+// membership, Prepare per contribution, then the same per-group Finalize
+// fold the shard merge runs — reference semantics by construction.
+func rescanWindowAgg(cfg WindowAggConfig, window []*stream.Tuple, end stream.Time, emit stream.Emit) {
+	if len(window) == 0 {
+		return
+	}
+	survivors := window
+	if cfg.DedupKey != "" {
+		survivors = dedupLatestTuples(window, cfg.DedupKey)
+	}
+	groups := make(map[string][]PartialContrib)
+	var order []string
+	for _, t := range survivors {
+		u := Unwrap(t)
+		for _, gm := range cfg.memberOf(u) {
+			p := gm.P * u.Exist
+			if p <= 0 {
+				continue
+			}
+			d, aux := cfg.Agg.Prepare(u, p)
+			if _, seen := groups[gm.Group]; !seen {
+				order = append(order, gm.Group)
+			}
+			groups[gm.Group] = append(groups[gm.Group], PartialContrib{Seq: t.Seq, U: u, P: p, D: d, Aux: aux})
+		}
+	}
+	emitFinalized(cfg, order, groups, end, false, emit)
+}
+
+// emitFinalized folds and emits each group's rows in group-name order. The
+// contributions must already be in global arrival order unless sortSeq asks
+// for the merge-side re-sort by sequence stamp. For heavy aggregates the
+// per-group folds fan out across a worker pool; emission stays sequential
+// in name order, so output is deterministic regardless of scheduling.
+func emitFinalized(cfg WindowAggConfig, order []string, groups map[string][]PartialContrib,
+	end stream.Time, sortSeq bool, emit stream.Emit) {
+	if len(order) == 0 {
+		return
+	}
+	sort.Strings(order)
+	outNames := []string{cfg.Agg.Attr(), "group"}
+	outs := make([][]*stream.Tuple, len(order))
+	build := func(i int) {
+		g := order[i]
+		cs := groups[g]
+		if sortSeq {
+			sort.SliceStable(cs, func(a, b int) bool { return cs[a].Seq < cs[b].Seq })
+		}
+		rows := cfg.Agg.Finalize(cs)
+		sets := make([]lineage.Set, len(cs))
+		for j := range cs {
+			sets[j] = cs[j].U.Lin
+		}
+		lin := lineage.UnionAll(sets...)
+		outs[i] = assembleRows(g, rows, lin, end, outNames)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		// A finalize runs once per window and includes the fold, the lineage
+		// union and tuple assembly; the pool pays off for the cheap moment
+		// strategies too once there are enough groups (it is the serial tail
+		// that would otherwise cap shard scaling).
+		if cfg.Agg.Heavy() || len(order) >= 8 {
+			workers = runtime.GOMAXPROCS(0)
+		} else {
+			workers = 1
+		}
+	}
+	runPool(workers, len(order), build)
+	for _, ts := range outs {
+		for _, t := range ts {
+			emit(t)
+		}
+	}
+}
+
+// assembleRows builds the output carrier tuples for one group's rows: the
+// derived uncertain tuple carries the result distribution plus the "group"
+// marker attribute, existence 1, the window-union lineage, and the window
+// end as its timestamp; the group name rides the carrier's group column.
+// This is the exact shape the incremental path's buildGroup emits and the
+// pre-refactor merge derived through buildGroupResult — the golden pin and
+// the cross-path equivalence tests hold the three together.
+func assembleRows(g string, rows []AggOut, lin lineage.Set, end stream.Time, outNames []string) []*stream.Tuple {
+	ts := make([]*stream.Tuple, len(rows))
+	for i, row := range rows {
+		u := &UTuple{
+			TS:    end,
+			ID:    stream.NextTupleID(),
+			names: outNames, // shared; len == cap, so a downstream SetAttr copies
+			attrs: []dist.Dist{row.D, dist.PointMass{V: 0}},
+			Exist: 1,
+			Lin:   lin,
+			Keys:  row.Keys,
+		}
+		t := stream.NewTuple(groupedSchema, end, u, g)
+		t.ID = u.ID
+		ts[i] = t
+	}
+	return ts
+}
+
+// alog is the generic insertion-ordered entry store behind the new
+// accumulators: a grow-at-the-back slice with a dead prefix, handles as
+// absolute sequence numbers kept valid across compaction by a base offset —
+// the entryLog pattern (sumstate.go), generic over the entry payload.
+type alog[E any] struct {
+	entries []aentry[E]
+	head    int    // first possibly-live entry
+	base    uint64 // sequence number of entries[0]
+	liveN   int
+}
+
+type aentry[E any] struct {
+	v    E
+	dead bool
+}
+
+func (l *alog[E]) add(v E) uint64 {
+	seq := l.base + uint64(len(l.entries))
+	l.entries = append(l.entries, aentry[E]{v: v})
+	l.liveN++
+	return seq
+}
+
+// remove marks the handle's entry dead and returns it by value. Stale or
+// foreign handles return ok == false.
+func (l *alog[E]) remove(seq uint64) (E, bool) {
+	var zero E
+	if seq < l.base {
+		return zero, false
+	}
+	i := int(seq - l.base)
+	if i < l.head || i >= len(l.entries) || l.entries[i].dead {
+		return zero, false
+	}
+	e := &l.entries[i]
+	out := e.v
+	e.dead = true
+	e.v = zero
+	l.liveN--
+	l.compact()
+	return out, true
+}
+
+func (l *alog[E]) compact() {
+	for l.head < len(l.entries) && l.entries[l.head].dead {
+		l.head++
+	}
+	if l.head == len(l.entries) {
+		l.base += uint64(len(l.entries))
+		l.entries = l.entries[:0]
+		l.head = 0
+		return
+	}
+	if l.head > 64 && l.head*2 >= len(l.entries) {
+		n := copy(l.entries, l.entries[l.head:])
+		for i := n; i < len(l.entries); i++ {
+			l.entries[i] = aentry[E]{}
+		}
+		l.entries = l.entries[:n]
+		l.base += uint64(l.head)
+		l.head = 0
+	}
+}
+
+// each visits the live entries in insertion order with their handles.
+func (l *alog[E]) each(fn func(handle uint64, v *E)) {
+	for i := l.head; i < len(l.entries); i++ {
+		e := &l.entries[i]
+		if e.dead {
+			continue
+		}
+		fn(l.base+uint64(i), &e.v)
+	}
+}
+
+// --- the gated sum, rebased on the spine ---
+
+// sumAgg is the existing gated-sum aggregate expressed as a UAgg: Prepare
+// and Finalize reuse the exact pre-refactor arithmetic (BernoulliGate +
+// momentDist caching shard-side, the shared Sum fold merge-side), and the
+// accumulator wraps SumState unchanged — so the rebase is byte-identical by
+// construction, and the golden pin holds it there.
+type sumAgg struct {
+	attr  string
+	strat Strategy
+	opts  AggOptions
+}
+
+// NewSumAgg builds the windowed gated-sum aggregate for the spine.
+func NewSumAgg(attr string, strat Strategy, opts AggOptions) UAgg {
+	return &sumAgg{attr: attr, strat: strat, opts: opts}
+}
+
+func (a *sumAgg) Kind() string { return "sum" }
+func (a *sumAgg) Attr() string { return a.attr }
+func (a *sumAgg) Heavy() bool  { return heavyResult(a.strat) }
+
+func (a *sumAgg) NewAcc() Acc {
+	return &sumAcc{attr: a.attr, st: NewSumState(a.strat, a.opts)}
+}
+
+func (a *sumAgg) Prepare(u *UTuple, p float64) (dist.Dist, []float64) {
+	d := BernoulliGate(u.Attr(a.attr), p)
+	if !heavyResult(a.strat) {
+		d = momentDist{Dist: d, mean: d.Mean(), variance: d.Variance()}
+	}
+	return d, nil
+}
+
+func (a *sumAgg) Finalize(cs []PartialContrib) []AggOut {
+	ds := make([]dist.Dist, len(cs))
+	for i := range cs {
+		ds[i] = cs[i].D
+	}
+	return []AggOut{{D: Sum(ds, a.strat, a.opts)}}
+}
+
+// sumAcc adapts SumState to the Acc interface; the attribute extraction it
+// adds is the same call the incremental box made inline pre-refactor.
+type sumAcc struct {
+	attr string
+	st   SumState
+}
+
+func (a *sumAcc) Add(u *UTuple, p float64) uint64 { return a.st.Add(u.Attr(a.attr), p) }
+func (a *sumAcc) Remove(h uint64)                 { a.st.Remove(h) }
+func (a *sumAcc) Len() int                        { return a.st.Len() }
+
+func (a *sumAcc) Result(dst []AggOut) []AggOut {
+	return append(dst[:0], AggOut{D: a.st.Result()})
+}

@@ -1,0 +1,157 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// quantileFamilies builds one randomized member of each of the 8 Dist
+// families from a seeded generator: the Quantile laws below must hold for
+// every family the engine can hand to a HAVING clause or a quantile
+// aggregate, not just the smooth ones.
+func quantileFamilies(g *rng.RNG) map[string]Dist {
+	mu := g.Uniform(-5, 5)
+	sigma := g.Uniform(0.2, 3)
+	a := g.Uniform(-4, 0)
+	b := a + g.Uniform(0.5, 6)
+	masses := make([]float64, 24)
+	for i := range masses {
+		masses[i] = g.Float64()
+	}
+	xs := make([]float64, 40)
+	ws := make([]float64, 40)
+	for i := range xs {
+		xs[i] = g.Uniform(-10, 10)
+		ws[i] = 0.1 + g.Float64()
+	}
+	return map[string]Dist{
+		"pointmass":   PointMass{V: mu},
+		"uniform":     NewUniform(a, b),
+		"exponential": NewExponential(0.3 + 2*g.Float64()),
+		"normal":      NewNormal(mu, sigma),
+		"histogram":   NewHistogram(a, b, masses),
+		"mixture": NewGaussianMixture(
+			[]float64{0.2 + g.Float64(), 0.2 + g.Float64()},
+			[]float64{mu - 2, mu + 2},
+			[]float64{sigma, 0.5 * sigma}),
+		"empirical": NewEmpirical(xs, ws),
+		"truncated": NewTruncated(NewNormal(mu, sigma), mu-1.5*sigma, mu+2*sigma),
+	}
+}
+
+// quantileGrid is the probe set shared by the properties: interior levels
+// plus near-edge levels that historically expose clamp and 0·∞ bugs.
+var quantileGrid = []float64{
+	1e-9, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1 - 1e-4, 1 - 1e-9,
+}
+
+// TestQuantileMonotoneAllFamilies: Quantile must be nondecreasing in q for
+// every family — including the q = 0 and q = 1 endpoints — and never NaN.
+func TestQuantileMonotoneAllFamilies(t *testing.T) {
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		for name, d := range quantileFamilies(g) {
+			grid := append(append([]float64{0}, quantileGrid...), 1)
+			prev := math.Inf(-1)
+			for _, q := range grid {
+				x := d.Quantile(q)
+				if math.IsNaN(x) {
+					t.Logf("%s %v: Quantile(%g) = NaN", name, d, q)
+					return false
+				}
+				if x < prev {
+					t.Logf("%s %v: Quantile(%g) = %g < Quantile(prev) = %g", name, d, q, x, prev)
+					return false
+				}
+				prev = x
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantileCDFRoundTripAllFamilies: Quantile is the generalized inverse
+// of the CDF. For every family CDF(Quantile(q)) >= q (up to solver
+// tolerance); for the continuous families the round trip is tight.
+func TestQuantileCDFRoundTripAllFamilies(t *testing.T) {
+	continuous := map[string]bool{
+		"uniform": true, "exponential": true, "normal": true,
+		"histogram": true, "mixture": true, "truncated": true,
+	}
+	f := func(seed int64) bool {
+		g := rng.New(seed)
+		for name, d := range quantileFamilies(g) {
+			for _, q := range quantileGrid {
+				x := d.Quantile(q)
+				c := d.CDF(x)
+				// Generalized-inverse lower bound: the mass at or below the
+				// q-quantile can exceed q (atoms) but never undershoot it.
+				if c < q-1e-8 {
+					t.Logf("%s %v: CDF(Quantile(%g)) = %g < q", name, d, q, c)
+					return false
+				}
+				if continuous[name] && math.Abs(c-q) > 1e-6 {
+					t.Logf("%s %v: CDF(Quantile(%g)) = %g, want %g", name, d, q, c, q)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuantileEdgesAllFamilies pins the q ∈ {0, 1} contract per family:
+// bounded-support families return their exact support endpoints, the
+// exponential returns 0 and +∞, and the normal diverges to ∓∞ — in every
+// case CDF(Quantile(0)) carries (essentially) no mass and Quantile(1)
+// carries all of it.
+func TestQuantileEdgesAllFamilies(t *testing.T) {
+	g := rng.New(97)
+	for i := 0; i < 40; i++ {
+		fams := quantileFamilies(g)
+		for _, name := range []string{"pointmass", "uniform", "histogram", "empirical", "truncated"} {
+			d := fams[name]
+			lo, hi := d.Support()
+			if q0 := d.Quantile(0); math.Abs(q0-lo) > 1e-9*(1+math.Abs(lo)) {
+				t.Fatalf("%s %v: Quantile(0) = %g, support lo = %g", name, d, q0, lo)
+			}
+			if q1 := d.Quantile(1); math.Abs(q1-hi) > 1e-9*(1+math.Abs(hi)) {
+				t.Fatalf("%s %v: Quantile(1) = %g, support hi = %g", name, d, q1, hi)
+			}
+		}
+		e := fams["exponential"].(Exponential)
+		if q0 := e.Quantile(0); q0 != 0 {
+			t.Fatalf("%v: Quantile(0) = %g, want 0", e, q0)
+		}
+		if q1 := e.Quantile(1); !math.IsInf(q1, 1) {
+			t.Fatalf("%v: Quantile(1) = %g, want +Inf", e, q1)
+		}
+		n := fams["normal"].(Normal)
+		if q0 := n.Quantile(0); !math.IsInf(q0, -1) {
+			t.Fatalf("%v: Quantile(0) = %g, want -Inf", n, q0)
+		}
+		if q1 := n.Quantile(1); !math.IsInf(q1, 1) {
+			t.Fatalf("%v: Quantile(1) = %g, want +Inf", n, q1)
+		}
+		// Whatever the endpoint value, the mass bracketing must hold for
+		// every family (the mixture clamps q internally, so its endpoints
+		// are finite — the mass law is the portable contract).
+		for name, d := range fams {
+			if c := d.CDF(d.Quantile(0)); c > 1e-9 && name != "pointmass" && name != "empirical" {
+				t.Fatalf("%s %v: CDF(Quantile(0)) = %g, want ~0", name, d, c)
+			}
+			if c := d.CDF(d.Quantile(1)); c < 1-1e-9 {
+				t.Fatalf("%s %v: CDF(Quantile(1)) = %g, want ~1", name, d, c)
+			}
+		}
+	}
+}

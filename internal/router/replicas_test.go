@@ -1,0 +1,29 @@
+package router
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRouterReplicasNoKillByteIdentical: replica dual-write alone — no kill,
+// no failover — must not perturb the alert stream. The replica copies ride
+// the same per-link FIFOs as owner traffic; this pins that the extra load
+// and the tail bookkeeping are invisible when every worker survives.
+func TestRouterReplicasNoKillByteIdentical(t *testing.T) {
+	msgs := wireTrace(t, 30, 200)
+	cfg := clusterQ1Cfg()
+	ref := offlineAlertLines(t, msgs, cfg)
+	cl := startCluster(t, 3, cfg, func(c *Config) { c.Replicas = 2 })
+	sub := subscribe(t, cl.rt)
+	ingest := dialRouter(t, cl.rt)
+	for _, m := range msgs {
+		ingest.send(m)
+	}
+	ingest.send(server.Msg{Kind: server.KindEnd})
+	if m := ingest.recv(60 * time.Second); m.Kind != server.KindOK {
+		t.Fatalf("end: got %+v", m)
+	}
+	diffLines(t, ref, collectAlerts(t, sub), "replicas-nokill")
+}

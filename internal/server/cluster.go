@@ -268,6 +268,17 @@ func (cl *clusterState) instancesLocked() []*instance {
 // forwarded close) and broadcast it to the router's subscription as a
 // "part" line. ep is the worker's own epoch, nil for promoted instances.
 func (cl *clusterState) emitPart(ep *epoch, pe *partEmitter, t *stream.Tuple) {
+	// A crashed worker must go silent. Crash cancels the run context but the
+	// engine still drains gracefully, and ingest Puts racing the cancel can
+	// lose tuples mid-stream (both select arms ready), so whatever the drain
+	// computes for a still-open window is built from a gap-riddled subset of
+	// the slot's feed. If that half-window partial (and its forwarded close)
+	// reached the router, the merge would adopt it as the window's real
+	// contribution and suppress the replica's correct replay of the same
+	// ordinal. A real kill -9 can never emit past the kill; neither may we.
+	if cl.s.crashed.Load() {
+		return
+	}
 	_, isClose := stream.WindowCloseOf(t)
 	ord := pe.ordinal.Load()
 	if isClose {

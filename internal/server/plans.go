@@ -36,6 +36,39 @@ func Q1Plan(cfg uop.Q1Config) func() *uop.Compiled {
 	return func() *uop.Compiled { return uop.BuildQ1(cfg).Compile() }
 }
 
+// DefaultQ3Config is the per-area weight-quantile plan cmd/streamd serves
+// with -query quantile and the plan cmd/rfidtrace's offline -quantile -wire
+// reference compiles — one definition, same reasoning as DefaultQ1Config.
+func DefaultQ3Config() uop.Q3Config {
+	return uop.Q3Config{
+		WindowMS:     5 * stream.Second,
+		Level:        0.5,
+		ThresholdLbs: 25,
+		AreaFt:       10,
+		MinAlertProb: 0.5,
+	}
+}
+
+// Q3Plan returns the per-epoch factory for the streaming-quantile query.
+func Q3Plan(cfg uop.Q3Config) func() *uop.Compiled {
+	return func() *uop.Compiled { return uop.BuildQ3(cfg).Compile() }
+}
+
+// DefaultQ4Config is the top-k dominating plan behind -query topk: the
+// three window objects most likely to dominate the rest in both location
+// dimensions, tagged by rank and object id.
+func DefaultQ4Config() uop.Q4Config {
+	return uop.Q4Config{
+		WindowMS: 5 * stream.Second,
+		K:        3,
+	}
+}
+
+// Q4Plan returns the per-epoch factory for the top-k dominating query.
+func Q4Plan(cfg uop.Q4Config) func() *uop.Compiled {
+	return func() *uop.Compiled { return uop.BuildQ4(cfg).Compile() }
+}
+
 // Q2PlanConfig parameterizes the daemon's flammable-object query. Unlike
 // uop.Q2Config it needs no warehouse: the daemon cannot look up object
 // types, so flammability rides the wire as a certain key ("flam" == 1 on

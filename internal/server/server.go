@@ -1078,8 +1078,12 @@ func (h *Hub) Count() int {
 // BoxStatsz is one box's row in the /statsz report.
 type BoxStatsz struct {
 	Name string `json:"name"`
-	In   uint64 `json:"in"`
-	Out  uint64 `json:"out"`
+	// Agg is the pluggable-accumulator kind ("sum", "quantile", "topk")
+	// for aggregation boxes — whole, partial, or merge halves alike —
+	// and empty for every other operator.
+	Agg string `json:"agg,omitempty"`
+	In  uint64 `json:"in"`
+	Out uint64 `json:"out"`
 	// Queue is the box's input-channel depth in batches (live executor
 	// snapshot; 0 when idle).
 	Queue int `json:"queue"`
@@ -1149,6 +1153,9 @@ func epochStatsz(ep *epoch) EpochStatsz {
 	depths := ep.plan.Graph.QueueDepths()
 	for i, b := range ep.plan.Graph.Boxes() {
 		r := BoxStatsz{Name: b.Op.Name(), In: b.Stats().In, Out: b.Stats().Out}
+		if ak, ok := b.Op.(interface{ AggKind() string }); ok {
+			r.Agg = ak.AggKind()
+		}
 		if i < len(depths) {
 			r.Queue = depths[i]
 		}

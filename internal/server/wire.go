@@ -277,8 +277,10 @@ func AlertMsg(t *stream.Tuple) (Msg, error) {
 		return Msg{}, fmt.Errorf("result payload is %T, not an uncertain tuple", uv)
 	}
 	m := Msg{Kind: KindAlert, T: int64(t.TS)}
+	grouped := false
 	if g, ok := t.TryString("group"); ok {
 		m.Group = g
+		grouped = true
 	}
 	p := u.Exist
 	if hp, ok := t.TryFloat("p"); ok {
@@ -294,8 +296,8 @@ func AlertMsg(t *stream.Tuple) (Msg, error) {
 	names := u.Names()
 	m.Attrs = make(map[string]Attr, len(names))
 	for _, n := range names {
-		if n == "group" && m.Group != "" {
-			continue // grouped aggregates carry an internal marker attr
+		if n == "group" && grouped {
+			continue // spine aggregates carry an internal marker attr
 		}
 		m.Attrs[n] = DistAttr(u.Attr(n))
 	}

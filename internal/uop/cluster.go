@@ -32,7 +32,7 @@ type ClusterPlan struct {
 	Window stream.WindowSpec
 
 	name string
-	cfg  core.GroupSumOpConfig
+	cfg  core.WindowAggConfig
 	post []func() stream.Operator
 }
 
@@ -78,19 +78,19 @@ func (q *Query) Cluster() (*ClusterPlan, error) {
 	agg := -1
 	for i := len(chain) - 1; i >= 0; i-- {
 		ops[i] = chain[i].makeOp()
-		if gs, ok := ops[i].(interface{ GroupSumConfig() core.GroupSumOpConfig }); ok {
+		if wa, ok := ops[i].(interface{ WindowAggConfig() core.WindowAggConfig }); ok {
 			if agg >= 0 {
-				return nil, fmt.Errorf("uop: second aggregate %q; cluster execution supports exactly one group aggregate", ops[i].Name())
+				return nil, fmt.Errorf("uop: second aggregate %q; cluster execution supports exactly one windowed aggregate", ops[i].Name())
 			}
 			agg = i
 			plan.name = ops[i].Name()
-			plan.cfg = gs.GroupSumConfig()
+			plan.cfg = wa.WindowAggConfig()
 			plan.Key = plan.cfg.DedupKey
 			plan.Window = plan.cfg.Window
 		}
 	}
 	if agg < 0 {
-		return nil, errors.New("uop: cluster execution requires a keyed windowed group aggregate (GroupBy + Sum)")
+		return nil, errors.New("uop: cluster execution requires a windowed aggregate (Sum, Quantile, or TopKDominating)")
 	}
 	for i := len(chain) - 1; i >= 0; i-- { // source → sink order
 		switch {
@@ -117,7 +117,7 @@ func (p *ClusterPlan) CompileWorker() *Compiled {
 	c := &Compiled{Graph: g, sink: &stream.Collect{OpName: "partials"}, sources: map[string]*stream.Box{}}
 	src := g.AddBox(stream.NewSelect("src:"+p.Source, func(t *stream.Tuple) *stream.Tuple { return t }))
 	c.sources[p.Source] = src
-	part := g.AddBox(core.NewGroupSumPartialOp(p.name+"#cluster", p.cfg))
+	part := g.AddBox(core.NewWindowAggPartialOp(p.name+"#cluster", p.cfg))
 	g.Connect(src, part, 0)
 	sb := g.AddBox(c.sink)
 	g.Connect(part, sb, 0)
@@ -136,7 +136,7 @@ func (p *ClusterPlan) CompileHead(w int) *Compiled {
 	}
 	g := stream.NewGraph()
 	c := &Compiled{Graph: g, sink: &stream.Collect{OpName: "alerts"}, sources: map[string]*stream.Box{}}
-	merge := g.AddBox(core.NewGroupSumMergeOp("merge·"+p.name, p.cfg, w))
+	merge := g.AddBox(core.NewWindowAggMergeOp("merge·"+p.name, p.cfg, w))
 	for i := 0; i < w; i++ {
 		src := g.AddBox(stream.NewSelect("src:"+ClusterPort(i), func(t *stream.Tuple) *stream.Tuple { return t }))
 		c.sources[ClusterPort(i)] = src

@@ -153,12 +153,12 @@ func TestClusterRejectsIneligibleChains(t *testing.T) {
 		{
 			"no aggregate",
 			From("locations").Where("pass", func(*core.UTuple) bool { return true }),
-			"requires a keyed windowed group aggregate",
+			"requires a windowed aggregate",
 		},
 		{
 			"ungrouped sum",
 			From("locations").Window(cfg.WindowMS).Sum("weight", cfg.Strategy, cfg.Agg),
-			"requires a keyed windowed group aggregate",
+			"requires a windowed aggregate",
 		},
 		{
 			"unconsumed window",

@@ -1,0 +1,52 @@
+package uop
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stream"
+)
+
+// TestQ1AlertsMatchGolden pins the gated-sum alert bytes against a golden
+// file recorded before the aggregation spine was generalized (PR 10): the
+// refactored sum path must emit byte-identical (%.17g) alerts to the
+// pre-refactor code on the same seeded trace. Regenerate intentionally with
+// UPDATE_GOLDEN=1 — never to paper over a diff.
+func TestQ1AlertsMatchGolden(t *testing.T) {
+	lts, w := seededTrace(t, 60, 400, 0)
+	golden := filepath.Join("testdata", "q1_alerts_pr9.golden")
+	var got string
+	for _, strat := range []core.Strategy{core.CFApprox, core.CFInvert} {
+		cfg := Q1Config{
+			WindowMS:     5 * stream.Second,
+			SlideMS:      1 * stream.Second,
+			ThresholdLbs: 120,
+			AreaFt:       10,
+			Strategy:     strat,
+			MinAlertProb: 0.3,
+		}
+		got += strat.String() + "\n" + formatQ1(RunQ1(lts, w, cfg))
+	}
+	if got == "" {
+		t.Fatal("no alerts produced; trace too light for a golden pin")
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to record): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("sum alerts diverge from pre-refactor golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -89,20 +89,25 @@ type Q1Alert struct {
 	PViolation float64
 }
 
-// q1Member builds Q1's probabilistic group assignment: the uncertain
-// location, rescaled into grouping-cell units, spread over the floor cells
-// it intersects.
-func q1Member(cfg Q1Config) core.Membership {
+// areaMember builds the probabilistic floor-cell group assignment shared by
+// the grouped reference queries: the uncertain location, rescaled into
+// grouping-cell units, spread over the cells it intersects.
+func areaMember(areaFt, minMass float64) core.Membership {
 	return func(u *core.UTuple) []core.GroupMass {
-		x := dist.Scale(u.Attr("x"), 1/cfg.AreaFt)
-		y := dist.Scale(u.Attr("y"), 1/cfg.AreaFt)
-		ms := rfid.AreaMasses(x, y, cfg.MinAreaMass)
+		x := dist.Scale(u.Attr("x"), 1/areaFt)
+		y := dist.Scale(u.Attr("y"), 1/areaFt)
+		ms := rfid.AreaMasses(x, y, minMass)
 		out := make([]core.GroupMass, len(ms))
 		for i, m := range ms {
 			out[i] = core.GroupMass{Group: m.Area, P: m.P}
 		}
 		return out
 	}
+}
+
+// q1Member is Q1's group assignment, kept as the config-shaped wrapper.
+func q1Member(cfg Q1Config) core.Membership {
+	return areaMember(cfg.AreaFt, cfg.MinAreaMass)
 }
 
 // BuildQ1 compiles Q1 — tumbling (or, with SlideMS, sliding) windows, one
@@ -181,6 +186,147 @@ func RunQ1Live(ctx context.Context, lts []rfid.LocationTuple, w *rfid.Warehouse,
 	}
 	err := c.RunLive(ctx, buffer, stream.SliceSource(sts), 0)
 	return q1Alerts(got), err
+}
+
+// Q3Config parameterizes the streaming-quantile query (PR 10): the
+// Level-quantile of the registered weights per floor cell — QUANTILE_q(weight)
+// over the same windowed, tag-deduplicated, probabilistically grouped stream
+// as Q1 — reported when the quantile exceeds ThresholdLbs with confidence
+// MinAlertProb. Where Q1's SUM asks "is this area overloaded in total", Q3
+// asks "is the typical object here heavy": a median unmoved by one massive
+// crate, or a 0.9-quantile flagging cells whose heaviest decile drifts up.
+type Q3Config struct {
+	// WindowMS is the Range window (default 5 seconds).
+	WindowMS stream.Time
+	// SlideMS, when positive, evaluates the window as a sliding Rstream on
+	// the incremental path.
+	SlideMS stream.Time
+	// Recompute pins the per-window rescan path even for sliding windows.
+	Recompute bool
+	// Shards >= 1 compiles the diagram shard-parallel.
+	Shards int
+	// Level is the quantile level q in [0, 1]. 0 selects the default 0.5
+	// (the median); callers wanting the true minimum pass a tiny positive q.
+	Level float64
+	// ThresholdLbs is the Having threshold on the quantile (default 25).
+	ThresholdLbs float64
+	// MinAreaMass prunes negligible area memberships (default 0.01).
+	MinAreaMass float64
+	// MinAlertProb is the confidence floor for reporting (default 0.5).
+	MinAlertProb float64
+	// AreaFt is the grouping cell size in feet (default 1).
+	AreaFt float64
+	// Quantile tunes the estimator (sketch resolution, exact-path cutoff).
+	Quantile core.QuantileOptions
+}
+
+func (c Q3Config) withDefaults() Q3Config {
+	if c.WindowMS <= 0 {
+		c.WindowMS = 5 * stream.Second
+	}
+	if c.Level == 0 {
+		c.Level = 0.5
+	}
+	if c.ThresholdLbs <= 0 {
+		c.ThresholdLbs = 25
+	}
+	if c.MinAreaMass <= 0 {
+		c.MinAreaMass = 0.01
+	}
+	if c.MinAlertProb <= 0 {
+		c.MinAlertProb = 0.5
+	}
+	if c.AreaFt <= 0 {
+		c.AreaFt = 1
+	}
+	return c
+}
+
+// BuildQ3 compiles the per-area weight-quantile query as a chain over the
+// source stream "locations". The alert schema matches Q1's — group, p, and
+// the result distribution under the aggregated attribute ("weight") — so
+// every downstream consumer (streamd alert encoding, cluster merge, demos)
+// works unchanged.
+func BuildQ3(cfg Q3Config) *Query {
+	cfg = cfg.withDefaults()
+	q := From("locations").
+		Shards(cfg.Shards).
+		WindowSpec(stream.WindowSpec{Duration: cfg.WindowMS, Slide: cfg.SlideMS}).
+		DedupLatest("tag").
+		GroupBy(areaMember(cfg.AreaFt, cfg.MinAreaMass))
+	if cfg.Recompute {
+		q = q.Recompute()
+	}
+	return q.
+		Quantile("weight", cfg.Level, cfg.Quantile).
+		Having(Greater(cfg.ThresholdLbs, cfg.MinAlertProb))
+}
+
+// Q4Config parameterizes the probabilistic top-k dominating query (PR 10):
+// per window, the K objects most likely to dominate the rest of the window
+// in every ranked dimension (default x and y — "which tags sit deepest into
+// the far corner"), each reported with the full distribution of its
+// dominated count. Rows carry the certain keys "rank" and the object tag.
+type Q4Config struct {
+	// WindowMS is the Range window (default 5 seconds).
+	WindowMS stream.Time
+	// SlideMS, when positive, evaluates the window as a sliding Rstream.
+	SlideMS stream.Time
+	// Recompute pins the per-window rescan path.
+	Recompute bool
+	// Shards >= 1 compiles the diagram shard-parallel.
+	Shards int
+	// K is how many ranks to report (default 3).
+	K int
+	// Attrs are the ranked uncertain dimensions (default x, y).
+	Attrs []string
+	// MinCount, when positive, adds a Having clause: report a rank only if
+	// it dominates more than MinCount others with confidence MinProb.
+	MinCount float64
+	// MinProb is the Having confidence floor (default 0.5; used only with
+	// MinCount).
+	MinProb float64
+	// TopK tunes the dominance sketch; Label defaults to "tag".
+	TopK core.TopKOptions
+}
+
+func (c Q4Config) withDefaults() Q4Config {
+	if c.WindowMS <= 0 {
+		c.WindowMS = 5 * stream.Second
+	}
+	if c.K <= 0 {
+		c.K = 3
+	}
+	if len(c.Attrs) == 0 {
+		c.Attrs = []string{"x", "y"}
+	}
+	if c.MinProb <= 0 {
+		c.MinProb = 0.5
+	}
+	if c.TopK.Label == "" {
+		c.TopK.Label = "tag"
+	}
+	return c
+}
+
+// BuildQ4 compiles the top-k dominating query as a chain over "locations".
+// The aggregate runs ungrouped — the window itself is the population — on
+// the same pluggable-accumulator spine as Q1 and Q3, so sharding, cluster
+// split, and checkpointing apply unchanged.
+func BuildQ4(cfg Q4Config) *Query {
+	cfg = cfg.withDefaults()
+	q := From("locations").
+		Shards(cfg.Shards).
+		WindowSpec(stream.WindowSpec{Duration: cfg.WindowMS, Slide: cfg.SlideMS}).
+		DedupLatest("tag")
+	if cfg.Recompute {
+		q = q.Recompute()
+	}
+	q = q.TopKDominating(cfg.Attrs, cfg.K, cfg.TopK)
+	if cfg.MinCount > 0 {
+		q = q.Having(Greater(cfg.MinCount, cfg.MinProb))
+	}
+	return q
 }
 
 // TempReading is one tuple of Q2's temperature stream: (time, (x, y, z),

@@ -3,6 +3,7 @@ package uop
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -170,6 +171,53 @@ func (q *Query) Sum(attr string, strat core.Strategy, opts core.AggOptions) *Que
 	s.win, s.dedup, s.member = nil, "", nil // clauses consumed
 	s.recompute, s.workers = false, 0
 	return s
+}
+
+// windowAgg materializes the pending clauses into a generalized windowed
+// aggregate stage on the pluggable spine: verb and label render the box
+// name, aggAttr is the output attribute Having reads. Unlike Sum — whose
+// ungrouped form predates the spine and keeps its dedicated box — every
+// combination of GroupBy/DedupLatest is legal here: without a GroupBy the
+// aggregate runs over the implicit single group "".
+func (q *Query) windowAgg(verb, label, aggAttr string, agg func() core.UAgg) *Query {
+	if q.win == nil {
+		panic("uop: " + verb + " requires a preceding Window")
+	}
+	win, dedup, member := *q.win, q.dedup, q.member
+	recompute, workers := q.recompute, q.workers
+	name := fmt.Sprintf("γ%s(%s)", verb, label)
+	s := q.stage(func() stream.Operator {
+		return UWindowAgg(name, core.WindowAggConfig{
+			Window: win, DedupKey: dedup, Member: member,
+			Agg: agg(), Recompute: recompute, Workers: workers,
+		})
+	})
+	s.aggAttr = aggAttr
+	s.win, s.dedup, s.member = nil, "", nil // clauses consumed
+	s.recompute, s.workers = false, 0
+	return s
+}
+
+// Quantile materializes the pending Window/DedupLatest/GroupBy clauses into
+// a streaming q-quantile aggregate over the named uncertain attribute: per
+// window (and group, if any) one output tuple whose attribute is the result
+// distribution of the window's level-quantile — exact order-statistic
+// tabulation for small windows, sketch estimator beyond
+// opts.MaxExact contributions. Having composes on top exactly as for Sum.
+func (q *Query) Quantile(attr string, level float64, opts core.QuantileOptions) *Query {
+	return q.windowAgg(fmt.Sprintf("q%g", level), attr, attr,
+		func() core.UAgg { return core.NewQuantileAgg(attr, level, opts) })
+}
+
+// TopKDominating materializes the pending clauses into a probabilistic
+// top-k dominating aggregate over the named uncertain dimensions: per window
+// (and group, if any) the k objects with the highest expected dominated
+// count, one output tuple per rank carrying the certain keys "rank" (and
+// opts.Label, when configured) plus the full dominated-count distribution
+// as the "domcount" attribute.
+func (q *Query) TopKDominating(attrs []string, k int, opts core.TopKOptions) *Query {
+	return q.windowAgg(fmt.Sprintf("top%d", k), strings.Join(attrs, ","), "domcount",
+		func() core.UAgg { return core.NewTopKDominatingAgg(attrs, k, opts) })
 }
 
 // HavingClause is a confidence-annotated aggregate predicate.

@@ -70,6 +70,14 @@ func UGroupWindow(name string, cfg core.GroupSumOpConfig) stream.Operator {
 	return core.NewGroupSumWindowOp(name, cfg)
 }
 
+// UWindowAgg builds a windowed aggregate box for any pluggable uncertain
+// aggregate (quantile, top-k dominating, or a custom core.UAgg) on the same
+// spine UGroupWindow rides: grouped output tuples per window, incremental
+// maintenance for sliding windows, shardable and clusterable.
+func UWindowAgg(name string, cfg core.WindowAggConfig) stream.Operator {
+	return core.NewWindowAggOp(name, cfg)
+}
+
 // UHaving builds the confidence-annotated HAVING box: group tuples whose
 // P(attr > threshold) clears minProb pass through extended with that
 // probability in the "p" column; the rest are dropped.
